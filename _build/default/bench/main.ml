@@ -1,0 +1,628 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation (§6), scaled to the host (see DESIGN.md for the
+   substitutions). Select experiments by name:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig2 fig6    # a subset
+     MP_BENCH_FULL=1 dune exec bench/main.exe # larger sizes/durations
+
+   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall micro *)
+
+module Config = Smr_core.Config
+module Workload = Mp_harness.Workload
+module Runner = Mp_harness.Runner
+module Report = Mp_harness.Report
+module Instances = Mp_harness.Instances
+
+let full = Sys.getenv_opt "MP_BENCH_FULL" <> None
+
+(* Scaled-down defaults; the paper used 88 HTs, 5 s runs, S = 500K / 5K. *)
+let thread_counts = if full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8 ]
+let duration_s = if full then 2.0 else 0.35
+let tree_size = if full then 65_536 else 16_384
+let list_size = if full then 2_048 else 512
+
+(* The paper's figures compare MP, IBR, HE and HP (plus DTA on the list). *)
+let figure_schemes = [ "mp"; "ibr"; "he"; "hp" ]
+
+(* The paper fixes margin = 2^20 for S = 500K (BST/skip list) and S = 5K
+   (list): one margin covers ~128 key gaps on the trees and ~2 on the
+   list. At our scaled sizes, preserving the margin-to-gap ratio keeps the
+   protection behaviour comparable, so figure margins scale with S. *)
+let margin_for ~init_size ~gaps =
+  let gap = 0xFFFF_FFFF / (2 * init_size) in
+  max (1 lsl 17) (gap * gaps)
+
+let spec ?margin ~threads ~init_size ~mix () =
+  let config = Config.default ~threads in
+  let config =
+    match margin with Some m -> Config.with_margin config m | None -> config
+  in
+  { (Runner.default ~threads ~init_size ~mix ~config) with Runner.duration_s }
+
+let run_ds ?margin ds ~threads ~init_size ~mix scheme_name =
+  Runner.run (Instances.make ds (Instances.scheme_of_name scheme_name))
+    (spec ?margin ~threads ~init_size ~mix ())
+
+let run_dta ~threads ~init_size ~mix =
+  Runner.run (module Dstruct.Dta_list.As_set) (spec ~threads ~init_size ~mix ())
+
+let fmt_result (r : Runner.result) =
+  Report.fmt_throughput r.Runner.throughput ^ if r.Runner.oom then "*" else ""
+
+(* -- Table 1: qualitative scheme comparison ------------------------------ *)
+
+let table1 () =
+  let open Smr_core.Smr_intf in
+  let row name (p : properties) integration =
+    [
+      name;
+      p.full_name;
+      (match p.wasted_memory with
+      | Bounded -> "bounded"
+      | Robust -> "robust"
+      | Unbounded -> "unbounded");
+      string_of_int p.per_node_words;
+      (if p.self_contained then "yes" else "no");
+      integration;
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, (module S : Smr_core.Smr_intf.S)) ->
+        row name S.properties
+          (if S.properties.needs_per_reference_calls then "per-reference" else "per-operation"))
+      Instances.schemes
+    @ [ row "dta" Dstruct.Dta_list.properties "per-k-hops (list only; frozen nodes leak)" ]
+  in
+  Report.table ~title:"Table 1: SMR scheme comparison"
+    ~header:
+      [ "scheme"; "full name"; "wasted memory"; "node words"; "self-contained"; "integration" ]
+    rows
+
+(* -- Figures 2/3/4: throughput sweeps ------------------------------------ *)
+
+let throughput_figure ~title ~ds ~init_size ~gaps ~with_dta () =
+  let margin = margin_for ~init_size ~gaps in
+  List.iter
+    (fun mix ->
+      let header =
+        ("threads" :: figure_schemes) @ if with_dta then [ "dta" ] else []
+      in
+      let rows =
+        List.map
+          (fun threads ->
+            let cells =
+              List.map
+                (fun sname -> fmt_result (run_ds ~margin ds ~threads ~init_size ~mix sname))
+                figure_schemes
+            in
+            let dta_cell =
+              if with_dta then [ fmt_result (run_dta ~threads ~init_size ~mix) ] else []
+            in
+            (string_of_int threads :: cells) @ dta_cell)
+          thread_counts
+      in
+      Report.table
+        ~title:(Printf.sprintf "%s — %s (ops/s)" title mix.Workload.name)
+        ~header rows)
+    Workload.all
+
+let fig2 () =
+  throughput_figure
+    ~title:(Printf.sprintf "Figure 2: NM BST throughput (S=%d)" tree_size)
+    ~ds:Instances.Bst_ds ~init_size:tree_size ~gaps:128 ~with_dta:false ()
+
+let fig3 () =
+  throughput_figure
+    ~title:(Printf.sprintf "Figure 3: skip list throughput (S=%d)" tree_size)
+    ~ds:Instances.Skiplist_ds ~init_size:tree_size ~gaps:128 ~with_dta:false ()
+
+let fig4 () =
+  throughput_figure
+    ~title:(Printf.sprintf "Figure 4: linked list throughput (S=%d)" list_size)
+    ~ds:Instances.List_ds ~init_size:list_size ~gaps:2 ~with_dta:true ()
+
+(* -- Figure 5: memory fences per traversed node (MP vs HP, read-only) ---- *)
+
+let fig5 () =
+  let threads = List.fold_left max 1 thread_counts in
+  let rows =
+    List.map
+      (fun (ds_name, ds, init_size, gaps) ->
+        let fences sname =
+          let margin = margin_for ~init_size ~gaps in
+          let r = run_ds ~margin ds ~threads ~init_size ~mix:Workload.read_only sname in
+          Printf.sprintf "%.3f" r.Runner.fences_per_node
+        in
+        [ ds_name; fences "mp"; fences "hp" ])
+      [
+        ("bst", Instances.Bst_ds, tree_size, 128);
+        ("skiplist", Instances.Skiplist_ds, tree_size, 128);
+        ("list", Instances.List_ds, list_size, 2);
+      ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Figure 5: fences per traversed node, read-only, %d threads" threads)
+    ~header:[ "structure"; "mp"; "hp" ] rows
+
+(* -- Figure 6: wasted memory, read-dominated ------------------------------ *)
+
+let fig6 () =
+  List.iter
+    (fun (ds_name, ds, init_size, gaps) ->
+      let margin = margin_for ~init_size ~gaps in
+      let header = "threads" :: figure_schemes in
+      let rows =
+        List.map
+          (fun threads ->
+            string_of_int threads
+            :: List.map
+                 (fun sname ->
+                   let r =
+                     run_ds ~margin ds ~threads ~init_size ~mix:Workload.read_dominated sname
+                   in
+                   Printf.sprintf "%.0f" r.Runner.wasted_avg)
+                 figure_schemes)
+          thread_counts
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf "Figure 6 (%s): avg retired-but-unreclaimed nodes, read-dominated"
+             ds_name)
+        ~header rows)
+    [
+      ("bst", Instances.Bst_ds, tree_size, 128);
+      ("skiplist", Instances.Skiplist_ds, tree_size, 128);
+      ("list", Instances.List_ds, list_size, 2);
+    ]
+
+(* -- Figure 7a: ascending-key list, MP vs HP (index-collision worst case) - *)
+
+let fig7a () =
+  let header = [ "threads"; "mp"; "hp" ] in
+  let rows =
+    List.map
+      (fun threads ->
+        let run sname =
+          let config = Config.default ~threads in
+          let s =
+            {
+              (Runner.default ~threads ~init_size:list_size ~mix:Workload.read_only ~config) with
+              Runner.duration_s;
+              init = Workload.Ascending_init;
+              key_range = list_size;
+            }
+          in
+          fmt_result
+            (Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s)
+        in
+        [ string_of_int threads; run "mp"; run "hp" ])
+      thread_counts
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Figure 7a: list built by ascending insertion (all indices collide), read-only (S=%d)"
+         list_size)
+    ~header rows
+
+(* -- Figures 7b/7c: margin-size sensitivity ------------------------------- *)
+
+let fig7bc () =
+  let threads = List.fold_left max 1 thread_counts in
+  let margins = List.init 10 (fun i -> 17 + i) in
+  let rows =
+    List.map
+      (fun log2m ->
+        let config = Config.with_margin (Config.default ~threads) (1 lsl log2m) in
+        let s =
+          {
+            (Runner.default ~threads ~init_size:tree_size ~mix:Workload.write_dominated ~config) with
+            Runner.duration_s;
+          }
+        in
+        let r = Runner.run (Instances.make Instances.Bst_ds Instances.mp) s in
+        [
+          Printf.sprintf "2^%d" log2m;
+          fmt_result r;
+          Printf.sprintf "%.0f" r.Runner.wasted_avg;
+          string_of_int r.Runner.wasted_max;
+        ])
+      margins
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Figures 7b/7c: margin sensitivity, BST write-dominated, %d threads (S=%d)"
+         threads tree_size)
+    ~header:[ "margin"; "throughput"; "wasted avg"; "wasted max" ]
+    rows
+
+(* -- Stall experiment: deterministic robustness comparison ---------------- *)
+
+let stall () =
+  let threads = 4 in
+  let rows =
+    List.map
+      (fun sname ->
+        let config = Config.default ~threads in
+        let s =
+          {
+            (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
+            Runner.duration_s = duration_s *. 2.0;
+            stall = Some { Runner.stall_tid = 0; every_ops = 100; pause_s = 0.02 };
+          }
+        in
+        let r =
+          Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s
+        in
+        [
+          sname;
+          fmt_result r;
+          Printf.sprintf "%.0f" r.Runner.wasted_avg;
+          string_of_int r.Runner.wasted_max;
+        ])
+      [ "mp"; "hp"; "ibr"; "he"; "ebr" ]
+  in
+  Report.table
+    ~title:"Stall injection: list write-dominated with a thread sleeping mid-operation"
+    ~header:[ "scheme"; "throughput"; "wasted avg"; "wasted max" ]
+    rows
+
+(* -- Bechamel micro-benchmarks: per-operation latency --------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let micro_size = 4_096 in
+  let mk_case ds_name ds sname op_name =
+    let (module SET : Dstruct.Set_intf.SET) =
+      Instances.make ds (Instances.scheme_of_name sname)
+    in
+    let config = Config.default ~threads:1 in
+    let t = SET.create ~threads:1 ~capacity:((micro_size * 4) + 65_536) config in
+    let s = SET.session t ~tid:0 in
+    let rng = Mp_util.Rng.create 77 in
+    let inserted = ref 0 in
+    while !inserted < micro_size do
+      if SET.insert s ~key:(Mp_util.Rng.below rng (2 * micro_size)) ~value:1 then incr inserted
+    done;
+    let body =
+      match op_name with
+      | "contains" ->
+        fun () -> ignore (SET.contains s (Mp_util.Rng.below rng (2 * micro_size)) : bool)
+      | _ ->
+        fun () ->
+          let k = Mp_util.Rng.below rng (2 * micro_size) in
+          if Mp_util.Rng.bool rng then ignore (SET.insert s ~key:k ~value:1 : bool)
+          else ignore (SET.remove s k : bool)
+    in
+    Test.make ~name:(Printf.sprintf "%s/%s/%s" ds_name sname op_name) (Staged.stage body)
+  in
+  let tests =
+    List.concat_map
+      (fun (ds_name, ds) ->
+        List.concat_map
+          (fun sname -> [ mk_case ds_name ds sname "contains"; mk_case ds_name ds sname "update" ])
+          figure_schemes)
+      [ ("bst", Instances.Bst_ds); ("skiplist", Instances.Skiplist_ds) ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.sprintf "%.0f" est
+          | _ -> "n/a"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Report.table ~title:"Micro: single-thread per-operation latency (ns/op, OLS)"
+    ~header:[ "case"; "ns/op" ] rows
+
+(* -- Extension: index-assignment policy ablation (paper §4.1 future work) *)
+
+let ablation_index () =
+  let policies =
+    [ ("midpoint", Config.Midpoint); ("golden", Config.Golden); ("random", Config.Randomized) ]
+  in
+  (* Worst case (ascending insertion, Fig. 7a) and the default random
+     workload, per policy: collision rate and read throughput. *)
+  let rows =
+    List.concat_map
+      (fun (pname, policy) ->
+        List.map
+          (fun (iname, init) ->
+            let threads = 2 in
+            let config =
+              Config.with_index_policy (Config.default ~threads) policy
+              |> fun c -> Config.with_margin c (margin_for ~init_size:list_size ~gaps:2)
+            in
+            let s =
+              {
+                (Runner.default ~threads ~init_size:list_size ~mix:Workload.read_only ~config) with
+                Runner.duration_s;
+                init;
+                key_range = (match init with Workload.Ascending_init -> list_size | _ -> 2 * list_size);
+              }
+            in
+            let r = Runner.run (Instances.make Instances.List_ds Instances.mp) s in
+            let st_fences = Printf.sprintf "%.3f" r.Runner.fences_per_node in
+            [ pname; iname; fmt_result r; st_fences ])
+          [ ("ascending", Workload.Ascending_init); ("random", Workload.Uniform_init) ])
+      policies
+  in
+  Report.table
+    ~title:"Ablation: MP index-assignment policy (list, read-only after build)"
+    ~header:[ "policy"; "insertion order"; "throughput"; "fences/node" ]
+    rows
+
+(* -- Extension: epoch advance per unlink (paper §4.4 future work) --------- *)
+
+let ablation_epoch () =
+  (* "If we advance the global epochs on every node unlink (as in HE), the
+     per-thread bound improves to #HP + O(#MP × M)" — measure the waste /
+     overhead trade-off of the epoch frequency under an injected stall. *)
+  let threads = 4 in
+  let rows =
+    List.map
+      (fun (label, freq) ->
+        let config = Config.with_epoch_freq (Config.default ~threads) freq in
+        let s =
+          {
+            (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
+            Runner.duration_s;
+            stall = Some { Runner.stall_tid = 0; every_ops = 100; pause_s = 0.02 };
+          }
+        in
+        let r = Runner.run (Instances.make Instances.List_ds Instances.mp) s in
+        [
+          label;
+          fmt_result r;
+          Printf.sprintf "%.0f" r.Runner.wasted_avg;
+          string_of_int r.Runner.wasted_max;
+        ])
+      [
+        ("every unlink (F=1)", 1);
+        ("F=10", 10);
+        ("F=150", 150);
+        (Printf.sprintf "paper default (F=150T=%d)" (150 * threads), 150 * threads);
+      ]
+  in
+  Report.table
+    ~title:"Ablation: MP epoch-advance frequency under an injected stall (list, write-dominated)"
+    ~header:[ "epoch freq"; "throughput"; "wasted avg"; "wasted max" ]
+    rows
+
+(* -- Extension: key-distribution sensitivity ------------------------------ *)
+
+let ext_zipf () =
+  (* §6 "Key Distribution & MP Index Collisions": MP's margin efficacy
+     depends on how keys are laid out in the structure, not on the query
+     distribution — zipfian queries over a uniformly-built tree should
+     perform like uniform queries. *)
+  let threads = 4 in
+  let rows =
+    List.concat_map
+      (fun sname ->
+        List.map
+          (fun (dist, alpha) ->
+            let margin = margin_for ~init_size:tree_size ~gaps:128 in
+            let config = Config.with_margin (Config.default ~threads) margin in
+            let s =
+              {
+                (Runner.default ~threads ~init_size:tree_size ~mix:Workload.read_dominated
+                   ~config)
+                with
+                Runner.duration_s;
+                zipf_alpha = alpha;
+              }
+            in
+            let r =
+              Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s
+            in
+            [ sname; dist; fmt_result r; Printf.sprintf "%.3f" r.Runner.fences_per_node ])
+          [ ("uniform", None); ("zipf a=0.99", Some 0.99); ("zipf a=1.5", Some 1.5) ])
+      [ "mp"; "hp" ]
+  in
+  Report.table
+    ~title:"Extension: query-key skew (BST read-dominated) — MP overhead tracks layout, not queries"
+    ~header:[ "scheme"; "query dist"; "throughput"; "fences/node" ]
+    rows
+
+(* -- Extension: hash-table client (MP on a per-bucket-ordered structure) -- *)
+
+let ext_hash () =
+  let run_hash (module S : Smr_core.Smr_intf.S) name threads =
+    let module H = Dstruct.Hash_table.Make (S) in
+    let size = tree_size in
+    let config = Config.default ~threads in
+    let t = H.create ~threads ~capacity:((size * 4) + (threads * 65536)) ~buckets:1024 config in
+    let s0 = H.session t ~tid:0 in
+    let rng = Mp_util.Rng.create 7 in
+    let inserted = ref 0 in
+    while !inserted < size do
+      if H.insert s0 ~key:(Mp_util.Rng.below rng (2 * size)) ~value:1 then incr inserted
+    done;
+    let stop = Atomic.make false in
+    let ops = Array.make threads 0 in
+    let domains =
+      Array.init threads (fun tid ->
+          Domain.spawn (fun () ->
+              let s = H.session t ~tid in
+              let rng = Mp_util.Rng.split ~seed:13 ~tid in
+              let n = ref 0 in
+              while not (Atomic.get stop) do
+                let k = Mp_util.Rng.below rng (2 * size) in
+                (match Mp_util.Rng.below rng 100 with
+                | r when r < 90 -> ignore (H.contains s k : bool)
+                | r when r < 95 -> ignore (H.insert s ~key:k ~value:k : bool)
+                | _ -> ignore (H.remove s k : bool));
+                incr n
+              done;
+              ops.(tid) <- !n))
+    in
+    Unix.sleepf duration_s;
+    Atomic.set stop true;
+    Array.iter Domain.join domains;
+    let total = Array.fold_left ( + ) 0 ops in
+    let st = H.smr_stats t in
+    [
+      name;
+      string_of_int threads;
+      Report.fmt_throughput (float_of_int total /. duration_s);
+      string_of_int st.Smr_core.Smr_intf.wasted;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        [
+          run_hash (module Mp.Margin_ptr) "mp" threads;
+          run_hash (module Smr_schemes.Hp) "hp" threads;
+          run_hash (module Smr_schemes.Ibr) "ibr" threads;
+        ])
+      [ 1; 4 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Extension: lock-free hash table (1024 buckets, S=%d, read-dominated)"
+         tree_size)
+    ~header:[ "scheme"; "threads"; "throughput"; "wasted" ]
+    rows
+
+(* -- Extension: non-search client (Table 1's "= HP (Other DS)" cell) ------ *)
+
+let ext_queue () =
+  let run_queue (module S : Smr_core.Smr_intf.S) name threads =
+    let module Q = Dstruct.Ms_queue.Make (S) in
+    let config = Config.default ~threads in
+    let t = Q.create ~threads ~capacity:(1 lsl 20) config in
+    (* prefill so dequeues rarely see empty *)
+    let s0 = Q.session t ~tid:0 in
+    for v = 1 to 10_000 do
+      Q.enqueue s0 v
+    done;
+    let stop = Atomic.make false in
+    let ops = Array.make threads 0 in
+    let domains =
+      Array.init threads (fun tid ->
+          Domain.spawn (fun () ->
+              let s = Q.session t ~tid in
+              let rng = Mp_util.Rng.split ~seed:3 ~tid in
+              let n = ref 0 in
+              while not (Atomic.get stop) do
+                if Mp_util.Rng.bool rng then Q.enqueue s !n
+                else ignore (Q.dequeue s : int option);
+                incr n
+              done;
+              ops.(tid) <- !n))
+    in
+    Unix.sleepf duration_s;
+    Atomic.set stop true;
+    Array.iter Domain.join domains;
+    let total = Array.fold_left ( + ) 0 ops in
+    let st = Q.smr_stats t in
+    [
+      name;
+      string_of_int threads;
+      Report.fmt_throughput (float_of_int total /. duration_s);
+      string_of_int st.Smr_core.Smr_intf.wasted;
+      string_of_int st.Smr_core.Smr_intf.hp_fallbacks;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        [
+          run_queue (module Mp.Margin_ptr) "mp" threads;
+          run_queue (module Smr_schemes.Hp) "hp" threads;
+          run_queue (module Smr_schemes.Ibr) "ibr" threads;
+        ])
+      [ 1; 4 ]
+  in
+  Report.table
+    ~title:
+      "Extension: MS queue (non-search client) — MP falls back to HP (Table 1 \"= HP (Other DS)\")"
+    ~header:[ "scheme"; "threads"; "throughput"; "wasted"; "hp fallbacks" ]
+    rows
+
+(* -- Extension: per-operation latency percentiles -------------------------- *)
+
+let latency () =
+  let threads = 4 in
+  let rows =
+    List.map
+      (fun sname ->
+        let margin = margin_for ~init_size:tree_size ~gaps:128 in
+        let config = Config.with_margin (Config.default ~threads) margin in
+        let s =
+          {
+            (Runner.default ~threads ~init_size:tree_size ~mix:Workload.read_dominated ~config) with
+            Runner.duration_s = duration_s *. 2.0;
+            record_latency = true;
+          }
+        in
+        let r = Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s in
+        match r.Runner.latency with
+        | None -> [ sname; "-"; "-"; "-"; "-" ]
+        | Some h ->
+          let p q = Printf.sprintf "%d" (Mp_util.Histogram.percentile_ns h q) in
+          [ sname; p 50.0; p 90.0; p 99.0; p 99.9 ])
+      [ "mp"; "ibr"; "he"; "hp"; "ebr" ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Extension: per-operation latency (ns), BST read-dominated, %d threads"
+         threads)
+    ~header:[ "scheme"; "p50"; "p90"; "p99"; "p99.9" ]
+    rows
+
+(* -- driver ---------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7a", fig7a);
+    ("fig7bc", fig7bc);
+    ("stall", stall);
+    ("micro", micro);
+    ("ablation-index", ablation_index);
+    ("ablation-epoch", ablation_epoch);
+    ("ext-zipf", ext_zipf);
+    ("ext-hash", ext_hash);
+    ("ext-queue", ext_queue);
+    ("latency", latency);
+  ]
+
+let () =
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] | [ "all" ] -> List.map fst experiments
+    | names -> names
+  in
+  Printf.printf "margin-pointers benchmark suite (%s scale)\n%!"
+    (if full then "full" else "quick");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" name
+          (String.concat ", " (List.map fst experiments)))
+    requested

@@ -1,0 +1,103 @@
+(* mpbench — run a single SMR benchmark configuration from the command
+   line. Complements bench/main.exe (which regenerates the paper's
+   figures wholesale) by exposing every knob individually:
+
+     dune exec bin/mpbench.exe -- --ds bst --scheme mp --threads 8 \
+       --size 16384 --duration 1.0 --workload write --margin-log2 20
+*)
+
+open Cmdliner
+module Config = Smr_core.Config
+module Workload = Mp_harness.Workload
+module Runner = Mp_harness.Runner
+module Instances = Mp_harness.Instances
+
+let run ds scheme threads size duration workload margin_log2 stall_ms seed check verbose =
+  let mix =
+    match workload with
+    | "read" -> Workload.read_dominated
+    | "write" -> Workload.write_dominated
+    | "readonly" -> Workload.read_only
+    | other -> invalid_arg (Printf.sprintf "unknown workload %S (read|write|readonly)" other)
+  in
+  let config = Config.with_margin (Config.default ~threads) (1 lsl margin_log2) in
+  let spec =
+    {
+      (Runner.default ~threads ~init_size:size ~mix ~config) with
+      Runner.duration_s = duration;
+      seed;
+      check_access = check;
+      stall =
+        (if stall_ms > 0 then
+           Some
+             {
+               Runner.stall_tid = 0;
+               every_ops = 100;
+               pause_s = float_of_int stall_ms /. 1000.0;
+             }
+         else None);
+    }
+  in
+  let set =
+    if ds = "dta" then (module Dstruct.Dta_list.As_set : Dstruct.Set_intf.SET)
+    else Instances.make (Instances.ds_of_name ds) (Instances.scheme_of_name scheme)
+  in
+  let (module SET : Dstruct.Set_intf.SET) = set in
+  if verbose then
+    Printf.printf "running %s: threads=%d size=%d duration=%.2fs mix=%s margin=2^%d\n%!"
+      SET.name threads size duration mix.Workload.name margin_log2;
+  let r = Runner.run set spec in
+  Printf.printf "structure        : %s\n" SET.name;
+  Printf.printf "threads          : %d\n" r.Runner.spec_threads;
+  Printf.printf "workload         : %s\n" r.Runner.mix_name;
+  Printf.printf "throughput       : %.0f ops/s (%d ops)%s\n" r.Runner.throughput
+    r.Runner.total_ops
+    (if r.Runner.oom then "  [pool exhausted]" else "");
+  Printf.printf "wasted avg / max : %.1f / %d nodes\n" r.Runner.wasted_avg r.Runner.wasted_max;
+  Printf.printf "fences / node    : %.4f (%d fences, %d visits)\n" r.Runner.fences_per_node
+    r.Runner.fences r.Runner.traversed;
+  Printf.printf "final size       : %d\n" r.Runner.final_size;
+  if check then Printf.printf "UAF violations   : %d\n" r.Runner.violations;
+  if check && r.Runner.violations > 0 then exit 2
+
+let ds_arg =
+  Arg.(value & opt string "bst" & info [ "ds" ] ~docv:"STRUCT" ~doc:"list, skiplist, bst or dta")
+
+let scheme_arg =
+  Arg.(
+    value & opt string "mp"
+    & info [ "scheme" ] ~docv:"SCHEME" ~doc:"mp, ibr, he, hp, ebr or none (ignored for dta)")
+
+let threads_arg = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"concurrent domains")
+let size_arg = Arg.(value & opt int 16384 & info [ "size"; "s" ] ~doc:"initial keys (S)")
+let duration_arg = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"seconds")
+
+let workload_arg =
+  Arg.(value & opt string "read" & info [ "workload"; "w" ] ~doc:"read, write or readonly")
+
+let margin_arg =
+  Arg.(value & opt int 20 & info [ "margin-log2" ] ~doc:"MP margin as a power of two")
+
+let stall_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "stall-ms" ] ~doc:"inject a sleep of this many ms mid-operation on thread 0")
+
+let seed_arg = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"workload RNG seed")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"arm the use-after-free detector (slower)")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print the configuration")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ ds_arg $ scheme_arg $ threads_arg $ size_arg $ duration_arg $ workload_arg
+      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "mpbench" ~doc:"benchmark one SMR scheme on one concurrent search structure")
+    term
+
+let () = exit (Cmd.eval cmd)

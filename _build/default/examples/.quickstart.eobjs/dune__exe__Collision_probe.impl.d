@@ -1,0 +1,1 @@
+examples/collision_probe.ml: Dstruct Mempool Mp Mp_util Printf Smr_core

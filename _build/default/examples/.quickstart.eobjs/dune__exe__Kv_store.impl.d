@@ -1,0 +1,1 @@
+examples/kv_store.ml: Atomic Domain Dstruct List Mp Mp_util Printf Smr_core Unix

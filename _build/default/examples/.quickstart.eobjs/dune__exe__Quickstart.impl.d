@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Dstruct Mp Mp_util Printf Smr_core

@@ -1,0 +1,1 @@
+examples/stall_demo.ml: Atomic Domain Dstruct Mp Printf Smr_core Smr_schemes

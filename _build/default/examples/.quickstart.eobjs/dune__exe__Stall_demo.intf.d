@@ -1,0 +1,1 @@
+examples/stall_demo.mli:

@@ -1,0 +1,62 @@
+(* Index-collision probe (the Figure 7a story): MP maps keys to 32-bit
+   indices by bisection, so inserting keys in ascending order halves the
+   available range every time — after ~32 inserts every new node collides
+   and is stamped USE_HP, falling back to hazard pointers.
+
+   This example builds the same list twice — ascending insertion order vs
+   random order — and reports how many nodes ended up on the HP fallback
+   and what that does to protection fences.
+
+   Run: dune exec examples/collision_probe.exe *)
+
+module L = Dstruct.Michael_list.Make (Mp.Margin_ptr)
+module Config = Smr_core.Config
+
+let keys = 2_048
+
+let build order =
+  let t = L.create ~threads:1 ~capacity:(keys * 4) (Config.default ~threads:1) in
+  let s = L.session t ~tid:0 in
+  (match order with
+  | `Ascending ->
+    for k = 0 to keys - 1 do
+      ignore (L.insert s ~key:k ~value:k : bool)
+    done
+  | `Random ->
+    let rng = Mp_util.Rng.create 99 in
+    let inserted = ref 0 in
+    while !inserted < keys do
+      if L.insert s ~key:(Mp_util.Rng.below rng (keys * 4)) ~value:0 then incr inserted
+    done);
+  t
+
+let probe name t =
+  let pool = Mempool.core (L.Debug.pool t) in
+  let collided = ref 0 and total = ref 0 in
+  let s = L.session t ~tid:0 in
+  (* count USE_HP stamps over the whole key space *)
+  for k = 0 to keys * 4 do
+    match L.Debug.id_of_key t k with
+    | Some id ->
+      incr total;
+      if Mempool.Core.index pool id = Config.use_hp then incr collided
+    | None -> ()
+  done;
+  (* measure fences for a full scan workload *)
+  let fences0 = (L.smr_stats t).Smr_core.Smr_intf.fences in
+  let visits0 = L.traversed t in
+  for k = 0 to keys - 1 do
+    ignore (L.contains s k : bool)
+  done;
+  let fences = (L.smr_stats t).Smr_core.Smr_intf.fences - fences0 in
+  let visits = L.traversed t - visits0 in
+  Printf.printf "%-9s : %4d/%d nodes on the USE_HP fallback, %.3f fences per visited node\n"
+    name !collided !total
+    (float_of_int fences /. float_of_int (max 1 visits))
+
+let () =
+  probe "ascending" (build `Ascending);
+  probe "random" (build `Random);
+  print_endline
+    "ascending insertion exhausts the index range (bisection), so MP degrades gracefully to\n\
+     hazard-pointer behaviour; random insertion keeps indices spread and margins effective."

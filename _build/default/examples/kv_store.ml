@@ -1,0 +1,78 @@
+(* A small concurrent key-value session store — the kind of soft-real-time
+   workload the paper motivates MP with: bounded memory matters because a
+   stalled thread must not let dead sessions pile up without limit.
+
+   Writers churn short-lived "sessions" (insert + later remove); readers
+   perform lookups; an expirer sweeps ranges. All share one BST protected
+   by margin pointers. Run: dune exec examples/kv_store.exe *)
+
+module Store = Dstruct.Nm_bst.Make (Mp.Margin_ptr)
+
+let session_space = 8_192
+let run_seconds = 2.0
+
+let () =
+  let writers = 2 and readers = 3 and expirers = 1 in
+  let threads = writers + readers + expirers in
+  let store =
+    Store.create ~threads ~capacity:(1 lsl 18) (Smr_core.Config.default ~threads)
+  in
+  let stop = Atomic.make false in
+  let created = Atomic.make 0 and expired = Atomic.make 0 and hits = Atomic.make 0 in
+
+  let writer tid () =
+    let s = Store.session store ~tid in
+    let rng = Mp_util.Rng.split ~seed:11 ~tid in
+    while not (Atomic.get stop) do
+      let sid = Mp_util.Rng.below rng session_space in
+      if Store.insert s ~key:sid ~value:(sid * 7) then Atomic.incr created
+      else if Store.remove s sid then Atomic.incr expired
+    done
+  in
+  let reader tid () =
+    let s = Store.session store ~tid in
+    let rng = Mp_util.Rng.split ~seed:23 ~tid in
+    while not (Atomic.get stop) do
+      let sid = Mp_util.Rng.below rng session_space in
+      match Store.find s sid with
+      | Some v ->
+        assert (v = sid * 7);
+        Atomic.incr hits
+      | None -> ()
+    done
+  in
+  let expirer tid () =
+    let s = Store.session store ~tid in
+    let rng = Mp_util.Rng.split ~seed:37 ~tid in
+    while not (Atomic.get stop) do
+      (* sweep a small contiguous range, as a TTL pass would *)
+      let base = Mp_util.Rng.below rng session_space in
+      for sid = base to min (session_space - 1) (base + 32) do
+        if Store.remove s sid then Atomic.incr expired
+      done
+    done
+  in
+
+  let spawn tid role = Domain.spawn (fun () -> role tid ()) in
+  let domains =
+    List.concat
+      [
+        List.init writers (fun i -> spawn i writer);
+        List.init readers (fun i -> spawn (writers + i) reader);
+        List.init expirers (fun i -> spawn (writers + readers + i) expirer);
+      ]
+  in
+  Unix.sleepf run_seconds;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+
+  let st = Store.smr_stats store in
+  Printf.printf "sessions created  : %d\n" (Atomic.get created);
+  Printf.printf "sessions expired  : %d\n" (Atomic.get expired);
+  Printf.printf "lookup hits       : %d\n" (Atomic.get hits);
+  Printf.printf "live sessions     : %d\n" (Store.size store);
+  Printf.printf "retired nodes     : %d (reclaimed %d, still wasted %d)\n"
+    st.Smr_core.Smr_intf.retired_total st.Smr_core.Smr_intf.reclaimed
+    st.Smr_core.Smr_intf.wasted;
+  Store.check store;
+  print_endline "kv_store OK"

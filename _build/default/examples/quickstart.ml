@@ -1,0 +1,54 @@
+(* Quickstart: a concurrent ordered map protected by margin pointers.
+
+   Build and run:
+     dune exec examples/quickstart.exe
+
+   The pattern: instantiate a search structure over the MP scheme, create
+   one session per domain, and use plain set/map operations — all SMR
+   bookkeeping (protection, retirement, reclamation) happens inside. *)
+
+module Map = Dstruct.Skiplist.Make (Mp.Margin_ptr)
+
+let () =
+  let threads = 4 in
+  (* capacity = pool slots: live nodes + retired-but-unreclaimed slack *)
+  let map =
+    Map.create ~threads ~capacity:65_536 (Smr_core.Config.default ~threads)
+  in
+
+  (* Sequential usage through a session. *)
+  let s = Map.session map ~tid:0 in
+  assert (Map.insert s ~key:1 ~value:100);
+  assert (Map.insert s ~key:2 ~value:200);
+  assert (not (Map.insert s ~key:1 ~value:999)) (* duplicate *);
+  assert (Map.find s 2 = Some 200);
+  assert (Map.remove s 1);
+  assert (not (Map.contains s 1));
+
+  (* Concurrent usage: one domain per tid. *)
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = Map.session map ~tid in
+            let rng = Mp_util.Rng.split ~seed:7 ~tid in
+            for i = 1 to 50_000 do
+              let k = Mp_util.Rng.below rng 1_000 in
+              match i mod 10 with
+              | 0 -> ignore (Map.insert s ~key:k ~value:i : bool)
+              | 1 -> ignore (Map.remove s k : bool)
+              | _ -> ignore (Map.contains s k : bool)
+            done;
+            Map.flush s))
+  in
+  Array.iter Domain.join domains;
+
+  let st = Map.smr_stats map in
+  Printf.printf "final size            : %d keys\n" (Map.size map);
+  Printf.printf "nodes retired         : %d\n" st.Smr_core.Smr_intf.retired_total;
+  Printf.printf "nodes reclaimed       : %d\n" st.Smr_core.Smr_intf.reclaimed;
+  Printf.printf "wasted (unreclaimed)  : %d\n" st.Smr_core.Smr_intf.wasted;
+  Printf.printf "publication fences    : %d for %d node visits (%.3f/node)\n"
+    st.Smr_core.Smr_intf.fences (Map.traversed map)
+    (float_of_int st.Smr_core.Smr_intf.fences /. float_of_int (max 1 (Map.traversed map)));
+  Map.check map;
+  print_endline "quickstart OK"

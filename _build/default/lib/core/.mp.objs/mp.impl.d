@@ -1,0 +1,1 @@
+lib/core/mp.ml: Handle Margin_ptr Mempool Smr_core

@@ -1,0 +1,1 @@
+lib/core/margin_ptr.ml: Array Atomic Config Counters Epoch Handle Mempool Mp_util Retired Smr_core Smr_intf

@@ -1,0 +1,1 @@
+lib/core/margin_ptr.mli: Smr_core

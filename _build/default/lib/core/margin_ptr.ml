@@ -1,0 +1,384 @@
+(** Margin pointers (the paper's contribution, Listing 10 in full).
+
+    MP is pointer-based like HP, but each protection slot announces a key
+    *index* instead of a node address: the slot protects every node whose
+    index lies within [margin/2] of the announced value. Indices are
+    assigned at insertion as the midpoint of the search interval's
+    endpoints, so physically close nodes get close indices and one
+    published margin pointer covers many consecutive dereferences — most
+    reads are fence-free. Wasted memory stays bounded because an interval
+    of width [margin] can only cover [margin] distinct indices, linked
+    MP-protected nodes have unique indices, and an HE-style epoch filter
+    caps how many dead same-index generations a stalled thread can pin.
+
+    Index collisions (no free index between predecessor and successor) are
+    stamped [USE_HP] and protected through a per-thread hazard-pointer
+    array instead, so MP degrades gracefully to HP and never loses safety.
+
+    Deviations from the paper's pseudocode (see DESIGN.md):
+    - the margin-coverage fast path re-reads the global epoch, so a thread
+      reliably *observes* epoch changes and switches to HPs (§4.3.2 says it
+      must; Listing 10 only checks after publishing a new MP);
+    - [empty] checks hazard-pointer slots unconditionally and applies the
+      birth–death epoch filter only to the margin check (the filter is
+      sound only for index-based protection);
+    - the epoch filter uses the closed interval [birth, death]. *)
+
+open Smr_core
+
+let no_margin = -1
+let no_hazard = -1
+let use_hp = Config.use_hp
+let precision_range = 1 lsl Handle.precision
+
+type shared = {
+  pool : Mempool.Core.t;
+  counters : Counters.t;
+  epoch : Epoch.t;
+  mp_slots : int Atomic.t array array; (* announced indices, [no_margin] = empty *)
+  hp_slots : int Atomic.t array array; (* node ids, [no_hazard] = empty *)
+  margin : int;
+  max_index : int;
+  index_policy : Config.index_policy;
+  empty_freq : int;
+  epoch_freq : int;
+  n_slots : int;
+  threads : int;
+}
+
+type thread = {
+  shared : shared;
+  tid : int;
+  rng : Mp_util.Rng.t; (* for the Randomized index policy *)
+  retired : Retired.t;
+  mutable retire_count : int;
+  mutable unlink_count : int;
+  mutable lower_bound : int; (* -1 = not reported this operation *)
+  mutable upper_bound : int; (* -1 = not reported this operation *)
+  mutable local_epoch : int;
+  mutable use_hp_mode : bool; (* epoch moved mid-operation: protect with HPs *)
+  (* Thread-local mirrors of this thread's own slots. Only the owner
+     writes its slots, so the mirrors are exact; the read fast path tests
+     them with plain loads instead of re-deriving coverage from the
+     atomics. cover_lo/cover_hi hold the inclusive idx16 range whose whole
+     precision range fits inside the published margin (empty when
+     lo > hi); hp_mirror holds the protected node id or -1. *)
+  cover_lo : int array;
+  cover_hi : int array;
+  hp_mirror : int array;
+}
+
+type t = {
+  s : shared;
+  per_thread : thread array;
+}
+
+let name = "mp"
+
+let properties =
+  {
+    Smr_intf.full_name = "Margin pointers";
+    wasted_memory = Smr_intf.Bounded;
+    per_node_words = 3;
+    self_contained = true;
+    needs_per_reference_calls = true;
+  }
+
+let create ~pool ~threads (config : Config.t) =
+  let config = Config.validate config in
+  let s =
+    {
+      pool;
+      counters = Counters.create ~threads;
+      epoch = Epoch.create ~threads;
+      mp_slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_margin));
+      hp_slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_hazard));
+      margin = config.margin;
+      max_index = config.max_index;
+      index_policy = config.index_policy;
+      empty_freq = config.empty_freq;
+      epoch_freq = config.epoch_freq;
+      n_slots = config.slots;
+      threads;
+    }
+  in
+  let per_thread =
+    Array.init threads (fun tid ->
+        {
+          shared = s;
+          tid;
+          rng = Mp_util.Rng.split ~seed:0x1D8 ~tid;
+          retired = Retired.create ();
+          retire_count = 0;
+          unlink_count = 0;
+          lower_bound = 0;
+          upper_bound = 0;
+          local_epoch = Epoch.inactive;
+          use_hp_mode = false;
+          cover_lo = Array.make config.slots 1;
+          cover_hi = Array.make config.slots 0;
+          hp_mirror = Array.make config.slots no_hazard;
+        })
+  in
+  { s; per_thread }
+
+let thread t ~tid = t.per_thread.(tid)
+let tid th = th.tid
+
+(* The search-interval bounds start *unset* each operation. Listing 10
+   initializes them to (0, 0), which serves two purposes we keep apart:
+   a client that never reports bounds (a non-search structure) must get
+   USE_HP stamps — the paper's fall-back-to-HP story — while a search
+   traversal that only ever tightened ONE endpoint (e.g. inserting a
+   maximal key in the NM tree, where seek never visits a larger key) must
+   still get an in-between index, which the pseudocode's 0 would place
+   *below* the predecessor. An unset endpoint therefore defaults to its
+   extreme (0 / max_index) only when the other one was reported. *)
+let start_op th =
+  th.local_epoch <- Epoch.announce th.shared.epoch ~tid:th.tid;
+  Counters.on_fence th.shared.counters ~tid:th.tid;
+  th.lower_bound <- -1;
+  th.upper_bound <- -1;
+  th.use_hp_mode <- false
+
+let end_op th =
+  let s = th.shared in
+  for refno = 0 to s.n_slots - 1 do
+    if th.cover_lo.(refno) <= th.cover_hi.(refno) then begin
+      Atomic.set s.mp_slots.(th.tid).(refno) no_margin;
+      th.cover_lo.(refno) <- 1;
+      th.cover_hi.(refno) <- 0
+    end;
+    if th.hp_mirror.(refno) <> no_hazard then begin
+      Atomic.set s.hp_slots.(th.tid).(refno) no_hazard;
+      th.hp_mirror.(refno) <- no_hazard
+    end
+  done;
+  (* Batched clearing costs one publication fence, as in the paper's
+     optimized HP/HE/MP implementations (§6). *)
+  Counters.on_fence s.counters ~tid:th.tid;
+  Epoch.retire_announcement s.epoch ~tid:th.tid;
+  th.local_epoch <- Epoch.inactive
+
+(* -- index creation (Listing 5 + alloc of Listing 10) -------------------- *)
+
+let update_lower_bound th id = th.lower_bound <- Mempool.Core.index th.shared.pool id
+let update_upper_bound th id = th.upper_bound <- Mempool.Core.index th.shared.pool id
+
+(** Allocate and stamp the node with an index inside the search interval
+    chosen by the configured policy (Listing 5 uses the midpoint). A
+    collision — no free index strictly between the bounds, or a bound that
+    is itself a collided node — yields the [USE_HP] stamp. *)
+let alloc th =
+  let s = th.shared in
+  let id = Mempool.Core.alloc s.pool ~tid:th.tid in
+  let index =
+    if th.lower_bound < 0 && th.upper_bound < 0 then use_hp (* non-search client *)
+    else begin
+      let lb = if th.lower_bound < 0 then 0 else th.lower_bound in
+      let ub = if th.upper_bound < 0 then s.max_index else th.upper_bound in
+      if lb = use_hp || ub = use_hp || abs (ub - lb) <= 1 then use_hp
+      else
+        match s.index_policy with
+        | Config.Midpoint -> (lb + ub) / 2
+        | Config.Golden -> lb + (((ub - lb) * 382) / 1000) |> max (lb + 1) |> min (ub - 1)
+        | Config.Randomized -> lb + 1 + Mp_util.Rng.below th.rng (ub - lb - 1)
+    end
+  in
+  Mempool.Core.set_index s.pool id index;
+  Mempool.Core.set_birth s.pool id (Epoch.current s.epoch);
+  id
+
+let alloc_with_index th ~index =
+  let s = th.shared in
+  let id = Mempool.Core.alloc s.pool ~tid:th.tid in
+  Mempool.Core.set_index s.pool id index;
+  Mempool.Core.set_birth s.pool id (Epoch.current s.epoch);
+  id
+
+(* -- protection (read of Listing 10) ------------------------------------- *)
+
+(* The slow-path helpers live at top level with explicit arguments so a
+   read call allocates nothing (a per-call closure pair costs more than
+   the protection protocol itself on the read-heavy paths). *)
+
+(* Publish a hazard pointer for [w]'s target and validate. *)
+let rec protect_with_hp th refno link w =
+  let s = th.shared in
+  Atomic.set s.hp_slots.(th.tid).(refno) (Handle.id w);
+  th.hp_mirror.(refno) <- Handle.id w;
+  Counters.on_fence s.counters ~tid:th.tid;
+  Mp_util.Striped_counter.incr s.counters.Counters.hp_fallbacks ~tid:th.tid;
+  let w' = Atomic.get link in
+  if w' = w then w else read_slow th refno link w'
+
+and read_slow th refno link w =
+  if Handle.is_null w then w
+  else begin
+    let s = th.shared in
+    let idx16 = Handle.idx16 w in
+    if idx16 >= th.cover_lo.(refno) && idx16 <= th.cover_hi.(refno) then
+      (* Covered: re-check the epoch so a stalled-and-resumed thread
+         observes the change and stops trusting new nodes to its margins
+         (they may be born after its announced epoch). *)
+      if Epoch.current s.epoch = th.local_epoch then w
+      else begin
+        th.use_hp_mode <- true;
+        protect_with_hp th refno link w
+      end
+    else if idx16 = Handle.idx16_mask then
+      (* USE_HP-stamped node (or an index colliding with the sentinel
+         range): margin protection is meaningless, use a hazard pointer.
+         Skip the publish+fence when the slot already protects this node. *)
+      if th.hp_mirror.(refno) = Handle.id w then w else protect_with_hp th refno link w
+    else if th.hp_mirror.(refno) = Handle.id w then w
+    else if th.use_hp_mode then protect_with_hp th refno link w
+    else begin
+      (* Publish a new margin pointer at the midpoint of the node's
+         precision range, fence, and validate the link. Cache the idx16
+         interval whose whole precision range the margin covers (clamped
+         below the USE_HP idx16, so a coverage hit never vouches for a
+         USE_HP node); with margin >= 2^16 it is never empty. *)
+      let v = Handle.idx_lower_bound w + (precision_range / 2) in
+      Atomic.set s.mp_slots.(th.tid).(refno) v;
+      th.cover_lo.(refno) <-
+        max 0 ((v - (s.margin / 2) + precision_range - 1) asr Handle.precision);
+      th.cover_hi.(refno) <-
+        min (Handle.idx16_mask - 1) ((v + (s.margin / 2) - (precision_range - 1)) asr Handle.precision);
+      Counters.on_fence s.counters ~tid:th.tid;
+      let w' = Atomic.get link in
+      if w' = w then
+        if Epoch.current s.epoch = th.local_epoch then w
+        else begin
+          (* Epoch advanced: previously published MPs stay valid, but new
+             protections must use HPs (§4.3.2). Re-protect this node. *)
+          th.use_hp_mode <- true;
+          protect_with_hp th refno link w
+        end
+      else read_slow th refno link w'
+    end
+  end
+
+let read th ~refno link =
+  let w0 = Atomic.get link in
+  (* Fast path: the node's idx16 sits inside this refno's cached coverage
+     (an exact thread-local mirror of the published margin) and the epoch
+     has not moved. Two compares and one shared load — the fence-free read
+     that gives MP its edge over HP. The mirror arrays are sized by the
+     validated config and [refno] is a structure-internal constant, so the
+     unchecked accesses are in bounds. *)
+  let idx16 = Handle.idx16 w0 in
+  if
+    idx16 >= Array.unsafe_get th.cover_lo refno
+    && idx16 <= Array.unsafe_get th.cover_hi refno
+    && Epoch.current th.shared.epoch = th.local_epoch
+  then w0
+  else read_slow th refno link w0
+
+(* Margins deliberately persist until end_op so they keep protecting
+   future accesses (paper: "unprotect is a no-op"). *)
+let unprotect (_ : thread) ~refno:(_ : int) = ()
+
+let handle_of th id = Mempool.Core.handle th.shared.pool id
+
+(* -- reclamation (empty of Listing 10) ----------------------------------- *)
+
+let empty th =
+  let s = th.shared in
+  (* Snapshot the PPV slots strictly BEFORE the per-thread epochs. A reader
+     announces its epoch before publishing margins (start_op then read), so
+     a margin captured in the slot snapshot always pairs with an
+     up-to-date announcement; the reverse order could pair a fresh margin
+     with a stale "inactive" epoch and skip a live protection.
+
+     Published margins are flattened to (covered idx16 range, owner)
+     triples — the interval-index optimization the paper suggests for the
+     reclamation scan — so the per-retired-node check touches only
+     occupied slots. *)
+  let cap = s.threads * s.n_slots in
+  let m_lo = Array.make cap 0 in
+  let m_hi = Array.make cap 0 in
+  let m_tid = Array.make cap 0 in
+  let m_n = ref 0 in
+  let hp_snap = Array.make cap no_hazard in
+  let hp_n = ref 0 in
+  for t = 0 to s.threads - 1 do
+    for r = 0 to s.n_slots - 1 do
+      let v = Atomic.get s.mp_slots.(t).(r) in
+      if v <> no_margin then begin
+        (* same coverage predicate as the reader: the margin must contain
+           the node's whole 16-bit precision range (Appendix A items 6-7) *)
+        m_lo.(!m_n) <- max 0 ((v - (s.margin / 2) + precision_range - 1) asr Handle.precision);
+        m_hi.(!m_n) <-
+          min (Handle.idx16_mask - 1)
+            ((v + (s.margin / 2) - (precision_range - 1)) asr Handle.precision);
+        m_tid.(!m_n) <- t;
+        incr m_n
+      end;
+      let h = Atomic.get s.hp_slots.(t).(r) in
+      if h <> no_hazard then begin
+        hp_snap.(!hp_n) <- h;
+        incr hp_n
+      end
+    done
+  done;
+  let epochs = Array.init s.threads (fun t -> Atomic.get s.epoch.Epoch.announce.(t)) in
+  let m_n = !m_n and hp_n = !hp_n in
+  let hp_protected id =
+    let rec scan i = i < hp_n && (hp_snap.(i) = id || scan (i + 1)) in
+    scan 0
+  in
+  let keep id =
+    if hp_protected id then true
+    else begin
+      let idx = Mempool.Core.index s.pool id in
+      if idx = use_hp then false
+      else begin
+        let idx16 = idx lsr Handle.precision in
+        let birth = Mempool.Core.birth s.pool id and death = Mempool.Core.death s.pool id in
+        (* The epoch filter: a thread whose announced epoch misses the
+           node's lifetime cannot have margin-protected it (Thm 4.2). *)
+        let rec scan i =
+          i < m_n
+          && ((idx16 >= m_lo.(i) && idx16 <= m_hi.(i)
+              &&
+              let e = epochs.(m_tid.(i)) in
+              e >= birth && e <= death)
+             || scan (i + 1))
+        in
+        scan 0
+      end
+    end
+  in
+  let released =
+    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
+  in
+  Counters.on_reclaim s.counters ~tid:th.tid released
+
+let retire th id =
+  let s = th.shared in
+  Mempool.Core.mark_retired s.pool id;
+  Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
+  Retired.push th.retired id;
+  Counters.on_retire s.counters ~tid:th.tid;
+  (* Every [epoch_freq] unlinks, advance the global epoch — the clock that
+     bounds how many dead same-index generations one thread can pin. *)
+  th.unlink_count <- th.unlink_count + 1;
+  if th.unlink_count mod s.epoch_freq = 0 then Epoch.advance s.epoch;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod s.empty_freq = 0 then empty th
+
+let flush th = empty th
+let stats t = Counters.stats t.s.counters
+
+(** Introspection hooks for tests and the wasted-memory bound experiment. *)
+module Debug = struct
+  let epoch t = t.s.epoch
+  let current_epoch t = Epoch.current t.s.epoch
+  let local_epoch th = th.local_epoch
+  let use_hp_mode th = th.use_hp_mode
+  let bounds th = (th.lower_bound, th.upper_bound)
+  let mp_slot t ~tid ~refno = Atomic.get t.s.mp_slots.(tid).(refno)
+  let hp_slot t ~tid ~refno = Atomic.get t.s.hp_slots.(tid).(refno)
+  let retired_length th = Retired.length th.retired
+end

@@ -1,0 +1,21 @@
+(** Public facade of the margin-pointers library.
+
+    {[
+      let pool = Mp.Mempool.create ~capacity ~threads (fun _ -> payload) in
+      let smr = Mp.Margin_ptr.create ~pool:(Mp.Mempool.core pool) ~threads config in
+      ...
+    ]}
+
+    [Margin_ptr] satisfies {!Smr_intf.S}, the SMR interface of the paper
+    (Listing 1) extended with [update_lower_bound]/[update_upper_bound];
+    any client written against that interface runs on MP unchanged. *)
+
+module Margin_ptr = Margin_ptr
+module Config = Smr_core.Config
+module Smr_intf = Smr_core.Smr_intf
+module Epoch = Smr_core.Epoch
+module Handle = Handle
+module Mempool = Mempool
+
+(** The scheme as a first-class SMR module, for scheme-generic code. *)
+module Smr : Smr_core.Smr_intf.S = Margin_ptr

@@ -1,0 +1,1 @@
+lib/dstruct/dta_list.ml: Array Atomic Handle Hashtbl List Mempool Mp_util Set_intf Smr_core

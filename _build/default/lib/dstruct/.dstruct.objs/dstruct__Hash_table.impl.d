@@ -1,0 +1,1 @@
+lib/dstruct/hash_table.ml: Array Atomic Handle Mempool Mp_util Smr_core

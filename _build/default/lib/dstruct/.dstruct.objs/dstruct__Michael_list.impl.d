@@ -1,0 +1,1 @@
+lib/dstruct/michael_list.ml: Atomic Handle Mempool Mp_util Smr_core

@@ -1,0 +1,1 @@
+lib/dstruct/ms_queue.ml: Atomic Handle List Mempool Mp_util Smr_core

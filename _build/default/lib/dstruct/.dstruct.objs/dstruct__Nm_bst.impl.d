@@ -1,0 +1,1 @@
+lib/dstruct/nm_bst.ml: Atomic Handle Mempool Mp_util Smr_core

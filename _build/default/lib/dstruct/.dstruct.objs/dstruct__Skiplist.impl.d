@@ -1,0 +1,1 @@
+lib/dstruct/skiplist.ml: Array Atomic Handle Mempool Mp_util Printf Smr_core

@@ -1,0 +1,462 @@
+(** Drop the Anchor (Braginsky, Kogan & Petrank, SPAA 2013) applied to
+    Michael's linked list — the only structure DTA is known to support,
+    which is why the paper evaluates it on the list alone (§6).
+
+    DTA is a sorted lock-free list with integrated reclamation, so it is
+    implemented directly rather than as a functor over the SMR interface
+    (its freezing recovery needs to rewrite list structure, which no
+    scheme-agnostic interface exposes).
+
+    Protection: each thread maintains an {e anchor} — a PPV it refreshes
+    once every [anchor_step] traversed nodes, so its current position is
+    always within [anchor_step] hops of the anchor. Reclamation runs an
+    EBR fast path; when a stalled thread pins the epoch for too long, the
+    reclaimer {e freezes} the stalled thread's anchor window (sets a
+    freeze bit on the window nodes' links, making them immutable), splices
+    fresh copies of the window into the list so other threads can continue
+    mutating, and thereafter exempts the stalled thread from the epoch
+    check — only its frozen window stays unreclaimable. The stalled thread
+    detects the freeze bit on its next read and restarts its operation.
+
+    Frozen nodes are never reclaimed (the unbounded-waste caveat Table 1
+    notes for DTA). *)
+
+module Sc = Mp_util.Striped_counter
+module Config = Smr_core.Config
+module Epoch = Smr_core.Epoch
+module Retired = Smr_core.Retired
+module Counters = Smr_core.Counters
+
+let deleted = 1 (* mark bit 0: node is logically deleted *)
+let frozen = 2 (* mark bit 1: link frozen by anchor recovery *)
+
+type node = {
+  mutable key : int;
+  mutable value : int;
+  next : int Atomic.t;
+}
+
+type t = {
+  pool : node Mempool.t;
+  epoch : Epoch.t;
+  counters : Counters.t;
+  anchors : int Atomic.t array; (* anchored node id per thread, -1 = none *)
+  anchor_step : int;
+  stall_epochs : int; (* epochs of pinning before recovery freezes *)
+  empty_freq : int;
+  epoch_freq : int;
+  head : int;
+  tail : int;
+  traversed : Sc.t;
+  frozen_count : Sc.t;
+  threads : int;
+}
+
+type session = {
+  t : t;
+  tid : int;
+  retired : Retired.t;
+  mutable retire_count : int;
+  mutable alloc_count : int;
+  mutable hops : int;
+}
+
+exception Op_frozen
+(** Raised when a traversal hits a frozen link: the operation restarts. *)
+
+let name = "dta-list"
+let no_anchor = -1
+
+let node t id = Mempool.get t.pool id
+
+let create ~threads ~capacity ?(check_access = false) ?(anchor_step = 100)
+    ?(stall_epochs = 3) config =
+  let config = Config.validate config in
+  let pool =
+    Mempool.create ~capacity ~threads ~check_access (fun _ ->
+        { key = 0; value = 0; next = Atomic.make Handle.null })
+  in
+  let head = Mempool.alloc pool ~tid:0 in
+  let tail = Mempool.alloc pool ~tid:0 in
+  let hn = Mempool.unsafe_get pool head and tn = Mempool.unsafe_get pool tail in
+  hn.key <- min_int;
+  tn.key <- max_int;
+  Atomic.set hn.next (Mempool.handle pool tail);
+  {
+    pool;
+    epoch = Epoch.create ~threads;
+    counters = Counters.create ~threads;
+    anchors = Array.init threads (fun _ -> Atomic.make no_anchor);
+    anchor_step;
+    stall_epochs;
+    empty_freq = config.Config.empty_freq;
+    epoch_freq = config.Config.epoch_freq;
+    head;
+    tail;
+    traversed = Sc.create ~threads;
+    frozen_count = Sc.create ~threads;
+    threads;
+  }
+
+let session t ~tid =
+  { t; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0; hops = 0 }
+
+(* -- protection ---------------------------------------------------------- *)
+
+let start_op s =
+  ignore (Epoch.announce s.t.epoch ~tid:s.tid : int);
+  Counters.on_fence s.t.counters ~tid:s.tid;
+  s.hops <- 0;
+  Atomic.set s.t.anchors.(s.tid) s.t.head
+
+let end_op s =
+  Atomic.set s.t.anchors.(s.tid) no_anchor;
+  Epoch.retire_announcement s.t.epoch ~tid:s.tid
+
+(** Follow [link]; restart the whole operation if the link is frozen —
+    the reclaimer decided this thread was stalled and recovered past it. *)
+let read_link _s link =
+  let w = Atomic.get link in
+  if Handle.mark w land frozen <> 0 then raise_notrace Op_frozen;
+  w
+
+(** Refresh the anchor every [anchor_step] hops — DTA's low-overhead
+    instead of per-dereference protection. One fence per step, not per node. *)
+let hop s curr =
+  Sc.incr s.t.traversed ~tid:s.tid;
+  s.hops <- s.hops + 1;
+  if s.hops >= s.t.anchor_step then begin
+    s.hops <- 0;
+    Atomic.set s.t.anchors.(s.tid) curr;
+    Counters.on_fence s.t.counters ~tid:s.tid
+  end
+
+(* -- reclamation --------------------------------------------------------- *)
+
+(* Freeze the k-hop window reachable from [anchor_id] by setting the
+   freeze bit on each window link, then splice unfrozen copies over the
+   window so other threads keep making progress. *)
+let freeze_window s ~victim_tid =
+  let t = s.t in
+  let anchor_id = Atomic.get t.anchors.(victim_tid) in
+  (* The head sentinel's link must stay mutable (every operation starts
+     there); when the victim is anchored at the head, the window starts at
+     the head's successor and the splice happens on the head's link. *)
+  let window_start =
+    if anchor_id = t.head then Handle.id (Atomic.get (Mempool.unsafe_get t.pool t.head).next)
+    else anchor_id
+  in
+  if anchor_id = no_anchor || window_start = t.tail then ()
+  else begin
+    (* 1. freeze the window links (idempotent; CAS preserves other marks) *)
+    let window = ref [] in
+    let rec freeze id hops =
+      if hops <= t.anchor_step && id <> t.tail then begin
+        let n = Mempool.unsafe_get t.pool id in
+        let rec set_bit () =
+          let w = Atomic.get n.next in
+          if Handle.mark w land frozen = 0 then
+            if not (Atomic.compare_and_set n.next w (Handle.with_mark w (Handle.mark w lor frozen)))
+            then set_bit ()
+        in
+        set_bit ();
+        window := id :: !window;
+        Sc.incr t.frozen_count ~tid:s.tid;
+        freeze (Handle.id (Atomic.get n.next)) (hops + 1)
+      end
+    in
+    freeze window_start 0;
+    let window = !window in
+    if window <> [] then begin
+      (* 2. build copies of the live (non-deleted) window nodes *)
+      let live =
+        List.filter
+          (fun id ->
+            Handle.mark (Atomic.get (Mempool.unsafe_get t.pool id).next) land deleted = 0)
+          (List.rev window)
+      in
+      let after_window =
+        (* [window] is in reverse traversal order: its head is the last
+           node of the window *)
+        let last = List.hd window in
+        Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool last).next) 0
+      in
+      let copies =
+        List.map
+          (fun id ->
+            let src = Mempool.unsafe_get t.pool id in
+            let c = Mempool.alloc t.pool ~tid:s.tid in
+            let cn = Mempool.unsafe_get t.pool c in
+            cn.key <- src.key;
+            cn.value <- src.value;
+            c)
+          live
+      in
+      (* chain the copies, ending at the first node past the window *)
+      let rec chain = function
+        | [] -> ()
+        | [ last ] -> Atomic.set (Mempool.unsafe_get t.pool last).next after_window
+        | a :: (b :: _ as rest) ->
+          Atomic.set (Mempool.unsafe_get t.pool a).next (Mempool.handle t.pool b);
+          chain rest
+      in
+      chain copies;
+      let replacement =
+        match copies with [] -> after_window | c :: _ -> Mempool.handle t.pool c
+      in
+      (* 3. splice: find the window's predecessor and swing it *)
+      let rec find_pred prev =
+        let pn = Mempool.unsafe_get t.pool prev in
+        let w = Atomic.get pn.next in
+        let nx = Handle.id w in
+        if nx = window_start then Some (pn.next, w)
+        else if nx = t.tail || Handle.mark w land frozen <> 0 then None
+        else find_pred nx
+      in
+      match find_pred t.head with
+      | Some (pred_link, expected) when Handle.mark expected land (deleted lor frozen) = 0 ->
+        if not (Atomic.compare_and_set pred_link expected replacement) then
+          (* someone concurrently changed the edge; the window is frozen
+             either way, so progress is preserved — leave it to helpers *)
+          List.iter (fun c -> Mempool.free t.pool ~tid:s.tid c) copies
+      | _ -> List.iter (fun c -> Mempool.free t.pool ~tid:s.tid c) copies
+    end
+  end
+
+let empty s =
+  let t = s.t in
+  let current = Epoch.current t.epoch in
+  (* identify stalled threads (epoch pinned for >= stall_epochs) and
+     recover past them by freezing their windows *)
+  let stalled = Array.make t.threads false in
+  for tid = 0 to t.threads - 1 do
+    let a = Epoch.announced t.epoch ~tid in
+    if a <> Epoch.inactive && current - a >= t.stall_epochs then begin
+      stalled.(tid) <- true;
+      if tid <> s.tid then freeze_window s ~victim_tid:tid
+    end
+  done;
+  (* EBR bound over non-stalled threads only *)
+  let min_epoch = ref Epoch.inactive in
+  for tid = 0 to t.threads - 1 do
+    if not stalled.(tid) then begin
+      let a = Epoch.announced t.epoch ~tid in
+      if a < !min_epoch then min_epoch := a
+    end
+  done;
+  (* windows of stalled threads stay protected *)
+  let in_window = Hashtbl.create 16 in
+  for tid = 0 to t.threads - 1 do
+    if stalled.(tid) then begin
+      let rec walk id hops =
+        if id <> no_anchor && id <> t.tail && hops <= t.anchor_step + 1 then begin
+          Hashtbl.replace in_window id ();
+          walk (Handle.id (Atomic.get (Mempool.unsafe_get t.pool id).next)) (hops + 1)
+        end
+      in
+      walk (Atomic.get t.anchors.(tid)) 0
+    end
+  done;
+  let keep id =
+    Mempool.Core.death (Mempool.core t.pool) id >= !min_epoch
+    || Hashtbl.mem in_window id
+    || Handle.mark (Atomic.get (Mempool.unsafe_get t.pool id).next) land frozen <> 0
+  in
+  let released =
+    Retired.filter_in_place s.retired ~keep ~release:(fun id -> Mempool.free t.pool ~tid:s.tid id)
+  in
+  Counters.on_reclaim t.counters ~tid:s.tid released
+
+let retire s id =
+  let t = s.t in
+  Mempool.Core.mark_retired (Mempool.core t.pool) id;
+  Mempool.Core.set_death (Mempool.core t.pool) id (Epoch.current t.epoch);
+  Retired.push s.retired id;
+  Counters.on_retire t.counters ~tid:s.tid;
+  s.retire_count <- s.retire_count + 1;
+  if s.retire_count mod t.empty_freq = 0 then empty s
+
+let alloc s ~key ~value =
+  let t = s.t in
+  s.alloc_count <- s.alloc_count + 1;
+  if s.alloc_count mod t.epoch_freq = 0 then Epoch.advance t.epoch;
+  let id = Mempool.alloc t.pool ~tid:s.tid in
+  let n = Mempool.unsafe_get t.pool id in
+  n.key <- key;
+  n.value <- value;
+  id
+
+(* -- list operations (Michael's algorithm under anchor protection) ------- *)
+
+type seek_result = {
+  prev_next : int Atomic.t;
+  curr_w : Handle.t;
+  curr_key : int;
+}
+
+let seek s k =
+  let t = s.t in
+  let rec advance prev_next curr_w =
+    hop s (Handle.id curr_w);
+    let curr = Handle.id curr_w in
+    let curr_node = node t curr in
+    let next_w = read_link s curr_node.next in
+    if read_link s prev_next <> curr_w then restart ()
+    else if Handle.mark next_w land deleted <> 0 then begin
+      let succ_w = Handle.with_mark next_w 0 in
+      if Atomic.compare_and_set prev_next curr_w succ_w then begin
+        retire s curr;
+        advance prev_next succ_w
+      end
+      else restart ()
+    end
+    else begin
+      let ckey = curr_node.key in
+      if ckey < k then advance curr_node.next next_w
+      else { prev_next; curr_w; curr_key = ckey }
+    end
+  and restart () =
+    s.hops <- 0;
+    Atomic.set t.anchors.(s.tid) t.head;
+    let prev_next = (node t t.head).next in
+    advance prev_next (read_link s prev_next)
+  in
+  restart ()
+
+(** Run [f] with operation brackets; a freeze hit restarts the operation
+    after re-announcing (so the recovered thread stops pinning epochs). *)
+let rec with_op s f =
+  start_op s;
+  match f () with
+  | result ->
+    end_op s;
+    result
+  | exception Op_frozen ->
+    end_op s;
+    with_op s f
+
+let insert s ~key ~value =
+  assert (key > min_int && key < max_int);
+  with_op s (fun () ->
+      let rec loop () =
+        let r = seek s key in
+        if r.curr_key = key then false
+        else begin
+          let id = alloc s ~key ~value in
+          Atomic.set (Mempool.unsafe_get s.t.pool id).next r.curr_w;
+          if Atomic.compare_and_set r.prev_next r.curr_w (Mempool.handle s.t.pool id) then true
+          else begin
+            Mempool.free s.t.pool ~tid:s.tid id;
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+let remove s key =
+  with_op s (fun () ->
+      let rec loop () =
+        let r = seek s key in
+        if r.curr_key <> key then false
+        else begin
+          let curr = Handle.id r.curr_w in
+          let curr_node = node s.t curr in
+          let next_w = read_link s curr_node.next in
+          if Handle.mark next_w land deleted <> 0 then loop ()
+          else if
+            Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
+          then begin
+            if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
+              retire s curr
+            else ignore (seek s key : seek_result);
+            true
+          end
+          else loop ()
+        end
+      in
+      loop ())
+
+let contains s key = with_op s (fun () -> (seek s key).curr_key = key)
+
+let contains_paused s key ~pause =
+  with_op s (fun () ->
+      ignore (read_link s (node s.t s.t.head).next : Handle.t);
+      pause ();
+      (seek s key).curr_key = key)
+
+let find s key =
+  with_op s (fun () ->
+      let r = seek s key in
+      if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None)
+
+(* -- inspection ----------------------------------------------------------- *)
+
+let fold_nodes t f acc =
+  let rec go acc w =
+    let id = Handle.id w in
+    if id = t.tail then acc
+    else
+      let n = Mempool.unsafe_get t.pool id in
+      go (f acc id n) (Handle.with_mark (Atomic.get n.next) 0)
+  in
+  go acc (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool t.head).next) 0)
+
+let size t = fold_nodes t (fun acc _ _ -> acc + 1) 0
+
+let check t =
+  let _last =
+    fold_nodes t
+      (fun last _ n ->
+        if n.key <= last then failwith "dta_list: keys not strictly increasing";
+        n.key)
+      min_int
+  in
+  ()
+
+let traversed t = Sc.sum t.traversed
+let smr_stats t = Counters.stats t.counters
+let frozen_nodes t = Sc.sum t.frozen_count
+let violations t = Mempool.violations t.pool
+let live_nodes t = Mempool.live_count t.pool
+let flush s = empty s
+
+(** Introspection for tests. *)
+module Debug = struct
+  let epoch t = t.epoch
+  let anchor t ~tid = Atomic.get t.anchors.(tid)
+end
+
+let properties =
+  {
+    Smr_core.Smr_intf.full_name = "Drop the Anchor (list only)";
+    wasted_memory = Smr_core.Smr_intf.Robust;
+    per_node_words = 2;
+    self_contained = true;
+    needs_per_reference_calls = false;
+  }
+
+(** DTA through the common set interface, so the harness can drive it in
+    the figures alongside the scheme-generic structures. *)
+module As_set : Set_intf.SET = struct
+  type nonrec t = t
+  type nonrec session = session
+
+  let name = name
+
+  let create ~threads ~capacity ?check_access config =
+    create ~threads ~capacity ?check_access config
+
+  let session = session
+  let insert = insert
+  let remove = remove
+  let contains = contains
+  let contains_paused = contains_paused
+  let find = find
+  let size = size
+  let check = check
+  let traversed = traversed
+  let smr_stats = smr_stats
+  let violations = violations
+  let live_nodes = live_nodes
+  let flush = flush
+end

@@ -1,0 +1,227 @@
+(** Lock-free hash table: a fixed array of Michael-list buckets (Michael,
+    SPAA 2002) sharing one pool and one SMR instance.
+
+    This is the paper's "MP can be seamlessly plugged into any client that
+    uses the HP interface" story exercised on a structure that is *not*
+    globally ordered: each bucket is its own small search structure, so
+    MP's interval protection still applies per bucket — the search interval
+    of an insertion lives entirely inside one bucket's key order. It also
+    demonstrates composition: the bucket algorithm is the list functor's
+    seek/insert/remove logic re-instantiated over a shared substrate.
+
+    Keys are partitioned, not just distributed: bucket b stores exactly the
+    keys hashing to b, and within a bucket keys are sorted by a
+    bucket-local order (the key itself), so Definition 4.1 holds per
+    bucket. Sentinels: each bucket has its own head; all buckets share one
+    tail sentinel. *)
+
+module Sc = Mp_util.Striped_counter
+module Config = Smr_core.Config
+
+module Make (S : Smr_core.Smr_intf.S) = struct
+  type node = {
+    mutable key : int;
+    mutable value : int;
+    next : int Atomic.t;
+  }
+
+  type t = {
+    pool : node Mempool.t;
+    smr : S.t;
+    heads : int array; (* bucket head sentinel ids *)
+    tail : int;
+    buckets : int;
+    traversed : Sc.t;
+    threads : int;
+  }
+
+  type session = {
+    t : t;
+    th : S.thread;
+    tid : int;
+  }
+
+  let name = "hash-table(" ^ S.name ^ ")"
+  let slots_needed = 3
+  let deleted = 1
+
+  let node t id = Mempool.get t.pool id
+
+  let create ~threads ~capacity ?(check_access = false) ?(buckets = 256) config =
+    assert (buckets > 0 && buckets land (buckets - 1) = 0);
+    let pool =
+      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+          { key = 0; value = 0; next = Atomic.make Handle.null })
+    in
+    let smr =
+      S.create ~pool:(Mempool.core pool) ~threads (Config.with_slots config slots_needed)
+    in
+    let th0 = S.thread smr ~tid:0 in
+    let tail = S.alloc_with_index th0 ~index:Config.max_sentinel_index in
+    (Mempool.unsafe_get pool tail).key <- max_int;
+    let tail_w = S.handle_of th0 tail in
+    let heads =
+      Array.init buckets (fun _ ->
+          let h = S.alloc_with_index th0 ~index:Config.min_sentinel_index in
+          let hn = Mempool.unsafe_get pool h in
+          hn.key <- min_int;
+          Atomic.set hn.next tail_w;
+          h)
+    in
+    { pool; smr; heads; tail; buckets; traversed = Sc.create ~threads; threads }
+
+  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+
+  let bucket t k =
+    (* Fibonacci multiplicative hashing; buckets is a power of two. *)
+    let h = k * 0x2545F4914F6CDD1D in
+    (h lsr 32) land (t.buckets - 1)
+
+  type seek_result = {
+    prev : int;
+    prev_next : int Atomic.t;
+    curr_w : Handle.t;
+    curr_key : int;
+    free_ref : int;
+  }
+
+  (* Identical protocol to Michael_list.seek, rooted at the key's bucket. *)
+  let seek s k =
+    let t = s.t in
+    let rec advance ~rp ~rc ~rn prev prev_next curr_w =
+      Sc.incr t.traversed ~tid:s.tid;
+      let curr = Handle.id curr_w in
+      let curr_node = node t curr in
+      let next_w = S.read s.th ~refno:rn curr_node.next in
+      if Atomic.get prev_next <> curr_w then restart ()
+      else if Handle.mark next_w land deleted <> 0 then begin
+        let succ_w = Handle.with_mark next_w 0 in
+        if Atomic.compare_and_set prev_next curr_w succ_w then begin
+          S.retire s.th curr;
+          advance ~rp ~rc:rn ~rn:rc prev prev_next succ_w
+        end
+        else restart ()
+      end
+      else begin
+        let ckey = curr_node.key in
+        if ckey < k then advance ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
+        else { prev; prev_next; curr_w; curr_key = ckey; free_ref = rn }
+      end
+    and restart () =
+      let head = t.heads.(bucket t k) in
+      let prev_next = (node t head).next in
+      let curr_w = S.read s.th ~refno:1 prev_next in
+      advance ~rp:0 ~rc:1 ~rn:2 head prev_next curr_w
+    in
+    restart ()
+
+  let insert s ~key ~value =
+    assert (key > min_int && key < max_int);
+    S.start_op s.th;
+    let rec loop () =
+      let r = seek s key in
+      if r.curr_key = key then false
+      else begin
+        S.update_lower_bound s.th r.prev;
+        S.update_upper_bound s.th (Handle.id r.curr_w);
+        let id = S.alloc s.th in
+        let n = Mempool.unsafe_get s.t.pool id in
+        n.key <- key;
+        n.value <- value;
+        Atomic.set n.next r.curr_w;
+        if Atomic.compare_and_set r.prev_next r.curr_w (S.handle_of s.th id) then true
+        else begin
+          Mempool.free s.t.pool ~tid:s.tid id;
+          loop ()
+        end
+      end
+    in
+    let result = loop () in
+    S.end_op s.th;
+    result
+
+  let remove s key =
+    S.start_op s.th;
+    let rec loop () =
+      let r = seek s key in
+      if r.curr_key <> key then false
+      else begin
+        let curr = Handle.id r.curr_w in
+        let curr_node = node s.t curr in
+        let next_w = S.read s.th ~refno:r.free_ref curr_node.next in
+        if Handle.mark next_w land deleted <> 0 then loop ()
+        else if Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
+        then begin
+          if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
+            S.retire s.th curr
+          else ignore (seek s key : seek_result);
+          true
+        end
+        else loop ()
+      end
+    in
+    let result = loop () in
+    S.end_op s.th;
+    result
+
+  let contains s key =
+    S.start_op s.th;
+    let r = seek s key in
+    S.end_op s.th;
+    r.curr_key = key
+
+  let contains_paused s key ~pause =
+    S.start_op s.th;
+    ignore (S.read s.th ~refno:1 (node s.t s.t.heads.(bucket s.t key)).next : Handle.t);
+    pause ();
+    let r = seek s key in
+    S.end_op s.th;
+    r.curr_key = key
+
+  let find s key =
+    S.start_op s.th;
+    let r = seek s key in
+    let result = if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None in
+    S.end_op s.th;
+    result
+
+  (* -- sequential-only inspection ---------------------------------------- *)
+
+  let fold t f acc =
+    Array.fold_left
+      (fun acc head ->
+        let rec go acc w =
+          let id = Handle.id w in
+          if id = t.tail then acc
+          else
+            let n = Mempool.unsafe_get t.pool id in
+            go (f acc id n) (Handle.with_mark (Atomic.get n.next) 0)
+        in
+        go acc (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool head).next) 0))
+      acc t.heads
+
+  let size t = fold t (fun acc _ _ -> acc + 1) 0
+
+  let check t =
+    Array.iteri
+      (fun b head ->
+        let rec go last w =
+          let id = Handle.id w in
+          if id <> t.tail then begin
+            let n = Mempool.unsafe_get t.pool id in
+            if n.key <= last then failwith "hash_table: bucket keys not strictly increasing";
+            if bucket t n.key <> b then failwith "hash_table: key in wrong bucket";
+            if Handle.mark (Atomic.get n.next) land deleted <> 0 then
+              failwith "hash_table: reachable node is marked";
+            go n.key (Handle.with_mark (Atomic.get n.next) 0)
+          end
+        in
+        go min_int (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool head).next) 0))
+      t.heads
+
+  let traversed t = Sc.sum t.traversed
+  let smr_stats t = S.stats t.smr
+  let violations t = Mempool.violations t.pool
+  let live_nodes t = Mempool.live_count t.pool
+  let flush s = S.flush s.th
+end

@@ -1,0 +1,229 @@
+(** Michael's lock-free linked list (SPAA 2002), §5.2 of the paper.
+
+    Sorted singly-linked list with head/tail sentinels. Deletion is
+    two-step: a CAS sets the {e deleted} bit in the victim's [next] word
+    (logical deletion), then a CAS on the predecessor splices it out
+    (physical removal), after which the splicer retires the node. Any
+    traversal that encounters a marked node helps splice it.
+
+    MP integration (Listing 7): [seek] reports the shrinking search
+    interval through [update_lower_bound]/[update_upper_bound]; the head
+    sentinel has index 0 and the tail the maximal sentinel index, so a new
+    node's index is the midpoint of its final predecessor/successor.
+
+    PPV discipline: three protection slots rotate through the roles
+    (prev, curr, next) as the traversal advances, so protection never has
+    to be copied between slots. *)
+
+module Sc = Mp_util.Striped_counter
+module Config = Smr_core.Config
+
+module Make (S : Smr_core.Smr_intf.S) = struct
+  type node = {
+    mutable key : int;
+    mutable value : int;
+    next : int Atomic.t;
+  }
+
+  type t = {
+    pool : node Mempool.t;
+    smr : S.t;
+    head : int;
+    tail : int;
+    traversed : Sc.t;
+    threads : int;
+  }
+
+  type session = {
+    t : t;
+    th : S.thread;
+    tid : int;
+  }
+
+  let name = "michael-list(" ^ S.name ^ ")"
+  let slots_needed = 3
+  let deleted = 1 (* mark bit 0 of a node's [next]: the node is deleted *)
+
+  let node t id = Mempool.get t.pool id
+
+  let create ~threads ~capacity ?(check_access = false) config =
+    let pool =
+      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+          { key = 0; value = 0; next = Atomic.make Handle.null })
+    in
+    let smr =
+      S.create ~pool:(Mempool.core pool) ~threads (Config.with_slots config slots_needed)
+    in
+    let th0 = S.thread smr ~tid:0 in
+    let head = S.alloc_with_index th0 ~index:Config.min_sentinel_index in
+    let tail = S.alloc_with_index th0 ~index:Config.max_sentinel_index in
+    let hn = Mempool.unsafe_get pool head and tn = Mempool.unsafe_get pool tail in
+    hn.key <- min_int;
+    tn.key <- max_int;
+    Atomic.set hn.next (S.handle_of th0 tail);
+    { pool; smr; head; tail; traversed = Sc.create ~threads; threads }
+
+  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+
+  type seek_result = {
+    prev : int; (* predecessor node id *)
+    prev_next : int Atomic.t; (* link field of the predecessor *)
+    curr_w : Handle.t; (* unmarked handle of the node with key >= target *)
+    curr_key : int;
+    free_ref : int; (* slot not protecting prev or curr, for further reads *)
+  }
+
+  (** Traverse towards [k]; on return, [curr_w] is the first node with
+      key >= [k] and [prev_next] the link pointing at it. Marked nodes met
+      on the way are spliced out and retired. The final (prev, curr) pair
+      is exactly the search interval of Listing 7 — insert reports it to
+      the SMR scheme in one shot instead of per traversed node (the last
+      update wins either way, and only [alloc] consumes the bounds). *)
+  let seek s k =
+    let t = s.t in
+    (* rp protects prev, rc protects curr, rn is scratch for next. *)
+    let rec advance ~rp ~rc ~rn prev prev_next curr_w =
+      Sc.incr t.traversed ~tid:s.tid;
+      let curr = Handle.id curr_w in
+      let curr_node = node t curr in
+      let next_w = S.read s.th ~refno:rn curr_node.next in
+      if Atomic.get prev_next <> curr_w then restart ()
+      else if Handle.mark next_w land deleted <> 0 then begin
+        (* curr is logically deleted: splice it out, then keep going from
+           its successor (already protected by rn). *)
+        let succ_w = Handle.with_mark next_w 0 in
+        if Atomic.compare_and_set prev_next curr_w succ_w then begin
+          S.retire s.th curr;
+          advance ~rp ~rc:rn ~rn:rc prev prev_next succ_w
+        end
+        else restart ()
+      end
+      else begin
+        let ckey = curr_node.key in
+        if ckey < k then advance ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
+        else { prev; prev_next; curr_w; curr_key = ckey; free_ref = rn }
+      end
+    and restart () =
+      let prev_next = (node t t.head).next in
+      let curr_w = S.read s.th ~refno:1 prev_next in
+      advance ~rp:0 ~rc:1 ~rn:2 t.head prev_next curr_w
+    in
+    restart ()
+
+  let insert s ~key ~value =
+    assert (key > min_int && key < max_int);
+    S.start_op s.th;
+    let rec loop () =
+      let r = seek s key in
+      if r.curr_key = key then false
+      else begin
+        S.update_lower_bound s.th r.prev;
+        S.update_upper_bound s.th (Handle.id r.curr_w);
+        let id = S.alloc s.th in
+        let n = Mempool.unsafe_get s.t.pool id in
+        n.key <- key;
+        n.value <- value;
+        Atomic.set n.next r.curr_w;
+        if Atomic.compare_and_set r.prev_next r.curr_w (S.handle_of s.th id) then true
+        else begin
+          (* Never linked, hence invisible: the slot goes straight back. *)
+          Mempool.free s.t.pool ~tid:s.tid id;
+          loop ()
+        end
+      end
+    in
+    let result = loop () in
+    S.end_op s.th;
+    result
+
+  let remove s key =
+    S.start_op s.th;
+    let rec loop () =
+      let r = seek s key in
+      if r.curr_key <> key then false
+      else begin
+        let curr = Handle.id r.curr_w in
+        let curr_node = node s.t curr in
+        let next_w = S.read s.th ~refno:r.free_ref curr_node.next in
+        if Handle.mark next_w land deleted <> 0 then loop ()
+        else if Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
+        then begin
+          (* Logically deleted by us; try to splice, else leave it to the
+             next traversal's helping. *)
+          if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
+            S.retire s.th curr
+          else ignore (seek s key);
+          true
+        end
+        else loop ()
+      end
+    in
+    let result = loop () in
+    S.end_op s.th;
+    result
+
+  let contains s key =
+    S.start_op s.th;
+    let r = seek s key in
+    S.end_op s.th;
+    r.curr_key = key
+
+  let contains_paused s key ~pause =
+    S.start_op s.th;
+    (* Protect the first node, stall while holding that protection, then
+       finish the operation normally. *)
+    ignore (S.read s.th ~refno:1 (node s.t s.t.head).next : Handle.t);
+    pause ();
+    let r = seek s key in
+    S.end_op s.th;
+    r.curr_key = key
+
+  let find s key =
+    S.start_op s.th;
+    let r = seek s key in
+    let result = if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None in
+    S.end_op s.th;
+    result
+
+  (* -- sequential-only inspection ---------------------------------------- *)
+
+  let fold_nodes t f acc =
+    let rec go acc w =
+      let id = Handle.id w in
+      if id = t.tail then acc
+      else
+        let n = Mempool.unsafe_get t.pool id in
+        go (f acc id n) (Handle.with_mark (Atomic.get n.next) 0)
+    in
+    go acc (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool t.head).next) 0)
+
+  let size t = fold_nodes t (fun acc _ _ -> acc + 1) 0
+
+  let check t =
+    let _last =
+      fold_nodes t
+        (fun last id n ->
+          if n.key <= last then failwith "michael_list: keys not strictly increasing";
+          if Handle.mark (Atomic.get n.next) land deleted <> 0 then
+            failwith "michael_list: reachable node is marked deleted";
+          if Mempool.Core.state (Mempool.core t.pool) id <> Mempool.state_live then
+            failwith "michael_list: reachable node is not live";
+          n.key)
+        min_int
+    in
+    ()
+
+  let traversed t = Sc.sum t.traversed
+  let smr_stats t = S.stats t.smr
+  let violations t = Mempool.violations t.pool
+  let live_nodes t = Mempool.live_count t.pool
+  let flush s = S.flush s.th
+
+  (** Introspection for tests (sequential-only). *)
+  module Debug = struct
+    let pool t = t.pool
+
+    let id_of_key t k =
+      fold_nodes t (fun acc id n -> if n.key = k then Some id else acc) None
+  end
+end

@@ -1,0 +1,155 @@
+(** Michael–Scott lock-free FIFO queue (PODC 1996) over the SMR interface.
+
+    Not a search data structure: it has no ordered keys and never calls
+    MP's bound-update extension, so under margin pointers every node is
+    stamped USE_HP and protected through the hazard-pointer fallback —
+    Table 1's "MP = HP on other data structures" row, made testable. Any
+    scheme plugs in, exactly as with the search structures. *)
+
+module Sc = Mp_util.Striped_counter
+module Config = Smr_core.Config
+
+module Make (S : Smr_core.Smr_intf.S) = struct
+  type node = {
+    mutable value : int;
+    next : int Atomic.t;
+  }
+
+  type t = {
+    pool : node Mempool.t;
+    smr : S.t;
+    head : int Atomic.t; (* dummy-led list; head points at the dummy *)
+    tail : int Atomic.t;
+    enqueues : Sc.t;
+    dequeues : Sc.t;
+    threads : int;
+  }
+
+  type session = {
+    t : t;
+    th : S.thread;
+    tid : int;
+  }
+
+  let name = "ms-queue(" ^ S.name ^ ")"
+  let slots_needed = 3
+
+  let node t id = Mempool.get t.pool id
+
+  let create ~threads ~capacity ?(check_access = false) config =
+    let pool =
+      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+          { value = 0; next = Atomic.make Handle.null })
+    in
+    let smr =
+      S.create ~pool:(Mempool.core pool) ~threads (Config.with_slots config slots_needed)
+    in
+    let th0 = S.thread smr ~tid:0 in
+    let dummy = S.alloc th0 in
+    let dummy_w = S.handle_of th0 dummy in
+    {
+      pool;
+      smr;
+      head = Atomic.make dummy_w;
+      tail = Atomic.make dummy_w;
+      enqueues = Sc.create ~threads;
+      dequeues = Sc.create ~threads;
+      threads;
+    }
+
+  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+
+  let enqueue s v =
+    S.start_op s.th;
+    let t = s.t in
+    let id = S.alloc s.th in
+    let n = Mempool.unsafe_get t.pool id in
+    n.value <- v;
+    Atomic.set n.next Handle.null;
+    let new_w = S.handle_of s.th id in
+    let rec loop () =
+      let tail_w = S.read s.th ~refno:0 t.tail in
+      let tail_node = node t (Handle.id tail_w) in
+      let next_w = S.read s.th ~refno:1 tail_node.next in
+      if Atomic.get t.tail = tail_w then
+        if Handle.is_null next_w then begin
+          if Atomic.compare_and_set tail_node.next next_w new_w then
+            ignore (Atomic.compare_and_set t.tail tail_w new_w : bool)
+          else loop ()
+        end
+        else begin
+          (* help swing the lagging tail, then retry *)
+          ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
+          loop ()
+        end
+      else loop ()
+    in
+    loop ();
+    Sc.incr t.enqueues ~tid:s.tid;
+    S.end_op s.th
+
+  let dequeue s =
+    S.start_op s.th;
+    let t = s.t in
+    let rec loop () =
+      let head_w = S.read s.th ~refno:0 t.head in
+      let tail_w = S.read s.th ~refno:1 t.tail in
+      let head_node = node t (Handle.id head_w) in
+      let next_w = S.read s.th ~refno:2 head_node.next in
+      if Atomic.get t.head = head_w then
+        if Handle.id head_w = Handle.id tail_w then
+          if Handle.is_null next_w then None
+          else begin
+            ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
+            loop ()
+          end
+        else begin
+          (* read the value before the CAS publishes the dummy slot *)
+          let v = (node t (Handle.id next_w)).value in
+          if Atomic.compare_and_set t.head head_w next_w then begin
+            S.retire s.th (Handle.id head_w);
+            Sc.incr t.dequeues ~tid:s.tid;
+            Some v
+          end
+          else loop ()
+        end
+      else loop ()
+    in
+    let result = loop () in
+    S.end_op s.th;
+    result
+
+  let is_empty s =
+    S.start_op s.th;
+    let t = s.t in
+    let head_w = S.read s.th ~refno:0 t.head in
+    let next_w = S.read s.th ~refno:1 (node t (Handle.id head_w)).next in
+    S.end_op s.th;
+    Handle.is_null next_w
+
+  (* -- sequential-only inspection ---------------------------------------- *)
+
+  let length t =
+    let rec go acc w =
+      if Handle.is_null w then acc
+      else go (acc + 1) (Atomic.get (Mempool.unsafe_get t.pool (Handle.id w)).next)
+    in
+    (* skip the dummy *)
+    go (-1) (Atomic.get t.head)
+
+  let to_list t =
+    let rec go acc w =
+      if Handle.is_null w then List.rev acc
+      else
+        let n = Mempool.unsafe_get t.pool (Handle.id w) in
+        go (n.value :: acc) (Atomic.get n.next)
+    in
+    match go [] (Atomic.get t.head) with [] -> [] | _dummy :: rest -> rest
+
+  let enqueued t = Sc.sum t.enqueues
+  let dequeued t = Sc.sum t.dequeues
+  let smr_stats t = S.stats t.smr
+  let violations t = Mempool.violations t.pool
+  let live_nodes t = Mempool.live_count t.pool
+  let flush s = S.flush s.th
+end

@@ -1,0 +1,58 @@
+(** Common interface of the concurrent search data structures.
+
+    Every structure is a functor over {!Smr_core.Smr_intf.S}, so each of
+    the paper's client algorithms runs on each SMR scheme. The harness
+    consumes structures as first-class [(module SET)] values. *)
+
+module type SET = sig
+  type t
+  type session
+
+  val name : string
+
+  (** [create ~threads ~capacity ?check_access config] builds an empty
+      structure backed by a pool of [capacity] node slots and an SMR
+      instance for [threads] threads. [check_access] arms the pool's
+      use-after-free detector. *)
+  val create : threads:int -> capacity:int -> ?check_access:bool -> Smr_core.Config.t -> t
+
+  (** Per-thread session; [tid] must be unique per concurrent domain. *)
+  val session : t -> tid:int -> session
+
+  (** [insert s ~key ~value] adds [key]; false if already present. *)
+  val insert : session -> key:int -> value:int -> bool
+
+  (** [remove s key] deletes [key]; false if absent. *)
+  val remove : session -> int -> bool
+
+  val contains : session -> int -> bool
+
+  (** [contains] that invokes [pause] once mid-traversal while holding SMR
+      protection — the deterministic stall injector for the wasted-memory
+      experiments. *)
+  val contains_paused : session -> int -> pause:(unit -> unit) -> bool
+
+  val find : session -> int -> int option
+
+  (** Sequential-only: number of keys. *)
+  val size : t -> int
+
+  (** Sequential-only: raises [Failure] on a broken structural invariant
+      (key ordering, reachability, mark residue). *)
+  val check : t -> unit
+
+  (** Nodes visited by traversals (denominator of the Figure 5 metric). *)
+  val traversed : t -> int
+
+  val smr_stats : t -> Smr_core.Smr_intf.stats
+
+  (** Use-after-free accesses detected by the pool (must stay 0 for every
+      correct scheme). *)
+  val violations : t -> int
+
+  (** Nodes currently allocated (live + retired). *)
+  val live_nodes : t -> int
+
+  (** Force reclamation passes on the given session (teardown/tests). *)
+  val flush : session -> unit
+end

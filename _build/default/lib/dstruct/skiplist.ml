@@ -1,0 +1,423 @@
+(** Fraser-style lock-free skip list (§5.2 of the paper).
+
+    A tower of Michael-style sorted lists: every node is linked at level 0;
+    each higher level holds a geometrically thinning subset. Removal marks
+    the victim's next pointers from the top level down — the level-0 mark
+    is the linearization point and elects a unique owner — after which
+    traversals splice the node out of every level they cross.
+
+    Retirement must not happen while any level still links the node. The
+    subtle race is a lagging insert linking an upper level after the
+    owner-deleter verified the node gone; we close it with a per-node
+    [tower_state] handshake: whichever of {owning deleter, inserter}
+    finishes second runs one more [find] (which provably unlinks every
+    level once linking has ceased) and retires the node.
+
+    MP integration mirrors the list: [find] narrows the search interval
+    with [update_lower_bound]/[update_upper_bound] as it descends, so the
+    level-0 predecessor/successor indices bound the new node's index.
+
+    PPV discipline: each level owns three protection slots that rotate
+    through (prev, curr, next); descending to a lower level never disturbs
+    the slots protecting the predecessors recorded at upper levels. *)
+
+module Sc = Mp_util.Striped_counter
+module Config = Smr_core.Config
+
+(* tower_state values *)
+let linking = 0
+let link_done = 1
+let delete_pending = 2
+
+module Make (S : Smr_core.Smr_intf.S) = struct
+  type node = {
+    mutable key : int;
+    mutable value : int;
+    mutable height : int;
+    next : int Atomic.t array;
+    tower_state : int Atomic.t;
+  }
+
+  type t = {
+    pool : node Mempool.t;
+    smr : S.t;
+    head : int;
+    tail : int;
+    max_level : int;
+    traversed : Sc.t;
+    threads : int;
+  }
+
+  type session = {
+    t : t;
+    th : S.thread;
+    tid : int;
+    rng : Mp_util.Rng.t;
+    preds : int array; (* node ids *)
+    succs : Handle.t array; (* unmarked handles *)
+  }
+
+  let name = "skiplist(" ^ S.name ^ ")"
+  let deleted = 1
+
+  let default_max_level ~capacity =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+    max 4 (min 20 (log2 capacity 0))
+
+  let node t id = Mempool.get t.pool id
+
+  let create ~threads ~capacity ?(check_access = false) config =
+    let max_level = default_max_level ~capacity in
+    let pool =
+      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+          {
+            key = 0;
+            value = 0;
+            height = 1;
+            next = Array.init max_level (fun _ -> Atomic.make Handle.null);
+            tower_state = Atomic.make linking;
+          })
+    in
+    let smr =
+      S.create ~pool:(Mempool.core pool) ~threads (Config.with_slots config (3 * max_level))
+    in
+    let th0 = S.thread smr ~tid:0 in
+    let head = S.alloc_with_index th0 ~index:Config.min_sentinel_index in
+    let tail = S.alloc_with_index th0 ~index:Config.max_sentinel_index in
+    let hn = Mempool.unsafe_get pool head and tn = Mempool.unsafe_get pool tail in
+    hn.key <- min_int;
+    hn.height <- max_level;
+    tn.key <- max_int;
+    tn.height <- max_level;
+    let tail_w = S.handle_of th0 tail in
+    Array.iter (fun link -> Atomic.set link tail_w) hn.next;
+    { pool; smr; head; tail; max_level; traversed = Sc.create ~threads; threads }
+
+  let session t ~tid =
+    {
+      t;
+      th = S.thread t.smr ~tid;
+      tid;
+      rng = Mp_util.Rng.split ~seed:0x5EED ~tid;
+      preds = Array.make t.max_level t.head;
+      succs = Array.make t.max_level Handle.null;
+    }
+
+  let random_height s =
+    let rec flip h = if h < s.t.max_level && Mp_util.Rng.bool s.rng then flip (h + 1) else h in
+    flip 1
+
+  exception Retry
+
+  (** Populate [s.preds]/[s.succs] with the per-level insertion points for
+      [k], splicing out every marked node encountered. Returns the handle
+      of the level-0 successor (whose key is >= [k], or the tail). *)
+  let find s k =
+    let t = s.t in
+    let rec attempt () =
+      try
+        let rec level_down level pred =
+          if level < 0 then s.succs.(0)
+          else begin
+            let rp = 3 * level and rc = (3 * level) + 1 and rn = (3 * level) + 2 in
+            let pred_link = (node t pred).next.(level) in
+            let curr_w = S.read s.th ~refno:rc pred_link in
+            walk ~rp ~rc ~rn level pred pred_link curr_w
+          end
+        and walk ~rp ~rc ~rn level pred pred_link curr_w =
+          Sc.incr t.traversed ~tid:s.tid;
+          (* pred's link word carries pred's own deletion mark. *)
+          if Handle.mark curr_w land deleted <> 0 then raise_notrace Retry;
+          let curr = Handle.id curr_w in
+          let curr_node = node t curr in
+          let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
+          if Handle.mark succ_w land deleted <> 0 then begin
+            (* curr is deleted at this level: splice it out. *)
+            let clean = Handle.with_mark succ_w 0 in
+            if Atomic.compare_and_set pred_link curr_w clean then
+              walk ~rp ~rc:rn ~rn:rc level pred pred_link clean
+            else raise_notrace Retry
+          end
+          else begin
+            let ckey = curr_node.key in
+            if ckey < k then walk ~rp:rc ~rc:rn ~rn:rp level curr curr_node.next.(level) succ_w
+            else begin
+              s.preds.(level) <- pred;
+              s.succs.(level) <- curr_w;
+              level_down (level - 1) pred
+            end
+          end
+        in
+        level_down (t.max_level - 1) t.head
+      with Retry -> attempt ()
+    in
+    attempt ()
+
+  let key_of s w = (node s.t (Handle.id w)).key
+
+  (** Read-only search using only three rotating protection slots across
+      the whole descent (the paper's "a search operation requires two
+      MPs"), so one margin keeps covering nodes as the traversal descends
+      into index-adjacent territory. Restarts when it meets a deleted
+      node instead of helping — following a marked node's frozen links
+      would evade pointer-based validation. *)
+  let search s k =
+    let t = s.t in
+    let rec restart () =
+      let pred = t.head in
+      let curr_w = S.read s.th ~refno:1 (node t pred).next.(t.max_level - 1) in
+      walk ~rp:0 ~rc:1 ~rn:2 (t.max_level - 1) pred curr_w
+    and walk ~rp ~rc ~rn level pred curr_w =
+      Sc.incr t.traversed ~tid:s.tid;
+      if Handle.mark curr_w land deleted <> 0 then restart ()
+      else begin
+        let curr = Handle.id curr_w in
+        let curr_node = node t curr in
+        if curr_node.key < k then begin
+          let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
+          if Handle.mark succ_w land deleted <> 0 then restart ()
+          else walk ~rp:rc ~rc:rn ~rn:rp level curr succ_w
+        end
+        else begin
+          if level = 0 then if curr_node.key = k then Some curr_w else None
+          else begin
+            let down_w = S.read s.th ~refno:rn (node t pred).next.(level - 1) in
+            walk ~rp ~rc:rn ~rn:rc (level - 1) pred down_w
+          end
+        end
+      end
+    in
+    restart ()
+
+  (* The post-handshake pass: once linking has ceased and every level is
+     marked, a single [find] leaves the node unlinked everywhere, making
+     retirement safe. *)
+  let unlink_and_retire s k victim =
+    ignore (find s k : Handle.t);
+    S.retire s.th victim
+
+  let finish_insert s k id =
+    let n = Mempool.unsafe_get s.t.pool id in
+    if not (Atomic.compare_and_set n.tower_state linking link_done) then
+      (* The owning deleter got here first and left retirement to us. *)
+      unlink_and_retire s k id
+
+  let finish_remove s k victim =
+    let n = Mempool.unsafe_get s.t.pool victim in
+    if not (Atomic.compare_and_set n.tower_state linking delete_pending) then
+      (* Inserter already finished linking: we retire. *)
+      unlink_and_retire s k victim
+
+  let insert s ~key ~value =
+    assert (key > min_int && key < max_int);
+    S.start_op s.th;
+    let t = s.t in
+    let height = random_height s in
+    let rec attempt () =
+      let succ0 = find s key in
+      if key_of s succ0 = key then false
+      else begin
+        (* the level-0 insertion point is the final search interval *)
+        S.update_lower_bound s.th s.preds.(0);
+        S.update_upper_bound s.th (Handle.id succ0);
+        let id = S.alloc s.th in
+        let n = Mempool.unsafe_get t.pool id in
+        n.key <- key;
+        n.value <- value;
+        n.height <- height;
+        Atomic.set n.tower_state linking;
+        for level = 0 to height - 1 do
+          Atomic.set n.next.(level) s.succs.(level)
+        done;
+        let new_w = S.handle_of s.th id in
+        let pred0_link = (node t s.preds.(0)).next.(0) in
+        if not (Atomic.compare_and_set pred0_link succ0 new_w) then begin
+          (* Never visible: recycle the slot directly and retry. *)
+          Mempool.free t.pool ~tid:s.tid id;
+          attempt ()
+        end
+        else begin
+          (* Linked at level 0 — the node is in the set. Link the upper
+             levels; abandon a level if the node gets marked meanwhile.
+             Invariant: our own next.(level) must equal s.succs.(level)
+             BEFORE the pred CAS — linking while our next still holds a
+             successor captured by an older find would splice a possibly
+             long-retired node back into the live chain. *)
+          let rec link_level level =
+            if level >= height then ()
+            else begin
+              let w = Atomic.get n.next.(level) in
+              if Handle.mark w land deleted <> 0 then () (* being deleted *)
+              else if
+                w <> s.succs.(level)
+                && not (Atomic.compare_and_set n.next.(level) w s.succs.(level))
+              then link_level level (* lost to a concurrent mark: re-examine *)
+              else begin
+                let pred_link = (node t s.preds.(level)).next.(level) in
+                if Atomic.compare_and_set pred_link s.succs.(level) new_w then
+                  link_level (level + 1)
+                else begin
+                  (* Refresh insertion points; stop if we got removed. *)
+                  ignore (find s key : Handle.t);
+                  if Handle.id s.succs.(0) = id then link_level level
+                end
+              end
+            end
+          in
+          link_level 1;
+          finish_insert s key id;
+          true
+        end
+      end
+    in
+    let result = attempt () in
+    S.end_op s.th;
+    result
+
+  let remove s key =
+    S.start_op s.th;
+    let t = s.t in
+    let result =
+      let succ0 = find s key in
+      if key_of s succ0 <> key then false
+      else begin
+        let victim = Handle.id succ0 in
+        let n = node t victim in
+        (* Mark the upper levels top-down. *)
+        for level = n.height - 1 downto 1 do
+          let rec mark () =
+            let w = Atomic.get n.next.(level) in
+            if Handle.mark w land deleted = 0 then
+              if not (Atomic.compare_and_set n.next.(level) w (Handle.with_mark w deleted))
+              then mark ()
+          in
+          mark ()
+        done;
+        (* Level-0 mark: the linearization point; the winner owns it. *)
+        let rec mark0 () =
+          let w = Atomic.get n.next.(0) in
+          if Handle.mark w land deleted <> 0 then false
+          else if Atomic.compare_and_set n.next.(0) w (Handle.with_mark w deleted) then true
+          else mark0 ()
+        in
+        if mark0 () then begin
+          ignore (find s key : Handle.t);
+          finish_remove s key victim;
+          true
+        end
+        else false
+      end
+    in
+    S.end_op s.th;
+    result
+
+  let contains s key =
+    S.start_op s.th;
+    let result = search s key <> None in
+    S.end_op s.th;
+    result
+
+  let contains_paused s key ~pause =
+    S.start_op s.th;
+    ignore (S.read s.th ~refno:1 (node s.t s.t.head).next.(0) : Handle.t);
+    pause ();
+    let result = search s key <> None in
+    S.end_op s.th;
+    result
+
+  let find_value s key =
+    S.start_op s.th;
+    let result =
+      match search s key with
+      | Some w -> Some (node s.t (Handle.id w)).value
+      | None -> None
+    in
+    S.end_op s.th;
+    result
+
+  let find = find_value (* export name per SET; shadows the internal find *)
+  [@@warning "-32"]
+
+  (* -- sequential-only inspection ---------------------------------------- *)
+
+  let fold_level0 t f acc =
+    let rec go acc w =
+      let id = Handle.id w in
+      if id = t.tail then acc
+      else
+        let n = Mempool.unsafe_get t.pool id in
+        go (f acc id n) (Handle.with_mark (Atomic.get n.next.(0)) 0)
+    in
+    go acc (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool t.head).next.(0)) 0)
+
+  let size t = fold_level0 t (fun acc _ _ -> acc + 1) 0
+
+  let check t =
+    (* Level 0: strict key order, no marks, all-live. *)
+    let _last =
+      fold_level0 t
+        (fun last id n ->
+          if n.key <= last then failwith "skiplist: level-0 keys not strictly increasing";
+          if Handle.mark (Atomic.get n.next.(0)) land deleted <> 0 then
+            failwith "skiplist: reachable level-0 node is marked";
+          if Mempool.Core.state (Mempool.core t.pool) id <> Mempool.state_live then
+            failwith "skiplist: reachable node is not live";
+          n.key)
+        min_int
+    in
+    (* Every upper level must be a sorted sublist of the level below. *)
+    for level = 1 to t.max_level - 1 do
+      let rec walk last w =
+        let id = Handle.id w in
+        if id <> t.tail then begin
+          let n = Mempool.unsafe_get t.pool id in
+          if n.key <= last then failwith "skiplist: upper-level keys not increasing";
+          if n.height <= level then failwith "skiplist: node linked above its height";
+          walk n.key (Handle.with_mark (Atomic.get n.next.(level)) 0)
+        end
+      in
+      walk min_int
+        (Handle.with_mark (Atomic.get (Mempool.unsafe_get t.pool t.head).next.(level)) 0)
+    done
+
+
+  (** Forensic helpers for stress tests (not part of the public API). *)
+  module Debug = struct
+    let dump_node t id =
+      let n = Mempool.unsafe_get t.pool id in
+      Printf.eprintf "  key=%d height=%d tower=%d state=%d incarnation=%d\n" n.key n.height
+        (Atomic.get n.tower_state)
+        (Mempool.Core.state (Mempool.core t.pool) id)
+        (Mempool.Core.incarnation (Mempool.core t.pool) id);
+      for l = 0 to n.height - 1 do
+        let w = Atomic.get n.next.(l) in
+        Printf.eprintf "    next[%d] -> id=%d mark=%d\n" l (Handle.id w) (Handle.mark w)
+      done
+
+    (* Walk every level from the head and report where [victim] is linked. *)
+    let scan_for t victim =
+      for l = t.max_level - 1 downto 0 do
+        let rec go id hops =
+          if hops > 100_000 then Printf.eprintf "  level %d: cycle?\n" l
+          else if id = t.tail then ()
+          else begin
+            let n = Mempool.unsafe_get t.pool id in
+            let w = Atomic.get n.next.(l) in
+            let nx = Handle.id w in
+            if nx = victim then
+              Printf.eprintf "  level %d: victim linked from id=%d (key=%d, mark=%d, state=%d)\n"
+                l id n.key (Handle.mark w)
+                (Mempool.Core.state (Mempool.core t.pool) id);
+            if nx = t.tail then () else go nx (hops + 1)
+          end
+        in
+            go t.head 0
+      done
+  end
+
+  let traversed t = Sc.sum t.traversed
+  let smr_stats t = S.stats t.smr
+  let violations t = Mempool.violations t.pool
+  let live_nodes t = Mempool.live_count t.pool
+  let flush s = S.flush s.th
+end

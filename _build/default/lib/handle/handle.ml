@@ -1,0 +1,87 @@
+(** Link-word ("pointer") encoding.
+
+    The paper (Listing 6) packs a 48-bit virtual address and the top 16
+    bits of the node's 32-bit MP index into one 64-bit word, so a thread
+    can learn a node's approximate index without dereferencing it. Here
+    node "addresses" are pool slot ids, and the whole tuple packs into one
+    immediate OCaml int:
+
+    {v
+      bits 50..62 : incarnation tag (13 bits)
+      bits 34..49 : idx16  — the 16 most-significant bits of the index
+      bits  2..33 : node id (32 bits); all-ones means null
+      bits  0..1  : mark bits owned by the client data structure
+    v}
+
+    Because the word is an immediate int, [int Atomic.t] links support true
+    single-word hardware CAS, exactly like the paper's [MP_CAS_Ptr]. A
+    node's idx16 never changes after allocation, so two handles to the same
+    node with equal marks are always physically equal.
+
+    The incarnation tag plays the role of the version field in tagged
+    pointers: a slot's tag changes on every reuse, so a CAS whose expected
+    handle predates the reuse fails instead of silently operating on an
+    unrelated node (the ABA that, in C, tagged pointers or protection
+    discipline must rule out). It wraps at 2^13 reuses; an ABA then
+    additionally requires the stale operation to span exactly a multiple of
+    8192 reuses of one slot. *)
+
+let mark_bits = 2
+let id_bits = 32
+let idx_bits = 16
+let inc_bits = 13
+let precision = 16 (* index bits dropped when packing into a handle *)
+
+let id_mask = (1 lsl id_bits) - 1
+let idx16_mask = (1 lsl idx_bits) - 1
+let mark_mask = (1 lsl mark_bits) - 1
+let inc_mask = (1 lsl inc_bits) - 1
+
+(** Node-id value reserved for the null handle. *)
+let null_id = id_mask
+
+(** Maximum usable pool slot id (one id is reserved for null). *)
+let max_id = id_mask - 1
+
+type t = int
+
+(** Null handle: null id, idx16 of all ones, no marks, incarnation 0. *)
+let null : t = (idx16_mask lsl (mark_bits + id_bits)) lor (null_id lsl mark_bits)
+
+let make ?(inc = 0) ~id ~idx16 ~mark () : t =
+  assert (id >= 0 && id <= null_id);
+  assert (idx16 >= 0 && idx16 <= idx16_mask);
+  assert (mark >= 0 && mark <= mark_mask);
+  ((inc land inc_mask) lsl (mark_bits + id_bits + idx_bits))
+  lor (idx16 lsl (mark_bits + id_bits))
+  lor (id lsl mark_bits) lor mark
+
+let id (h : t) = (h lsr mark_bits) land id_mask
+let idx16 (h : t) = (h lsr (mark_bits + id_bits)) land idx16_mask
+let mark (h : t) = h land mark_mask
+let inc (h : t) = (h lsr (mark_bits + id_bits + idx_bits)) land inc_mask
+
+let is_null (h : t) = id h = null_id
+
+(** [with_mark h m] is [h] with its mark bits replaced by [m]. *)
+let with_mark (h : t) m : t =
+  assert (m >= 0 && m <= mark_mask);
+  (h land lnot mark_mask) lor m
+
+(** [unmarked h] clears the mark bits (canonical handle for comparisons). *)
+let unmarked (h : t) : t = h land lnot mark_mask
+
+(** Bounds of the index range a handle's idx16 may stand for: packing keeps
+    only the top 16 bits of a 32-bit index, so observing idx16 = [i] means
+    the true index lies in [[i lsl 16, (i lsl 16) + 0xFFFF]]. *)
+let idx_lower_bound (h : t) = idx16 h lsl precision
+let idx_upper_bound (h : t) = (idx16 h lsl precision) lor ((1 lsl precision) - 1)
+
+(** idx16 under which a full 32-bit index is packed. *)
+let idx16_of_index index = (index lsr precision) land idx16_mask
+
+let pp fmt (h : t) =
+  if is_null h then Format.fprintf fmt "null/%d" (mark h)
+  else Format.fprintf fmt "#%d[idx16=%#x,mark=%d]" (id h) (idx16 h) (mark h)
+
+let equal (a : t) (b : t) = a = b

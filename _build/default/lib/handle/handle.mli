@@ -1,0 +1,57 @@
+(** Link-word ("pointer") encoding: (incarnation, idx16, node id, marks)
+    packed into one immediate OCaml int, so [int Atomic.t] links support
+    single-word CAS exactly like the paper's [MP_CAS_Ptr] (Listing 6).
+    See the implementation header for the bit layout. *)
+
+type t = int
+
+val mark_bits : int
+val id_bits : int
+val idx_bits : int
+val inc_bits : int
+
+(** Index bits dropped when packing a 32-bit MP index into a handle (16,
+    the paper's pointer-tag precision). *)
+val precision : int
+
+val id_mask : int
+val idx16_mask : int
+val mark_mask : int
+val inc_mask : int
+
+(** Node id reserved for the null handle. *)
+val null_id : int
+
+(** Largest usable pool slot id. *)
+val max_id : int
+
+(** The null handle (null id, no marks, incarnation 0). *)
+val null : t
+
+(** [make ?inc ~id ~idx16 ~mark ()] packs a handle. [inc] is masked to
+    {!inc_bits} bits. *)
+val make : ?inc:int -> id:int -> idx16:int -> mark:int -> unit -> t
+
+val id : t -> int
+val idx16 : t -> int
+val mark : t -> int
+val inc : t -> int
+val is_null : t -> bool
+
+(** [with_mark h m] replaces the mark bits, preserving everything else. *)
+val with_mark : t -> int -> t
+
+(** [unmarked h] clears the mark bits. *)
+val unmarked : t -> t
+
+(** Bounds of the full-index range an observed idx16 may stand for:
+    [range(i) = [i << 16, (i << 16) + 0xFFFF]] (paper §4.3.1). *)
+val idx_lower_bound : t -> int
+
+val idx_upper_bound : t -> int
+
+(** The idx16 under which a full 32-bit index packs. Monotone. *)
+val idx16_of_index : int -> int
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/harness/instances.ml: Dstruct List Mp Printf Smr_core Smr_schemes String

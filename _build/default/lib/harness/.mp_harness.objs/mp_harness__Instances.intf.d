@@ -1,0 +1,1 @@
+lib/harness/instances.mli: Dstruct Smr_core

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Domain Dstruct Mempool Mp_util Smr_core Unix Workload

@@ -1,0 +1,41 @@
+(** Pre-applied (scheme × data structure) instances for the harness, the
+    benchmarks, and the CLI. *)
+
+type scheme = (module Smr_core.Smr_intf.S)
+
+let mp : scheme = (module Mp.Margin_ptr)
+let hp : scheme = (module Smr_schemes.Hp)
+let ebr : scheme = (module Smr_schemes.Ebr)
+let he : scheme = (module Smr_schemes.He)
+let ibr : scheme = (module Smr_schemes.Ibr)
+let leaky : scheme = (module Smr_schemes.Leaky)
+
+(** Evaluation order of the paper's figures. *)
+let schemes : (string * scheme) list =
+  [ ("mp", mp); ("ibr", ibr); ("he", he); ("hp", hp); ("ebr", ebr); ("none", leaky) ]
+
+let scheme_of_name name =
+  match List.assoc_opt name schemes with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown scheme %S (expected one of: %s)" name
+         (String.concat ", " (List.map fst schemes)))
+
+type ds = List_ds | Skiplist_ds | Bst_ds
+
+let all_ds = [ ("list", List_ds); ("skiplist", Skiplist_ds); ("bst", Bst_ds) ]
+
+let ds_of_name name =
+  match List.assoc_opt name all_ds with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown data structure %S (expected one of: %s)" name
+         (String.concat ", " (List.map fst all_ds)))
+
+let make ds ((module S : Smr_core.Smr_intf.S) : scheme) : (module Dstruct.Set_intf.SET) =
+  match ds with
+  | List_ds -> (module Dstruct.Michael_list.Make (S))
+  | Skiplist_ds -> (module Dstruct.Skiplist.Make (S))
+  | Bst_ds -> (module Dstruct.Nm_bst.Make (S))

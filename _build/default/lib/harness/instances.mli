@@ -1,0 +1,24 @@
+(** Pre-applied (scheme × data structure) instances for the harness. *)
+
+type scheme = (module Smr_core.Smr_intf.S)
+
+val mp : scheme
+val hp : scheme
+val ebr : scheme
+val he : scheme
+val ibr : scheme
+val leaky : scheme
+
+(** All named schemes, in the paper's comparison order. *)
+val schemes : (string * scheme) list
+
+(** Raises [Invalid_argument] for unknown names. *)
+val scheme_of_name : string -> scheme
+
+type ds = List_ds | Skiplist_ds | Bst_ds
+
+val all_ds : (string * ds) list
+val ds_of_name : string -> ds
+
+(** Apply a structure functor to a scheme. *)
+val make : ds -> scheme -> (module Dstruct.Set_intf.SET)

@@ -1,0 +1,8 @@
+(** Plain-text table rendering for benchmark output. Tables are also
+    written as CSV files when the MP_BENCH_CSV_DIR environment variable
+    names a directory. *)
+
+val table : title:string -> header:string list -> string list list -> unit
+val fmt_throughput : float -> string
+val fmt_float : float -> string
+val fmt_int : int -> string

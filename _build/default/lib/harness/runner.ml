@@ -1,0 +1,179 @@
+(** Benchmark runner: spawns one domain per thread, drives the workload mix
+    against a structure for a fixed duration, and samples the metrics the
+    paper's figures report (throughput, wasted memory, fences/traversals).
+
+    Thread stalls — the phenomenon that separates bounded/robust/unbounded
+    schemes — arise naturally here from oversubscription, and can also be
+    injected deterministically: the stalling thread periodically runs a
+    [contains_paused], sleeping mid-operation while holding SMR
+    protection. *)
+
+module Rng = Mp_util.Rng
+
+type stall_spec = {
+  stall_tid : int;
+  every_ops : int;  (** inject once per this many operations *)
+  pause_s : float;  (** sleep duration inside the operation *)
+}
+
+type spec = {
+  threads : int;
+  duration_s : float;
+  init_size : int;  (** S: keys inserted before the measurement *)
+  key_range : int;  (** operations draw keys from [0, key_range) *)
+  capacity : int;  (** pool slots; must absorb leaks for leaky schemes *)
+  mix : Workload.mix;
+  init : Workload.init;
+  seed : int;
+  stall : stall_spec option;
+  config : Smr_core.Config.t;
+  check_access : bool;
+  record_latency : bool;  (** per-operation histograms (adds a clock read per op) *)
+  zipf_alpha : float option;  (** skew operation keys zipfian-ly (extension) *)
+}
+
+(** Paper default: S random keys from a range of size 2S. *)
+let default ~threads ~init_size ~mix ~config =
+  {
+    threads;
+    duration_s = 0.5;
+    init_size;
+    key_range = 2 * init_size;
+    capacity = 0 (* resolved in [run] *);
+    mix;
+    init = Workload.Uniform_init;
+    seed = 0xC0FFEE;
+    stall = None;
+    config;
+    check_access = false;
+    record_latency = false;
+    zipf_alpha = None;
+  }
+
+type result = {
+  spec_threads : int;
+  mix_name : string;
+  total_ops : int;
+  throughput : float;  (** operations per second *)
+  wasted_avg : float;  (** mean retired-but-unreclaimed nodes over samples *)
+  wasted_max : int;
+  fences : int;  (** publication fences during the measured window *)
+  traversed : int;  (** nodes visited during the measured window *)
+  fences_per_node : float;
+  violations : int;
+  oom : bool;  (** a thread exhausted the pool (leaky schemes) *)
+  final_size : int;
+  latency : Mp_util.Histogram.t option;  (** merged across threads when recorded *)
+}
+
+let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
+  let capacity =
+    if spec.capacity > 0 then spec.capacity
+    else begin
+      (* Live nodes (≤ key_range, ×2 for the BST's routers) plus headroom
+         for retired-but-unreclaimed nodes. *)
+      let live = (spec.key_range * 2) + 1024 in
+      live + (spec.threads * 65536)
+    end
+  in
+  let t =
+    SET.create ~threads:spec.threads ~capacity ~check_access:spec.check_access spec.config
+  in
+  (* -- populate ----------------------------------------------------------- *)
+  let s0 = SET.session t ~tid:0 in
+  (match spec.init with
+  | Workload.Ascending_init ->
+    for k = 0 to spec.init_size - 1 do
+      ignore (SET.insert s0 ~key:k ~value:k : bool)
+    done
+  | Workload.Uniform_init ->
+    let rng = Rng.create spec.seed in
+    let inserted = ref 0 in
+    while !inserted < spec.init_size do
+      let k = Rng.below rng spec.key_range in
+      if SET.insert s0 ~key:k ~value:k then incr inserted
+    done);
+  SET.flush s0;
+  (* -- measured window ---------------------------------------------------- *)
+  let stats0 = SET.smr_stats t in
+  let traversed0 = SET.traversed t in
+  let barrier = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let oom = Atomic.make false in
+  let ops = Array.make spec.threads 0 in
+  let histograms = Array.init spec.threads (fun _ -> Mp_util.Histogram.create ()) in
+  let worker tid () =
+    let s = SET.session t ~tid in
+    let rng = Rng.split ~seed:spec.seed ~tid in
+    let keygen =
+      match spec.zipf_alpha with
+      | Some alpha -> Mp_util.Keygen.zipf ~range:spec.key_range ~alpha
+      | None -> Mp_util.Keygen.uniform ~range:spec.key_range
+    in
+    let hist = histograms.(tid) in
+    Atomic.incr barrier;
+    while Atomic.get barrier < spec.threads do
+      Domain.cpu_relax ()
+    done;
+    let count = ref 0 in
+    (try
+       while not (Atomic.get stop) do
+         let k = Mp_util.Keygen.next keygen rng in
+         let t0 = if spec.record_latency then Unix.gettimeofday () else 0.0 in
+         (match spec.stall with
+         | Some st when tid = st.stall_tid && !count mod st.every_ops = st.every_ops - 1 ->
+           ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf st.pause_s) : bool)
+         | _ -> (
+           match Workload.pick spec.mix rng with
+           | Workload.Read -> ignore (SET.contains s k : bool)
+           | Workload.Insert -> ignore (SET.insert s ~key:k ~value:k : bool)
+           | Workload.Remove -> ignore (SET.remove s k : bool)));
+         if spec.record_latency then
+           Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
+         incr count
+       done
+     with Mempool.Exhausted -> Atomic.set oom true);
+    ops.(tid) <- !count
+  in
+  let domains = Array.init spec.threads (fun tid -> Domain.spawn (worker tid)) in
+  (* Main thread samples wasted memory while the clock runs. *)
+  let t_start = Unix.gettimeofday () in
+  let wasted_sum = ref 0.0 and wasted_samples = ref 0 and wasted_max = ref 0 in
+  while Unix.gettimeofday () -. t_start < spec.duration_s && not (Atomic.get oom) do
+    Unix.sleepf 0.002;
+    let w = (SET.smr_stats t).Smr_core.Smr_intf.wasted in
+    wasted_sum := !wasted_sum +. float_of_int w;
+    incr wasted_samples;
+    if w > !wasted_max then wasted_max := w
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let stats1 = SET.smr_stats t in
+  let traversed1 = SET.traversed t in
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let fences = stats1.Smr_core.Smr_intf.fences - stats0.Smr_core.Smr_intf.fences in
+  let traversed = traversed1 - traversed0 in
+  {
+    spec_threads = spec.threads;
+    mix_name = spec.mix.Workload.name;
+    total_ops;
+    throughput = float_of_int total_ops /. elapsed;
+    wasted_avg =
+      (if !wasted_samples = 0 then 0.0 else !wasted_sum /. float_of_int !wasted_samples);
+    wasted_max = !wasted_max;
+    fences;
+    traversed;
+    fences_per_node =
+      (if traversed = 0 then 0.0 else float_of_int fences /. float_of_int traversed);
+    violations = SET.violations t;
+    oom = Atomic.get oom;
+    final_size = SET.size t;
+    latency =
+      (if spec.record_latency then begin
+         let merged = Mp_util.Histogram.create () in
+         Array.iter (fun h -> Mp_util.Histogram.merge_into ~into:merged h) histograms;
+         Some merged
+       end
+       else None);
+  }

@@ -1,0 +1,32 @@
+(** Workload mixes from the paper's evaluation (§6).
+
+    Equal insert/remove probabilities keep the structure size roughly
+    constant; keys are drawn uniformly from a range twice the initial
+    size, so about half the operations on absent/present keys succeed. *)
+
+type mix = {
+  name : string;
+  read_pct : int;
+  insert_pct : int;
+  remove_pct : int;
+}
+
+let read_dominated = { name = "read-dominated"; read_pct = 90; insert_pct = 5; remove_pct = 5 }
+let write_dominated = { name = "write-dominated"; read_pct = 0; insert_pct = 50; remove_pct = 50 }
+let read_only = { name = "read-only"; read_pct = 100; insert_pct = 0; remove_pct = 0 }
+
+let all = [ read_dominated; write_dominated; read_only ]
+
+type op = Read | Insert | Remove
+
+(** Draw the next operation for this mix. *)
+let pick mix rng =
+  let r = Mp_util.Rng.below rng 100 in
+  if r < mix.read_pct then Read
+  else if r < mix.read_pct + mix.insert_pct then Insert
+  else Remove
+
+(** How the structure is pre-populated. *)
+type init =
+  | Uniform_init  (** S uniformly random keys from the range (paper default) *)
+  | Ascending_init  (** keys 0..S-1 in ascending order (Figure 7a worst case) *)

@@ -1,0 +1,23 @@
+(** Workload mixes from the paper's evaluation (§6). *)
+
+type mix = {
+  name : string;
+  read_pct : int;
+  insert_pct : int;
+  remove_pct : int;
+}
+
+val read_dominated : mix  (** 90% contains, 5% insert, 5% remove *)
+
+val write_dominated : mix  (** 50% insert, 50% remove *)
+
+val read_only : mix
+val all : mix list
+
+type op = Read | Insert | Remove
+
+val pick : mix -> Mp_util.Rng.t -> op
+
+type init =
+  | Uniform_init  (** S uniformly random keys from the range *)
+  | Ascending_init  (** keys 0..S-1 in order (Figure 7a worst case) *)

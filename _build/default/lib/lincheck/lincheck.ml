@@ -1,0 +1,125 @@
+(** Linearizability checker for concurrent set histories (Wing & Gong
+    style search with memoization).
+
+    A history is a list of completed operations with logical invocation /
+    response timestamps. The checker searches for a linearization: a total
+    order of the operations that (1) respects real-time order (an
+    operation whose response precedes another's invocation comes first)
+    and (2) makes every result correct against a sequential set.
+
+    The search memoizes on (set of remaining operations, abstract set
+    state), both encoded as bitmasks, which keeps it fast for the
+    small-window histories the concurrency tests generate (≤ 62 operations
+    over ≤ 62 distinct keys). *)
+
+type op_type = Insert | Remove | Contains
+
+type op = {
+  op_type : op_type;
+  key : int;
+  result : bool;
+  inv : int;  (** logical invocation time *)
+  res : int;  (** logical response time; must be > [inv] *)
+}
+
+let max_ops = 62
+
+(** A monotone logical clock for recording histories: call once before the
+    operation (invocation) and once after (response). *)
+module Clock = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let tick t = Atomic.fetch_and_add t 1
+end
+
+exception Too_large
+
+(** [check_set history] is true iff the history linearizes against
+    sequential set semantics. Keys are compressed internally; at most
+    {!max_ops} operations and distinct keys are supported (raises
+    {!Too_large} otherwise). *)
+let check_set history =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  if n > max_ops then raise Too_large;
+  if n = 0 then true
+  else begin
+    (* compress keys to bit positions *)
+    let keys = Hashtbl.create 16 in
+    Array.iter
+      (fun o ->
+        if not (Hashtbl.mem keys o.key) then Hashtbl.add keys o.key (Hashtbl.length keys))
+      ops;
+    if Hashtbl.length keys > max_ops then raise Too_large;
+    let key_bit = Array.map (fun o -> 1 lsl Hashtbl.find keys o.key) ops in
+    let full = (1 lsl n) - 1 in
+    let memo = Hashtbl.create 4096 in
+    (* an op can linearize first among [remaining] iff its invocation
+       precedes every remaining response *)
+    let min_res remaining =
+      let m = ref max_int in
+      for i = 0 to n - 1 do
+        if remaining land (1 lsl i) <> 0 && ops.(i).res < !m then m := ops.(i).res
+      done;
+      !m
+    in
+    let apply o bit state =
+      match o.op_type with
+      | Insert ->
+        let expected = state land bit = 0 in
+        if o.result = expected then Some (state lor bit) else None
+      | Remove ->
+        let expected = state land bit <> 0 in
+        if o.result = expected then Some (state land lnot bit) else None
+      | Contains ->
+        let expected = state land bit <> 0 in
+        if o.result = expected then Some state else None
+    in
+    let rec go remaining state =
+      if remaining = 0 then true
+      else
+        let memo_key = (remaining, state) in
+        match Hashtbl.find_opt memo memo_key with
+        | Some r -> r
+        | None ->
+          let bound = min_res remaining in
+          let rec try_candidates i =
+            i < n
+            &&
+            let bit = 1 lsl i in
+            (remaining land bit <> 0
+             && ops.(i).inv <= bound
+             &&
+             match apply ops.(i) key_bit.(i) state with
+             | Some state' -> go (remaining land lnot bit) state'
+             | None -> false)
+            || try_candidates (i + 1)
+          in
+          let r = try_candidates 0 in
+          Hashtbl.add memo memo_key r;
+          r
+    in
+    go full 0
+  end
+
+(** Convenience recorder: wraps a set operation with clock ticks and
+    accumulates the completed op. Not thread-safe by itself — use one
+    recorder per thread and [merge] afterwards. *)
+module Recorder = struct
+  type t = {
+    clock : Clock.t;
+    mutable ops : op list;
+  }
+
+  let create clock = { clock; ops = [] }
+
+  let record t op_type key f =
+    let inv = Clock.tick t.clock in
+    let result = f () in
+    let res = Clock.tick t.clock in
+    t.ops <- { op_type; key; result; inv; res } :: t.ops;
+    result
+
+  let merge recorders = List.concat_map (fun r -> r.ops) recorders
+end

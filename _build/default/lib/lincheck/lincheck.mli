@@ -1,0 +1,47 @@
+(** Linearizability checker for concurrent set histories (Wing–Gong
+    search with bitmask memoization). See the implementation header for
+    the algorithm. *)
+
+type op_type = Insert | Remove | Contains
+
+type op = {
+  op_type : op_type;
+  key : int;
+  result : bool;
+  inv : int;  (** logical invocation time *)
+  res : int;  (** logical response time; must be > [inv] *)
+}
+
+(** Maximum operations (and distinct keys) per checked history. *)
+val max_ops : int
+
+(** Monotone logical clock for recording histories. *)
+module Clock : sig
+  type t
+
+  val create : unit -> t
+
+  (** Atomically advance and return the previous value. *)
+  val tick : t -> int
+end
+
+exception Too_large
+
+(** [check_set history] is true iff the history linearizes against
+    sequential set semantics (insert/remove return whether they changed
+    the set; contains returns membership). Raises {!Too_large} beyond
+    {!max_ops} operations or distinct keys. *)
+val check_set : op list -> bool
+
+(** Per-thread history recorder; merge the recorders afterwards. *)
+module Recorder : sig
+  type t
+
+  val create : Clock.t -> t
+
+  (** [record t ty key f] runs [f ()] between two clock ticks and logs the
+      completed operation; returns [f ()]'s result. *)
+  val record : t -> op_type -> int -> (unit -> bool) -> bool
+
+  val merge : t list -> op list
+end

@@ -1,0 +1,260 @@
+(** Manual-memory node pool.
+
+    OCaml is garbage-collected, so this pool simulates the C/C++ manual
+    memory management environment the SMR problem lives in: node payloads
+    are pre-allocated once, [alloc] hands out slot ids, and [free] makes a
+    slot reusable. A freed slot that is still reachable through a stale
+    reference is exactly a use-after-free; with [check_access] enabled,
+    every payload access verifies the slot is not free and counts
+    violations, turning silent memory corruption into a measurable signal.
+
+    The pool is split in two layers. {!Core} is payload-agnostic: slot
+    life-cycle state, free lists, and the per-node metadata words SMR
+    schemes need (MP index, birth and death epochs) — mirroring the paper's
+    practice of reserving extra space during node allocation. ['a t] adds
+    the client data structure's node payloads on top.
+
+    Allocation is thread-partitioned for scalability: each thread owns a
+    private free list (no synchronization) and overflows to / refills from
+    a global lock-free Treiber stack whose top word carries an ABA version
+    tag. Slots are linked through a side array, so free lists allocate
+    nothing. *)
+
+exception Exhausted
+
+(* Slot life cycle; single-word ints, so reads cannot tear. *)
+let state_free = 0
+let state_live = 1
+let state_retired = 2
+
+module Core = struct
+  type local = {
+    mutable head : int; (* -1 = empty *)
+    mutable count : int;
+  }
+
+  type t = {
+    capacity : int;
+    threads : int;
+    state : int array;
+    index : int array; (* 32-bit MP index *)
+    birth : int array; (* birth epoch *)
+    death : int array; (* retirement epoch *)
+    incarnation : int array; (* bumped on every free; detects slot reuse *)
+    stack_next : int array; (* free-list links, -1 terminated *)
+    global_top : int Atomic.t; (* (version << 33) lor (id + 1); 0 in low bits = empty *)
+    locals : local array;
+    fair_share : int; (* local free-list size that triggers overflow to global *)
+    check_access : bool;
+    violations : int Atomic.t;
+    live : Mp_util.Striped_counter.t;
+    allocs : Mp_util.Striped_counter.t;
+    frees : Mp_util.Striped_counter.t;
+  }
+
+  let id_plus1_mask = (1 lsl 33) - 1
+  let top_pack ~version ~id_plus1 = (version lsl 33) lor id_plus1
+  let top_id_plus1 top = top land id_plus1_mask
+  let top_version top = top lsr 33
+
+  (* -- global Treiber stack (version-tagged against ABA) ---------------- *)
+
+  let rec global_push t id =
+    let top = Atomic.get t.global_top in
+    t.stack_next.(id) <- top_id_plus1 top - 1;
+    let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(id + 1) in
+    if not (Atomic.compare_and_set t.global_top top top') then global_push t id
+
+  let rec global_pop t =
+    let top = Atomic.get t.global_top in
+    let id_plus1 = top_id_plus1 top in
+    if id_plus1 = 0 then -1
+    else
+      let id = id_plus1 - 1 in
+      let next = t.stack_next.(id) in
+      let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(next + 1) in
+      if Atomic.compare_and_set t.global_top top top' then id else global_pop t
+
+  (** When set, a detected use-after-free raises instead of counting, so
+      tests can pinpoint the offending access (set via MP_TRAP_UAF=1). *)
+  let trap_on_violation =
+    ref (match Sys.getenv_opt "MP_TRAP_UAF" with Some ("1" | "true") -> true | _ -> false)
+
+  exception Use_after_free of int
+
+  (* Debug-only: remember who retired/freed each slot last, so a trapped
+     use-after-free can print the other side of the race. *)
+  let history : (int, string) Hashtbl.t = Hashtbl.create 64
+  let history_lock = Mutex.create ()
+
+  let record_history id what =
+    if !trap_on_violation then begin
+      let bt = Printexc.get_callstack 12 in
+      Mutex.lock history_lock;
+      Hashtbl.replace history id
+        (Printf.sprintf "--- last %s of slot %d ---\n%s" what id
+           (Printexc.raw_backtrace_to_string bt));
+      Mutex.unlock history_lock
+    end
+
+
+
+  let create ~capacity ~threads ?(check_access = false) () =
+    if capacity > Handle.max_id then invalid_arg "Mempool.create: capacity too large";
+    if capacity < threads then invalid_arg "Mempool.create: capacity < threads";
+    let t =
+      {
+        capacity;
+        threads;
+        state = Array.make capacity state_free;
+        index = Array.make capacity 0;
+        birth = Array.make capacity 0;
+        death = Array.make capacity 0;
+        incarnation = Array.make capacity 0;
+        stack_next = Array.make capacity (-1);
+        global_top = Atomic.make (top_pack ~version:0 ~id_plus1:0);
+        locals = Array.init threads (fun _ -> { head = -1; count = 0 });
+        fair_share = max 64 (capacity / (threads * 2));
+        check_access;
+        violations = Atomic.make 0;
+        live = Mp_util.Striped_counter.create ~threads;
+        allocs = Mp_util.Striped_counter.create ~threads;
+        frees = Mp_util.Striped_counter.create ~threads;
+      }
+    in
+    (* Seed each local free list with its fair share; everything else goes
+       to the global stack so any thread can reach it. A slot parked in
+       another thread's local list is still unreachable until that thread
+       spills, so [Exhausted] is a per-thread-visibility condition, not a
+       global-emptiness one. *)
+    let next_local = ref 0 in
+    for id = capacity - 1 downto 0 do
+      let l = t.locals.(!next_local mod threads) in
+      if l.count < t.fair_share && !next_local < threads * t.fair_share then begin
+        t.stack_next.(id) <- l.head;
+        l.head <- id;
+        l.count <- l.count + 1;
+        incr next_local
+      end
+      else global_push t id
+    done;
+    t
+
+  let capacity t = t.capacity
+  let threads t = t.threads
+
+  (* -- alloc / free ------------------------------------------------------ *)
+
+  (** Pop a free slot for thread [tid]; refills from the global stack when
+      the local list is empty. Raises {!Exhausted} if no slot exists. *)
+  let alloc t ~tid =
+    let l = t.locals.(tid) in
+    let id =
+      if l.head >= 0 then begin
+        let id = l.head in
+        l.head <- t.stack_next.(id);
+        l.count <- l.count - 1;
+        id
+      end
+      else global_pop t
+    in
+    if id < 0 then raise Exhausted;
+    assert (t.state.(id) = state_free);
+    t.state.(id) <- state_live;
+    t.index.(id) <- 0;
+    Mp_util.Striped_counter.incr t.live ~tid;
+    Mp_util.Striped_counter.incr t.allocs ~tid;
+    id
+
+  (** Return slot [id] to thread [tid]'s free list (spilling half to the
+      global stack when the local list is over its fair share). *)
+  let free t ~tid id =
+    assert (t.state.(id) <> state_free);
+    record_history id "free";
+    t.state.(id) <- state_free;
+    t.incarnation.(id) <- t.incarnation.(id) + 1;
+    Mp_util.Striped_counter.add t.live ~tid (-1);
+    Mp_util.Striped_counter.incr t.frees ~tid;
+    let l = t.locals.(tid) in
+    if l.count >= t.fair_share * 2 then
+      (* Spill to keep producer/consumer thread pairs balanced. *)
+      for _ = 1 to t.fair_share do
+        let spill = l.head in
+        l.head <- t.stack_next.(spill);
+        l.count <- l.count - 1;
+        global_push t spill
+      done;
+    t.stack_next.(id) <- l.head;
+    l.head <- id;
+    l.count <- l.count + 1
+
+  (* -- metadata accessors ------------------------------------------------ *)
+
+  let state t id = t.state.(id)
+  let is_free t id = t.state.(id) = state_free
+
+  let mark_retired t id =
+    assert (t.state.(id) = state_live);
+    record_history id "retire";
+    t.state.(id) <- state_retired
+
+  let index t id = t.index.(id)
+  let set_index t id v = t.index.(id) <- v
+  let birth t id = t.birth.(id)
+  let set_birth t id v = t.birth.(id) <- v
+  let death t id = t.death.(id)
+  let set_death t id v = t.death.(id) <- v
+  let incarnation t id = t.incarnation.(id)
+
+  (** Canonical (unmarked) handle for slot [id], embedding the top 16 bits
+      of its MP index. *)
+  let handle t id =
+    Handle.make ~inc:t.incarnation.(id) ~id ~idx16:(Handle.idx16_of_index t.index.(id))
+      ~mark:0 ()
+
+  (** Record a use-after-free access to slot [id] if it is free. *)
+  let note_access t id =
+    if t.check_access && t.state.(id) = state_free then begin
+      Atomic.incr t.violations;
+      if !trap_on_violation then begin
+        (match Hashtbl.find_opt history id with
+        | Some h -> prerr_endline h
+        | None -> ());
+        raise (Use_after_free id)
+      end
+    end
+
+  (* -- statistics -------------------------------------------------------- *)
+
+  let violations t = Atomic.get t.violations
+  let live_count t = Mp_util.Striped_counter.sum t.live
+  let alloc_count t = Mp_util.Striped_counter.sum t.allocs
+  let free_count t = Mp_util.Striped_counter.sum t.frees
+end
+
+type 'a t = {
+  core : Core.t;
+  payload : 'a array;
+}
+
+let create ~capacity ~threads ?(check_access = false) make_payload =
+  let core = Core.create ~capacity ~threads ~check_access () in
+  { core; payload = Array.init capacity make_payload }
+
+let core t = t.core
+let capacity t = t.core.Core.capacity
+
+(** Payload of slot [id]. With [check_access], accessing a free slot is
+    recorded as a use-after-free violation (the access still returns the
+    stale payload, as real hardware would). *)
+let get t id =
+  Core.note_access t.core id;
+  t.payload.(id)
+
+let unsafe_get t id = t.payload.(id)
+
+let alloc t ~tid = Core.alloc t.core ~tid
+let free t ~tid id = Core.free t.core ~tid id
+let handle t id = Core.handle t.core id
+let violations t = Core.violations t.core
+let live_count t = Core.live_count t.core

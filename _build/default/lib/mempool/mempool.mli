@@ -1,0 +1,89 @@
+(** Manual-memory node pool — the substrate that makes the SMR problem
+    real in a garbage-collected language. Payloads are pre-allocated;
+    [alloc]/[free] recycle slot ids; with [check_access] armed, touching a
+    freed slot's payload is recorded (or trapped) as a use-after-free.
+    See the implementation header for the full design discussion. *)
+
+exception Exhausted
+
+(** Slot life-cycle states. *)
+val state_free : int
+
+val state_live : int
+val state_retired : int
+
+(** Payload-agnostic layer: slot states, free lists and the per-node
+    metadata words SMR schemes piggyback on nodes (MP index, birth and
+    death epochs). *)
+module Core : sig
+  type t
+
+  exception Use_after_free of int
+
+  (** When true (or [MP_TRAP_UAF=1]), a detected use-after-free raises
+      {!Use_after_free} instead of only counting. *)
+  val trap_on_violation : bool ref
+
+  val create : capacity:int -> threads:int -> ?check_access:bool -> unit -> t
+  val capacity : t -> int
+  val threads : t -> int
+
+  (** Pop a free slot for [tid]; raises {!Exhausted} when neither the
+      thread's local free list nor the global stack has one. *)
+  val alloc : t -> tid:int -> int
+
+  (** Return a slot; spills to the global stack when the local free list
+      exceeds its fair share. *)
+  val free : t -> tid:int -> int -> unit
+
+  val state : t -> int -> int
+  val is_free : t -> int -> bool
+
+  (** Live → Retired transition (asserts the slot was live). *)
+  val mark_retired : t -> int -> unit
+
+  val index : t -> int -> int
+  val set_index : t -> int -> int -> unit
+  val birth : t -> int -> int
+  val set_birth : t -> int -> int -> unit
+  val death : t -> int -> int
+  val set_death : t -> int -> int -> unit
+
+  (** Reuse counter of the slot; embedded in handles as the ABA tag. *)
+  val incarnation : t -> int -> int
+
+  (** Canonical unmarked handle for a slot (id, idx16 of its index,
+      current incarnation). *)
+  val handle : t -> int -> Handle.t
+
+  (** Record (and possibly trap) a use-after-free if the slot is free. *)
+  val note_access : t -> int -> unit
+
+  val violations : t -> int
+  val live_count : t -> int
+  val alloc_count : t -> int
+  val free_count : t -> int
+end
+
+(** A pool with client payloads of type ['a] attached to each slot. *)
+type 'a t
+
+(** [create ~capacity ~threads ?check_access make_payload] pre-allocates
+    [capacity] payloads with [make_payload slot_id]. *)
+val create : capacity:int -> threads:int -> ?check_access:bool -> (int -> 'a) -> 'a t
+
+val core : 'a t -> Core.t
+val capacity : 'a t -> int
+
+(** Payload access with use-after-free detection. *)
+val get : 'a t -> int -> 'a
+
+(** Payload access without the check (for code that provably touches only
+    live or self-retired slots, and for test forensics). *)
+val unsafe_get : 'a t -> int -> 'a
+
+val alloc : 'a t -> tid:int -> int
+val free : 'a t -> tid:int -> int -> unit
+val handle : 'a t -> int -> Handle.t
+val violations : 'a t -> int
+val live_count : 'a t -> int

@@ -1,0 +1,1 @@
+lib/schemes/ebr.ml: Array Atomic Config Counters Epoch Mempool Retired Smr_core Smr_intf

@@ -1,0 +1,1 @@
+lib/schemes/ebr.mli: Smr_core

@@ -1,0 +1,1 @@
+lib/schemes/he.mli: Smr_core

@@ -1,0 +1,1 @@
+lib/schemes/hp.ml: Array Atomic Config Counters Handle Mempool Retired Smr_core Smr_intf

@@ -1,0 +1,1 @@
+lib/schemes/hp.mli: Smr_core

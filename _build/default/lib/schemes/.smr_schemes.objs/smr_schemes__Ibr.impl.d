@@ -1,0 +1,1 @@
+lib/schemes/ibr.ml: Array Atomic Config Counters Epoch Handle Mempool Retired Smr_core Smr_intf

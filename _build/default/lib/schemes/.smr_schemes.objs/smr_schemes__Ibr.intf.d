@@ -1,0 +1,1 @@
+lib/schemes/ibr.mli: Smr_core

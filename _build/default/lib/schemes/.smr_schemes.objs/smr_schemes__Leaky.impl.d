@@ -1,0 +1,1 @@
+lib/schemes/leaky.ml: Array Atomic Config Counters Mempool Retired Smr_core Smr_intf

@@ -1,0 +1,1 @@
+lib/schemes/leaky.mli: Smr_core

@@ -1,0 +1,131 @@
+(** Epoch-based reclamation (Fraser, 2004).
+
+    Threads announce the global epoch when they start an operation; a node
+    retired at epoch [e] is reclaimable once every active thread has
+    announced an epoch newer than [e]. Reads are plain loads — EBR has the
+    lowest run-time overhead of all schemes — but a single thread stalled
+    mid-operation pins its announced epoch and blocks all reclamation:
+    wasted memory is unbounded (EBR is not even robust). *)
+
+open Smr_core
+
+type shared = {
+  pool : Mempool.Core.t;
+  counters : Counters.t;
+  epoch : Epoch.t;
+  empty_freq : int;
+  epoch_freq : int;
+  threads : int;
+}
+
+type thread = {
+  shared : shared;
+  tid : int;
+  retired : Retired.t;
+  mutable retire_count : int;
+  mutable alloc_count : int;
+}
+
+type t = {
+  s : shared;
+  per_thread : thread array;
+}
+
+let name = "ebr"
+
+let properties =
+  {
+    Smr_intf.full_name = "Epoch-based reclamation";
+    wasted_memory = Smr_intf.Unbounded;
+    per_node_words = 1;
+    self_contained = true;
+    needs_per_reference_calls = false;
+  }
+
+let create ~pool ~threads (config : Config.t) =
+  let config = Config.validate config in
+  let s =
+    {
+      pool;
+      counters = Counters.create ~threads;
+      epoch = Epoch.create ~threads;
+      empty_freq = config.empty_freq;
+      epoch_freq = config.epoch_freq;
+      threads;
+    }
+  in
+  let per_thread =
+    Array.init threads (fun tid ->
+        { shared = s; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0 })
+  in
+  { s; per_thread }
+
+let thread t ~tid = t.per_thread.(tid)
+let tid th = th.tid
+
+let start_op th =
+  ignore (Epoch.announce th.shared.epoch ~tid:th.tid);
+  Counters.on_fence th.shared.counters ~tid:th.tid
+
+let end_op th = Epoch.retire_announcement th.shared.epoch ~tid:th.tid
+
+(* Fraser's advance rule: bump the global epoch only when every thread is
+   either idle or has announced the current epoch. A stalled thread that
+   announced an older epoch vetoes the advance — the source of EBR's
+   unbounded waste. *)
+let try_advance th =
+  let s = th.shared in
+  let current = Epoch.current s.epoch in
+  let all_observed = ref true in
+  for t = 0 to s.threads - 1 do
+    let a = Epoch.announced s.epoch ~tid:t in
+    if a <> Epoch.inactive && a < current then all_observed := false
+  done;
+  if !all_observed then ignore (Atomic.compare_and_set s.epoch.Epoch.global current (current + 1))
+
+let alloc th =
+  th.alloc_count <- th.alloc_count + 1;
+  if th.alloc_count mod th.shared.epoch_freq = 0 then try_advance th;
+  let id = Mempool.Core.alloc th.shared.pool ~tid:th.tid in
+  Mempool.Core.set_birth th.shared.pool id (Epoch.current th.shared.epoch);
+  id
+
+let alloc_with_index th ~index =
+  let id = alloc th in
+  Mempool.Core.set_index th.shared.pool id index;
+  id
+
+let read (_ : thread) ~refno:(_ : int) link = Atomic.get link
+let unprotect (_ : thread) ~refno:(_ : int) = ()
+let update_lower_bound (_ : thread) (_ : int) = ()
+let update_upper_bound (_ : thread) (_ : int) = ()
+let handle_of th id = Mempool.Core.handle th.shared.pool id
+
+(* A retired node is safe once its death epoch precedes every active
+   thread's announced epoch (idle threads announce +inf). *)
+let empty th =
+  let s = th.shared in
+  let min_active = Epoch.min_announced s.epoch in
+  let keep id = Mempool.Core.death s.pool id >= min_active in
+  let released =
+    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
+  in
+  Counters.on_reclaim s.counters ~tid:th.tid released
+
+let retire th id =
+  let s = th.shared in
+  Mempool.Core.mark_retired s.pool id;
+  Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
+  Retired.push th.retired id;
+  Counters.on_retire s.counters ~tid:th.tid;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod s.empty_freq = 0 then begin
+    try_advance th;
+    empty th
+  end
+
+let flush th =
+  try_advance th;
+  empty th
+
+let stats t = Counters.stats t.s.counters

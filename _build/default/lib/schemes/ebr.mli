@@ -1,0 +1,3 @@
+(** See the implementation header for the algorithm description. *)
+
+include Smr_core.Smr_intf.S

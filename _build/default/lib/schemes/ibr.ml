@@ -1,0 +1,150 @@
+(** Interval-based reclamation (Wen et al., 2018) — 2GE variant.
+
+    No per-reference PPVs at all: each thread maintains one epoch interval
+    [lower, upper] covering the birth epochs of every node it may hold. A
+    retired node is reclaimable if, for every thread, its whole lifetime
+    lies outside the thread's interval. Cheaper than HE (an era change
+    updates one interval, not every PPV); robust but not bounded. *)
+
+open Smr_core
+
+type shared = {
+  pool : Mempool.Core.t;
+  counters : Counters.t;
+  epoch : Epoch.t;
+  lower : int Atomic.t array;
+  upper : int Atomic.t array;
+  empty_freq : int;
+  epoch_freq : int;
+  threads : int;
+}
+
+type thread = {
+  shared : shared;
+  tid : int;
+  retired : Retired.t;
+  mutable retire_count : int;
+  mutable alloc_count : int;
+}
+
+type t = {
+  s : shared;
+  per_thread : thread array;
+}
+
+let name = "ibr"
+
+(* Idle interval: empty (lower = +inf, upper = -1) so every node passes. *)
+let idle_lower = max_int
+let idle_upper = -1
+
+let properties =
+  {
+    Smr_intf.full_name = "Interval-based reclamation (2GE)";
+    wasted_memory = Smr_intf.Robust;
+    per_node_words = 3;
+    self_contained = true;
+    needs_per_reference_calls = false;
+  }
+
+let create ~pool ~threads (config : Config.t) =
+  let config = Config.validate config in
+  let s =
+    {
+      pool;
+      counters = Counters.create ~threads;
+      epoch = Epoch.create ~threads;
+      lower = Array.init threads (fun _ -> Atomic.make idle_lower);
+      upper = Array.init threads (fun _ -> Atomic.make idle_upper);
+      empty_freq = config.empty_freq;
+      epoch_freq = config.epoch_freq;
+      threads;
+    }
+  in
+  let per_thread =
+    Array.init threads (fun tid ->
+        { shared = s; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0 })
+  in
+  { s; per_thread }
+
+let thread t ~tid = t.per_thread.(tid)
+let tid th = th.tid
+
+let start_op th =
+  let s = th.shared in
+  let e = Epoch.current s.epoch in
+  Atomic.set s.lower.(th.tid) e;
+  Atomic.set s.upper.(th.tid) e;
+  Counters.on_fence s.counters ~tid:th.tid
+
+let end_op th =
+  let s = th.shared in
+  Atomic.set s.lower.(th.tid) idle_lower;
+  Atomic.set s.upper.(th.tid) idle_upper
+
+let alloc th =
+  th.alloc_count <- th.alloc_count + 1;
+  if th.alloc_count mod th.shared.epoch_freq = 0 then Epoch.advance th.shared.epoch;
+  let id = Mempool.Core.alloc th.shared.pool ~tid:th.tid in
+  Mempool.Core.set_birth th.shared.pool id (Epoch.current th.shared.epoch);
+  id
+
+let alloc_with_index th ~index =
+  let id = alloc th in
+  Mempool.Core.set_index th.shared.pool id index;
+  id
+
+(** Reads stretch the upper endpoint to cover the target's birth epoch
+    (read from the node metadata — the role of IBR's pointer tag). The
+    update only fires when the global epoch moved since the interval was
+    last stretched, so the overhead is per-operation, not per-dereference.
+    Safety for chains of retired nodes follows from the structures'
+    "a retired node points only at nodes retired no earlier" invariant,
+    exactly as in the IBR paper. *)
+let read th ~refno:(_ : int) link =
+  let s = th.shared in
+  let w = Atomic.get link in
+  if not (Handle.is_null w) then begin
+    let birth = Mempool.Core.birth s.pool (Handle.id w) in
+    let up = s.upper.(th.tid) in
+    if Atomic.get up < birth then begin
+      Atomic.set up (max birth (Epoch.current s.epoch));
+      Counters.on_fence s.counters ~tid:th.tid
+    end
+  end;
+  w
+
+let unprotect (_ : thread) ~refno:(_ : int) = ()
+let update_lower_bound (_ : thread) (_ : int) = ()
+let update_upper_bound (_ : thread) (_ : int) = ()
+let handle_of th id = Mempool.Core.handle th.shared.pool id
+
+(* Node [birth, death] conflicts with interval [lo, hi] unless
+   death < lo or birth > hi. *)
+let empty th =
+  let s = th.shared in
+  let lo = Array.map Atomic.get s.lower in
+  let hi = Array.map Atomic.get s.upper in
+  let keep id =
+    let birth = Mempool.Core.birth s.pool id and death = Mempool.Core.death s.pool id in
+    let rec conflict t =
+      t < s.threads && ((not (death < lo.(t) || birth > hi.(t))) || conflict (t + 1))
+    in
+    conflict 0
+  in
+  let released =
+    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
+  in
+  Counters.on_reclaim s.counters ~tid:th.tid released
+
+let retire th id =
+  let s = th.shared in
+  Mempool.Core.mark_retired s.pool id;
+  Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
+  Retired.push th.retired id;
+  Counters.on_retire s.counters ~tid:th.tid;
+  th.retire_count <- th.retire_count + 1;
+  if th.retire_count mod s.empty_freq = 0 then empty th
+
+let flush th = empty th
+let stats t = Counters.stats t.s.counters

@@ -1,0 +1,1 @@
+lib/smr_core/counters.ml: Mp_util Smr_intf

@@ -1,0 +1,1 @@
+lib/smr_core/counters.mli: Mp_util Smr_intf

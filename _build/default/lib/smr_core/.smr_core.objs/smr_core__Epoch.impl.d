@@ -1,0 +1,1 @@
+lib/smr_core/epoch.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/smr_core/smr_intf.ml: Atomic Config Handle Mempool

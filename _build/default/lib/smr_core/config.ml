@@ -1,0 +1,65 @@
+(** Tunable SMR parameters, shared by every scheme.
+
+    Defaults follow the paper's evaluation (§6): reclamation is attempted
+    every 30 retire calls; global epoch counters advance once every
+    [150 × T] allocations (or unlinks, for MP); the margin is 2^20; MP
+    indices span a 32-bit range. *)
+
+(** How MP assigns a new node's index inside the final search interval
+    (lb, ub). The paper uses the midpoint and notes "other policies are
+    possible; we leave exploring them to future work" (§4.1) — the
+    alternatives here are that exploration (see the ablation benchmark). *)
+type index_policy =
+  | Midpoint  (** (lb + ub) / 2 — the paper's policy *)
+  | Golden
+      (** lb + 0.382·(ub − lb): asymmetric split leaving more room above,
+          trading balance for extra headroom under ascending insertions *)
+  | Randomized  (** uniform in (lb, ub): robust to adversarial key orders *)
+
+type t = {
+  slots : int;
+      (** PPV slots per thread (hazard pointers and margin pointers share
+          refnos, as in Listing 10). The client data structure dictates how
+          many it needs. *)
+  empty_freq : int;  (** retire calls between reclamation attempts *)
+  epoch_freq : int;  (** allocations/unlinks between global-epoch advances *)
+  margin : int;  (** width of the interval protected by one margin pointer *)
+  max_index : int;  (** largest assignable MP index *)
+  index_policy : index_policy;
+}
+
+(** USE_HP sentinel index: nodes stamped with it must be protected by
+    hazard pointers, never margin pointers (paper §4.3.2). *)
+let use_hp = 0xFFFF_FFFF
+
+(** Indices of the head/minimum sentinel and the largest index that still
+    packs to an idx16 below the USE_HP range (so protecting the maximum
+    sentinel does not force the HP fallback). *)
+let min_sentinel_index = 0
+
+let max_sentinel_index = 0xFFFE_FFFF
+
+let default ~threads =
+  {
+    slots = 8;
+    empty_freq = 30;
+    epoch_freq = 150 * threads;
+    margin = 1 lsl 20;
+    max_index = max_sentinel_index;
+    index_policy = Midpoint;
+  }
+
+let with_slots t slots = { t with slots }
+let with_index_policy t index_policy = { t with index_policy }
+let with_margin t margin = { t with margin }
+let with_empty_freq t empty_freq = { t with empty_freq }
+let with_epoch_freq t epoch_freq = { t with epoch_freq }
+
+let validate t =
+  if t.slots <= 0 then invalid_arg "Config: slots must be positive";
+  if t.empty_freq <= 0 then invalid_arg "Config: empty_freq must be positive";
+  if t.epoch_freq <= 0 then invalid_arg "Config: epoch_freq must be positive";
+  if t.margin < 1 lsl Handle.precision then
+    invalid_arg "Config: margin must be at least 2^16 (one idx16 precision range)";
+  if t.max_index >= use_hp then invalid_arg "Config: max_index must be below USE_HP";
+  t

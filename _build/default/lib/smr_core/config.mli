@@ -1,0 +1,42 @@
+(** Tunable SMR parameters shared by every scheme (paper §6 defaults). *)
+
+(** How MP assigns a new node's index inside the final search interval —
+    the paper's midpoint policy plus the "other policies" its §4.1 leaves
+    to future work (explored by the ablation benchmark). *)
+type index_policy =
+  | Midpoint  (** (lb + ub) / 2 — the paper's policy *)
+  | Golden  (** asymmetric 38/62 split leaving more room above *)
+  | Randomized  (** uniform in (lb, ub) *)
+
+type t = {
+  slots : int;  (** PPV slots per thread (set by the client structure) *)
+  empty_freq : int;  (** retire calls between reclamation attempts *)
+  epoch_freq : int;  (** allocations/unlinks between global-epoch advances *)
+  margin : int;  (** width of the interval one margin pointer protects *)
+  max_index : int;  (** largest assignable MP index *)
+  index_policy : index_policy;
+}
+
+(** The reserved index marking nodes that must be hazard-pointer
+    protected (§4.3.2). *)
+val use_hp : int
+
+(** Canonical sentinel indices: 0 for the minimum sentinel, and the
+    largest index whose idx16 stays below the USE_HP range. *)
+val min_sentinel_index : int
+
+val max_sentinel_index : int
+
+(** Paper defaults: empty_freq 30, epoch_freq [150 × threads],
+    margin [2^20], 8 slots. *)
+val default : threads:int -> t
+
+val with_slots : t -> int -> t
+val with_index_policy : t -> index_policy -> t
+val with_margin : t -> int -> t
+val with_empty_freq : t -> int -> t
+val with_epoch_freq : t -> int -> t
+
+(** Checks invariants (margin >= 2^16, positive frequencies, ...);
+    raises [Invalid_argument] otherwise. *)
+val validate : t -> t

@@ -1,0 +1,39 @@
+(** Striped run-time counters shared by all scheme implementations. *)
+
+module Sc = Mp_util.Striped_counter
+
+type t = {
+  wasted : Sc.t;
+  fences : Sc.t;
+  reclaimed : Sc.t;
+  retired_total : Sc.t;
+  hp_fallbacks : Sc.t;
+}
+
+let create ~threads =
+  {
+    wasted = Sc.create ~threads;
+    fences = Sc.create ~threads;
+    reclaimed = Sc.create ~threads;
+    retired_total = Sc.create ~threads;
+    hp_fallbacks = Sc.create ~threads;
+  }
+
+let stats t : Smr_intf.stats =
+  {
+    wasted = Sc.sum t.wasted;
+    fences = Sc.sum t.fences;
+    reclaimed = Sc.sum t.reclaimed;
+    retired_total = Sc.sum t.retired_total;
+    hp_fallbacks = Sc.sum t.hp_fallbacks;
+  }
+
+let on_retire t ~tid =
+  Sc.incr t.wasted ~tid;
+  Sc.incr t.retired_total ~tid
+
+let on_reclaim t ~tid n =
+  Sc.add t.wasted ~tid (-n);
+  Sc.add t.reclaimed ~tid n
+
+let on_fence t ~tid = Sc.incr t.fences ~tid

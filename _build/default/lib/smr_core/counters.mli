@@ -1,0 +1,15 @@
+(** Striped run-time counters shared by all scheme implementations. *)
+
+type t = {
+  wasted : Mp_util.Striped_counter.t;
+  fences : Mp_util.Striped_counter.t;
+  reclaimed : Mp_util.Striped_counter.t;
+  retired_total : Mp_util.Striped_counter.t;
+  hp_fallbacks : Mp_util.Striped_counter.t;
+}
+
+val create : threads:int -> t
+val stats : t -> Smr_intf.stats
+val on_retire : t -> tid:int -> unit
+val on_reclaim : t -> tid:int -> int -> unit
+val on_fence : t -> tid:int -> unit

@@ -1,0 +1,40 @@
+(** Global epoch clock with per-thread announcements.
+
+    Used by EBR, HE, IBR and by MP's hazard-era style collision filter. A
+    thread that is not inside an operation announces {!inactive}, which
+    compares greater than every real epoch, so scans can treat idle threads
+    as unable to hold references. *)
+
+(** Announcement of an idle thread. *)
+let inactive = max_int
+
+type t = {
+  global : int Atomic.t;
+  announce : int Atomic.t array;
+}
+
+let create ~threads =
+  { global = Atomic.make 1; announce = Array.init threads (fun _ -> Atomic.make inactive) }
+
+let current t = Atomic.get t.global
+
+(** Advance the global epoch by one (racing advances may skip values;
+    monotonicity is all that matters). *)
+let advance t = Atomic.incr t.global
+
+(** Announce that thread [tid] is operating in the current epoch; returns
+    the epoch announced. Includes the publication fence. *)
+let announce t ~tid =
+  let e = Atomic.get t.global in
+  Atomic.set t.announce.(tid) e;
+  e
+
+let announced t ~tid = Atomic.get t.announce.(tid)
+
+(** Mark thread [tid] idle. *)
+let retire_announcement t ~tid = Atomic.set t.announce.(tid) inactive
+
+(** Smallest epoch announced by any active thread ({!inactive} if all are
+    idle). Reclamation may release anything strictly older. *)
+let min_announced t =
+  Array.fold_left (fun acc a -> min acc (Atomic.get a)) inactive t.announce

@@ -1,0 +1,23 @@
+(** Global epoch clock with per-thread announcements (EBR/HE/IBR/MP). *)
+
+type t = {
+  global : int Atomic.t;
+  announce : int Atomic.t array;
+}
+
+(** Announcement value of an idle thread (compares above all epochs). *)
+val inactive : int
+
+val create : threads:int -> t
+val current : t -> int
+val advance : t -> unit
+
+(** Announce the current epoch for [tid] (includes the publication
+    fence); returns the epoch announced. *)
+val announce : t -> tid:int -> int
+
+val announced : t -> tid:int -> int
+val retire_announcement : t -> tid:int -> unit
+
+(** Smallest epoch announced by any active thread. *)
+val min_announced : t -> int

@@ -1,0 +1,49 @@
+(** Thread-local retired list: a growable vector of node ids.
+
+    Retired nodes wait here until a reclamation pass ([empty] in the paper)
+    proves no thread protects them. [filter_in_place] keeps the nodes the
+    predicate rejects for reclamation and reports how many were released;
+    order is not preserved (swap-with-last), so passes are O(n). *)
+
+type t = {
+  mutable ids : int array;
+  mutable len : int;
+}
+
+let create ?(initial_capacity = 64) () = { ids = Array.make initial_capacity (-1); len = 0 }
+
+let length t = t.len
+
+let push t id =
+  if t.len = Array.length t.ids then begin
+    let bigger = Array.make (2 * Array.length t.ids) (-1) in
+    Array.blit t.ids 0 bigger 0 t.len;
+    t.ids <- bigger
+  end;
+  t.ids.(t.len) <- id;
+  t.len <- t.len + 1
+
+(** [filter_in_place t ~keep ~release] retains ids for which [keep] is
+    true; every dropped id is passed to [release]. Returns the number of
+    released ids. *)
+let filter_in_place t ~keep ~release =
+  let released = ref 0 in
+  let i = ref 0 in
+  while !i < t.len do
+    let id = t.ids.(!i) in
+    if keep id then incr i
+    else begin
+      release id;
+      incr released;
+      t.len <- t.len - 1;
+      t.ids.(!i) <- t.ids.(t.len)
+    end
+  done;
+  !released
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.ids.(i)
+  done
+
+let clear t = t.len <- 0

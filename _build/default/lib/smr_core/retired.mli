@@ -1,0 +1,15 @@
+(** Thread-local retired list: a growable vector of node ids with an
+    O(n) swap-with-last filtering pass. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+
+(** Keep ids satisfying [keep]; call [release] on each dropped id;
+    return how many were released. Order is not preserved. *)
+val filter_in_place : t -> keep:(int -> bool) -> release:(int -> unit) -> int
+
+val iter : t -> (int -> unit) -> unit
+val clear : t -> unit

@@ -1,0 +1,90 @@
+(** The SMR interface (paper Listing 1, plus MP's optional extensions).
+
+    Client data structures are functors over {!S}; any scheme plugs into
+    any structure. Schemes that ignore an extension implement it as a
+    no-op, which is precisely how the paper makes MP a drop-in replacement
+    for HP ("without which it falls back to HP"). *)
+
+(** Qualitative properties, for reproducing Table 1. *)
+type wasted_memory_class =
+  | Bounded  (** predetermined bound, independent of scheduling *)
+  | Robust  (** no unbounded growth, but bound depends on history *)
+  | Unbounded
+
+type properties = {
+  full_name : string;
+  wasted_memory : wasted_memory_class;
+  per_node_words : int;  (** metadata words piggybacked on each node *)
+  self_contained : bool;
+  needs_per_reference_calls : bool;
+}
+
+(** Run-time counters every scheme exposes; the harness samples these. *)
+type stats = {
+  wasted : int;  (** retired but unreclaimed nodes, summed over threads *)
+  fences : int;  (** publication fences issued (PPV/era announcements) *)
+  reclaimed : int;  (** nodes returned to the pool *)
+  retired_total : int;
+  hp_fallbacks : int;  (** MP only: reads served through the HP path *)
+}
+
+module type S = sig
+  type t
+  type thread
+
+  val name : string
+  val properties : properties
+
+  (** [create ~pool ~threads config] sets up scheme-global state. The pool
+      provides per-node metadata words and the free routine. *)
+  val create : pool:Mempool.Core.t -> threads:int -> Config.t -> t
+
+  (** Per-thread handle; [tid] must be in [0, threads). Each tid must be
+      used by at most one domain at a time. *)
+  val thread : t -> tid:int -> thread
+
+  val tid : thread -> int
+
+  (** Bracket every data-structure operation. *)
+  val start_op : thread -> unit
+
+  val end_op : thread -> unit
+
+  (** Allocate a node slot; the scheme stamps MP index and birth epoch.
+      The caller initializes the payload before linking. *)
+  val alloc : thread -> int
+
+  (** Allocation with a caller-chosen index, for sentinel nodes. *)
+  val alloc_with_index : thread -> index:int -> int
+
+  (** Hand a removed node to the scheme; it will be freed once proven
+      unprotected. A node must be retired at most once, after unlinking. *)
+  val retire : thread -> int -> unit
+
+  (** [read th ~refno link] returns a protected snapshot of [link]. The
+      returned handle (including client mark bits) was present in [link]
+      at a moment when the protection was already visible, so the target
+      node cannot be reclaimed while the protection stands. [refno]
+      selects which of the thread's PPV slots to use (ignored by
+      epoch-based schemes). *)
+  val read : thread -> refno:int -> int Atomic.t -> Handle.t
+
+  (** Drop the protection held by [refno] (no-op in most schemes; MP keeps
+      margins alive until [end_op], as the paper specifies). *)
+  val unprotect : thread -> refno:int -> unit
+
+  (** MP extension: the insertion traversal reports the nodes bounding its
+      shrinking search interval (paper Listing 5). No-ops elsewhere. *)
+  val update_lower_bound : thread -> int -> unit
+
+  val update_upper_bound : thread -> int -> unit
+
+  (** Canonical unmarked handle for node [id]. *)
+  val handle_of : thread -> int -> Handle.t
+
+  (** Force a reclamation pass on this thread's retired list (tests and
+      teardown; operations normally trigger it every [empty_freq]). *)
+  val flush : thread -> unit
+
+  val stats : t -> stats
+end

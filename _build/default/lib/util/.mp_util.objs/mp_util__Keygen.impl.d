@@ -1,0 +1,1 @@
+lib/util/keygen.ml: Array Float Rng

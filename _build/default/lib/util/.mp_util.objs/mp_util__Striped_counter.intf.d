@@ -1,0 +1,1 @@
+lib/util/striped_counter.mli:

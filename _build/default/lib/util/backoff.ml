@@ -1,0 +1,19 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    [Domain.cpu_relax] is issued an exponentially growing number of times,
+    capped at [max_spins], to reduce contention without descheduling. *)
+
+type t = { mutable spins : int; max_spins : int }
+
+let default_max_spins = 1024
+
+let create ?(max_spins = default_max_spins) () = { spins = 1; max_spins }
+
+let reset t = t.spins <- 1
+
+(** Spin for the current budget, then double it (up to the cap). *)
+let once t =
+  for _ = 1 to t.spins do
+    Domain.cpu_relax ()
+  done;
+  if t.spins < t.max_spins then t.spins <- t.spins * 2

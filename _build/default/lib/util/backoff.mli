@@ -1,0 +1,10 @@
+(** Truncated exponential backoff for CAS retry loops. *)
+
+type t
+
+val default_max_spins : int
+val create : ?max_spins:int -> unit -> t
+val reset : t -> unit
+
+(** Spin for the current budget, then double it (up to the cap). *)
+val once : t -> unit

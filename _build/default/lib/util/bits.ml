@@ -1,0 +1,7 @@
+(** Small bit tricks used by the histogram. *)
+
+(** Count of leading zeros of a positive int (63-bit OCaml ints; the sign
+    bit is excluded, so [clz 1 = 62]). Undefined for [n <= 0]. *)
+let clz n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc - 1) in
+  go n 63

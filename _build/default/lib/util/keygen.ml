@@ -1,0 +1,46 @@
+(** Workload key generators.
+
+    The paper draws uniformly random integer keys from a range of size [2S]
+    for a structure initialized with [S] keys. A zipfian generator is also
+    provided for skew experiments beyond the paper's workloads. *)
+
+type t =
+  | Uniform of int (* range size *)
+  | Zipf of { range : int; alpha : float; cdf : float array }
+  | Ascending of { mutable next : int } (* worst case for MP indices, Fig. 7a *)
+
+let uniform ~range = Uniform range
+
+(** Zipfian over [0, range) with exponent [alpha]; the CDF is precomputed,
+    so creation is O(range) and sampling is O(log range). *)
+let zipf ~range ~alpha =
+  assert (range > 0);
+  let weights = Array.init range (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) alpha) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make range 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to range - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  Zipf { range; alpha; cdf }
+
+let ascending ?(start = 0) () = Ascending { next = start }
+
+let next t rng =
+  match t with
+  | Uniform range -> Rng.below rng range
+  | Zipf { range; cdf; _ } ->
+    let u = Rng.float rng in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+    in
+    let i = bsearch 0 (range - 1) in
+    i
+  | Ascending s ->
+    let k = s.next in
+    s.next <- s.next + 1;
+    k

@@ -1,0 +1,13 @@
+(** Workload key generators: uniform, zipfian, and ascending (the MP
+    index-collision worst case of Figure 7a). *)
+
+type t
+
+val uniform : range:int -> t
+
+(** Zipfian over [0, range) with exponent [alpha]; O(range) setup,
+    O(log range) sampling. *)
+val zipf : range:int -> alpha:float -> t
+
+val ascending : ?start:int -> unit -> t
+val next : t -> Rng.t -> int

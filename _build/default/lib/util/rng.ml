@@ -1,0 +1,35 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Each thread of a benchmark owns an independent generator seeded from a
+    master seed and the thread id, so runs are reproducible and there is no
+    shared RNG state to contend on. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(** Derive a stream for thread [tid] from a master [seed]; streams are
+    decorrelated by the golden-gamma increment. *)
+let split ~seed ~tid =
+  { state = Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (tid + 1))) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [next_int t] is a uniformly distributed non-negative OCaml int. *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [below t n] is uniform in [0, n). Requires [n > 0]. *)
+let below t n =
+  assert (n > 0);
+  next_int t mod n
+
+(** [float t] is uniform in [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+
+(** [bool t] is a fair coin flip. *)
+let bool t = Int64.logand (next_int64 t) 1L = 1L

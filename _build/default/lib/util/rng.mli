@@ -1,0 +1,21 @@
+(** SplitMix64 PRNG: fast, seedable, one independent stream per thread. *)
+
+type t
+
+val create : int -> t
+
+(** Decorrelated stream for thread [tid] derived from a master [seed]. *)
+val split : seed:int -> tid:int -> t
+
+val next_int64 : t -> int64
+
+(** Uniform non-negative OCaml int. *)
+val next_int : t -> int
+
+(** Uniform in [0, n); requires n > 0. *)
+val below : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool

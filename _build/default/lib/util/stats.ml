@@ -1,0 +1,34 @@
+(** Small descriptive-statistics helpers used by the harness and reports. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (Float.infinity, Float.neg_infinity)
+    xs
+
+(** Percentile by nearest-rank on a sorted copy; [p] in [0, 100]. *)
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+(** Wall-clock now, in seconds. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,12 @@
+(** Small descriptive statistics for the harness and reports. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+val min_max : float array -> float * float
+
+(** Nearest-rank percentile on a sorted copy; [p] in [0, 100]. *)
+val percentile : float array -> float -> float
+
+(** Wall-clock seconds. *)
+val now : unit -> float

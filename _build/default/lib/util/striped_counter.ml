@@ -1,0 +1,22 @@
+(** Per-thread striped counter.
+
+    Each thread increments a private cell; [sum] aggregates all cells. The
+    cells are plain mutable ints wrapped in single-field records so each
+    lives in its own heap block (OCaml offers no direct control over cache
+    line placement; a dedicated block per stripe is the closest idiom). *)
+
+type cell = { mutable v : int }
+
+type t = { cells : cell array }
+
+let create ~threads = { cells = Array.init threads (fun _ -> { v = 0 }) }
+
+let incr t ~tid = t.cells.(tid).v <- t.cells.(tid).v + 1
+
+let add t ~tid n = t.cells.(tid).v <- t.cells.(tid).v + n
+
+let get t ~tid = t.cells.(tid).v
+
+let sum t = Array.fold_left (fun acc c -> acc + c.v) 0 t.cells
+
+let reset t = Array.iter (fun c -> c.v <- 0) t.cells

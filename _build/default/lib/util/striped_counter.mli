@@ -1,0 +1,10 @@
+(** Per-thread striped counter: uncontended increments, summed reads. *)
+
+type t
+
+val create : threads:int -> t
+val incr : t -> tid:int -> unit
+val add : t -> tid:int -> int -> unit
+val get : t -> tid:int -> int
+val sum : t -> int
+val reset : t -> unit

@@ -1,0 +1,69 @@
+(* Long-running safety soak across the full (structure × scheme) matrix
+   with the use-after-free detector armed. Not part of `dune runtest` —
+   run manually:  dune exec stress/soak.exe -- [minutes]  *)
+
+let structures : (string * ((module Smr_core.Smr_intf.S) -> (module Dstruct.Set_intf.SET))) list =
+  [
+    ("list", fun (module S) -> (module Dstruct.Michael_list.Make (S)));
+    ("skiplist", fun (module S) -> (module Dstruct.Skiplist.Make (S)));
+    ("bst", fun (module S) -> (module Dstruct.Nm_bst.Make (S)));
+  ]
+
+let schemes : (string * (module Smr_core.Smr_intf.S)) list =
+  [
+    ("mp", (module Mp.Margin_ptr));
+    ("hp", (module Smr_schemes.Hp));
+    ("ebr", (module Smr_schemes.Ebr));
+    ("he", (module Smr_schemes.He));
+    ("ibr", (module Smr_schemes.Ibr));
+  ]
+
+let round (module SET : Dstruct.Set_intf.SET) ~seed =
+  let threads = 4 and ops = 20_000 in
+  let range = if seed mod 2 = 0 then 256 else 64 in
+  let config = Smr_core.Config.default ~threads in
+  let t =
+    SET.create ~threads ~capacity:((range * 8) + (ops * threads) + 1024) ~check_access:true
+      config
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to (range / 2) - 1 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed ~tid in
+            for i = 1 to ops do
+              let k = Mp_util.Rng.below rng range in
+              if i mod 1000 = 0 then
+                ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf 0.0005) : bool)
+              else
+                match Mp_util.Rng.below rng 4 with
+                | 0 -> ignore (SET.insert s ~key:k ~value:k : bool)
+                | 1 -> ignore (SET.remove s k : bool)
+                | _ -> ignore (SET.contains s k : bool)
+            done;
+            SET.flush s))
+  in
+  Array.iter Domain.join domains;
+  SET.check t;
+  if SET.violations t <> 0 then failwith (SET.name ^ ": use-after-free detected")
+
+let () =
+  let minutes = try float_of_string Sys.argv.(1) with _ -> 5.0 in
+  let t_end = Unix.gettimeofday () +. (minutes *. 60.0) in
+  let seed = ref 0 in
+  while Unix.gettimeofday () < t_end do
+    incr seed;
+    List.iter
+      (fun (ds_name, make) ->
+        List.iter
+          (fun (s_name, s) ->
+            round (make s) ~seed:(!seed * 7919);
+            Printf.printf "%s(%s) round %d ok\n%!" ds_name s_name !seed)
+          schemes)
+      structures
+  done;
+  print_endline "SOAK CLEAN"

@@ -1,0 +1,1 @@
+test/common.ml: Alcotest Array Domain Dstruct List Mp Mp_util Smr_core Smr_schemes

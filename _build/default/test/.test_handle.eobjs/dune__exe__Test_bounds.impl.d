@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Atomic Domain Dstruct Mp Printf Smr_core Smr_schemes

@@ -1,0 +1,1 @@
+test/test_bst.ml: Alcotest Array Common Domain Dstruct Hashtbl Mp Mp_util Smr_core

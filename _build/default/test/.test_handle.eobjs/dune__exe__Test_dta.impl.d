@@ -1,0 +1,1 @@
+test/test_dta.ml: Alcotest Array Atomic Common Domain Dstruct Mp_util Printf Smr_core

@@ -1,0 +1,1 @@
+test/test_fuzz_config.ml: Alcotest Array Common Domain Dstruct List Mp_util Smr_core

@@ -1,0 +1,1 @@
+test/test_handle.ml: Alcotest Handle List QCheck QCheck_alcotest

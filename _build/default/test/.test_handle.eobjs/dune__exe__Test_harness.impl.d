@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Mp_harness Mp_util Printf Smr_core

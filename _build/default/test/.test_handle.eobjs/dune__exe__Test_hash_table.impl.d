@@ -1,0 +1,1 @@
+test/test_hash_table.ml: Alcotest Array Domain Dstruct Hashtbl Mp Mp_util Smr_core Smr_schemes

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Float Gen List Mp_util Printf QCheck QCheck_alcotest

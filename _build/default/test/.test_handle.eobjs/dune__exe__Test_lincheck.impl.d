@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Clock Domain Dstruct Gen Hashtbl Lincheck List Mp Mp_util QCheck QCheck_alcotest Recorder Smr_core Smr_schemes

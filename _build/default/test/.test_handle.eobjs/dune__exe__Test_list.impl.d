@@ -1,0 +1,1 @@
+test/test_list.ml: Alcotest Common Dstruct Mempool Mp Printf Smr_core

@@ -1,0 +1,1 @@
+test/test_margin_ptr.ml: Alcotest Atomic Handle List Mempool Mp Mp_util Printf QCheck QCheck_alcotest Smr_core

@@ -1,0 +1,1 @@
+test/test_mempool.ml: Alcotest Array Atomic Domain Handle List Mempool Mp_util Mutex Printf Queue

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Common Dstruct Int List Printf QCheck QCheck_alcotest Set Smr_core String

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Mempool Mp Mp_util Printf Smr_core

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Atomic Domain Dstruct Hashtbl List Mp Smr_core Smr_schemes

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Array Atomic Common Counters Domain Dstruct Handle List Mempool Mp_util Printf Smr_core Smr_intf

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Atomic Handle List Mempool Mp Smr_core Smr_schemes

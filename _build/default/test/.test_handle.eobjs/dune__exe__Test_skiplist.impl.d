@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Common Domain Dstruct Mp Printf Smr_core

@@ -1,0 +1,1 @@
+test/test_smr_core.ml: Alcotest Array Domain List QCheck QCheck_alcotest Smr_core

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Domain Gen List Mp_util QCheck QCheck_alcotest

@@ -1,0 +1,132 @@
+(* The paper's central claim (§4.4, Figure 6): with a thread stalled
+   mid-operation while holding SMR protection,
+   - EBR reclaims nothing — wasted memory grows linearly with churn;
+   - HE/IBR are robust: waste is capped by what existed at the stall;
+   - HP and MP keep waste bounded by a constant independent of churn.
+
+   The stall is deterministic: a domain parks inside [contains_paused]
+   on a gate while the main thread churns inserts+removes. *)
+
+module Config = Smr_core.Config
+
+type probe = {
+  wasted_after_1 : int;
+  wasted_after_2 : int;
+  churn : int;
+}
+
+let run_stalled_churn (module SET : Dstruct.Set_intf.SET) =
+  let threads = 2 in
+  let churn = 10_000 in
+  let config =
+    Config.default ~threads
+    |> (fun c -> Config.with_empty_freq c 10)
+    |> (fun c -> Config.with_epoch_freq c 64)
+    |> fun c -> Config.with_margin c (1 lsl 16)
+  in
+  let capacity = 1024 + (5 * churn) in
+  let t = SET.create ~threads ~capacity ~check_access:true config in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to 63 do
+    ignore (SET.insert s0 ~key:(k * 1000) ~value:k : bool)
+  done;
+  let parked = Atomic.make false in
+  let release = Atomic.make false in
+  let staller =
+    Domain.spawn (fun () ->
+        let s1 = SET.session t ~tid:1 in
+        ignore
+          (SET.contains_paused s1 17_000 ~pause:(fun () ->
+               Atomic.set parked true;
+               while not (Atomic.get release) do
+                 Domain.cpu_relax ()
+               done)
+            : bool))
+  in
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  (* churn: repeatedly insert+remove fresh keys while thread 1 is stalled *)
+  let phase () =
+    for i = 0 to churn - 1 do
+      let k = 100 + (i mod 400) in
+      ignore (SET.insert s0 ~key:k ~value:i : bool);
+      ignore (SET.remove s0 k : bool)
+    done;
+    SET.flush s0;
+    (SET.smr_stats t).Smr_core.Smr_intf.wasted
+  in
+  let wasted_after_1 = phase () in
+  let wasted_after_2 = phase () in
+  Atomic.set release true;
+  Domain.join staller;
+  SET.flush s0;
+  Alcotest.(check int) "no use-after-free" 0 (SET.violations t);
+  { wasted_after_1; wasted_after_2; churn }
+
+let list_of (module S : Smr_core.Smr_intf.S) : (module Dstruct.Set_intf.SET) =
+  (module Dstruct.Michael_list.Make (S))
+
+let ebr_unbounded () =
+  let p = run_stalled_churn (list_of (module Smr_schemes.Ebr)) in
+  (* the stalled thread pins its epoch: nearly everything stays wasted and
+     waste keeps growing with more churn *)
+  Alcotest.(check bool)
+    (Printf.sprintf "EBR waste ~ churn (%d vs %d)" p.wasted_after_1 p.churn)
+    true
+    (p.wasted_after_1 > p.churn / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "EBR waste grows (%d -> %d)" p.wasted_after_1 p.wasted_after_2)
+    true
+    (p.wasted_after_2 > p.wasted_after_1 + (p.churn / 2))
+
+let bounded_scheme name set ~bound () =
+  let p = run_stalled_churn set in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s waste after phase 1 bounded (%d <= %d)" name p.wasted_after_1 bound)
+    true
+    (p.wasted_after_1 <= bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s waste does not grow with churn (%d -> %d)" name p.wasted_after_1
+       p.wasted_after_2)
+    true
+    (p.wasted_after_2 <= bound)
+
+let robust_scheme name set () =
+  (* HE/IBR: waste under a stall may reach the data-structure size at the
+     stall (64 keys here) plus one epoch window, but must not track churn. *)
+  let p = run_stalled_churn set in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s waste stops growing (%d -> %d, churn %d)" name p.wasted_after_1
+       p.wasted_after_2 p.churn)
+    true
+    (p.wasted_after_2 - p.wasted_after_1 < p.churn / 10)
+
+(* MP on a *search-friendly* layout: the stalled thread's margin pins only
+   nodes whose indices fall inside it; everything else reclaims. *)
+let mp_bound_respects_margin () =
+  let p = run_stalled_churn (list_of (module Mp.Margin_ptr)) in
+  (* The theorem-level bound #HP + #MP·M + #MP·M·F·T is astronomically
+     loose; experimentally (Fig. 6) MP waste is a small constant. Allow a
+     generous constant: one epoch window (epoch_freq=64) of retirements per
+     margin slot plus slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "MP waste small and constant (%d, %d vs churn %d)" p.wasted_after_1
+       p.wasted_after_2 p.churn)
+    true
+    (p.wasted_after_1 < 2_000 && p.wasted_after_2 < 2_000)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "stalled-thread wasted memory",
+        [
+          Alcotest.test_case "EBR unbounded" `Slow ebr_unbounded;
+          Alcotest.test_case "HP bounded" `Slow
+            (bounded_scheme "HP" (list_of (module Smr_schemes.Hp)) ~bound:600);
+          Alcotest.test_case "MP bounded" `Slow mp_bound_respects_margin;
+          Alcotest.test_case "HE robust" `Slow (robust_scheme "HE" (list_of (module Smr_schemes.He)));
+          Alcotest.test_case "IBR robust" `Slow
+            (robust_scheme "IBR" (list_of (module Smr_schemes.Ibr)));
+        ] );
+    ]

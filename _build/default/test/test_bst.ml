@@ -1,0 +1,101 @@
+(* Natarajan–Mittal BST across every SMR scheme, plus tree-specific cases:
+   external-tree shape, router/leaf index sharing, coalesced deletions, and
+   seek-record helping. *)
+
+module Config = Smr_core.Config
+module B = Dstruct.Nm_bst.Make (Mp.Margin_ptr)
+
+let generic =
+  Common.suite_for "bst" (fun (module S : Smr_core.Smr_intf.S) ->
+      (module Dstruct.Nm_bst.Make (S) : Dstruct.Set_intf.SET))
+
+let shape_after_mixed_ops () =
+  let t = B.create ~threads:1 ~capacity:16_384 (Config.default ~threads:1) in
+  let s = B.session t ~tid:0 in
+  let rng = Mp_util.Rng.create 9 in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 5_000 do
+    let k = Mp_util.Rng.below rng 500 in
+    if Mp_util.Rng.bool rng then begin
+      let expect = not (Hashtbl.mem model k) in
+      Alcotest.(check bool) "insert agrees with model" expect (B.insert s ~key:k ~value:k);
+      Hashtbl.replace model k ()
+    end
+    else begin
+      let expect = Hashtbl.mem model k in
+      Alcotest.(check bool) "remove agrees with model" expect (B.remove s k);
+      Hashtbl.remove model k
+    end
+  done;
+  B.check t;
+  Alcotest.(check int) "size matches model" (Hashtbl.length model) (B.size t)
+
+let empty_then_refill () =
+  let t = B.create ~threads:1 ~capacity:8_192 (Config.default ~threads:1) in
+  let s = B.session t ~tid:0 in
+  for round = 1 to 3 do
+    for k = 0 to 199 do
+      Alcotest.(check bool) "insert" true (B.insert s ~key:k ~value:(k * round))
+    done;
+    Alcotest.(check int) "full" 200 (B.size t);
+    for k = 199 downto 0 do
+      Alcotest.(check bool) "remove" true (B.remove s k)
+    done;
+    Alcotest.(check int) "empty" 0 (B.size t);
+    B.check t
+  done
+
+let reclaims_internal_nodes () =
+  (* every remove unlinks a leaf AND its router: reclamation must return
+     both (2 nodes per remove, not 1). *)
+  let config = Config.with_empty_freq (Config.default ~threads:1) 1 in
+  let t = B.create ~threads:1 ~capacity:4_096 config in
+  let s = B.session t ~tid:0 in
+  for k = 0 to 99 do
+    ignore (B.insert s ~key:k ~value:k : bool)
+  done;
+  let live_before = B.live_nodes t in
+  for k = 0 to 99 do
+    ignore (B.remove s k : bool)
+  done;
+  B.flush s;
+  let st = B.smr_stats t in
+  Alcotest.(check int) "two retirements per removal" 200 st.Smr_core.Smr_intf.retired_total;
+  Alcotest.(check int) "all reclaimed" 200 st.Smr_core.Smr_intf.reclaimed;
+  Alcotest.(check int) "live back to sentinels" (live_before - 200) (B.live_nodes t)
+
+let concurrent_same_key_removal () =
+  (* two domains race to delete the same keys: exactly one wins each. *)
+  let threads = 2 in
+  let t = B.create ~threads ~capacity:16_384 ~check_access:true (Config.default ~threads) in
+  let s0 = B.session t ~tid:0 in
+  for k = 0 to 499 do
+    ignore (B.insert s0 ~key:k ~value:k : bool)
+  done;
+  let wins = Array.make threads 0 in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = B.session t ~tid in
+            for k = 0 to 499 do
+              if B.remove s k then wins.(tid) <- wins.(tid) + 1
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "every key removed exactly once" 500 (wins.(0) + wins.(1));
+  Alcotest.(check int) "tree empty" 0 (B.size t);
+  B.check t;
+  Alcotest.(check int) "no poison" 0 (B.violations t)
+
+let () =
+  Alcotest.run "nm_bst"
+    (generic
+    @ [
+        ( "bst-specific",
+          [
+            Alcotest.test_case "shape vs model" `Quick shape_after_mixed_ops;
+            Alcotest.test_case "empty then refill" `Quick empty_then_refill;
+            Alcotest.test_case "reclaims internal nodes" `Quick reclaims_internal_nodes;
+            Alcotest.test_case "racing removals" `Slow concurrent_same_key_removal;
+          ] );
+      ])

@@ -1,0 +1,144 @@
+(* Drop-the-Anchor list: sequential correctness, concurrent churn, the
+   EBR fast path, and the freeze-based stall recovery (other threads keep
+   reclaiming while a thread is parked mid-operation). *)
+
+module D = Dstruct.Dta_list
+module Config = Smr_core.Config
+
+let mk ?(threads = 2) ?(capacity = 65_536) () =
+  D.create ~threads ~capacity ~check_access:true
+    (Config.with_empty_freq (Config.default ~threads) 10)
+
+let sequential_basics () =
+  let t = mk () in
+  let s = D.session t ~tid:0 in
+  Alcotest.(check bool) "insert" true (D.insert s ~key:5 ~value:50);
+  Alcotest.(check bool) "dup" false (D.insert s ~key:5 ~value:0);
+  Alcotest.(check bool) "contains" true (D.contains s 5);
+  Alcotest.(check (option int)) "find" (Some 50) (D.find s 5);
+  Alcotest.(check bool) "remove" true (D.remove s 5);
+  Alcotest.(check bool) "remove again" false (D.remove s 5);
+  Alcotest.(check int) "size" 0 (D.size t);
+  D.check t
+
+let reclaims_on_fast_path () =
+  let t = mk ~threads:1 () in
+  let s = D.session t ~tid:0 in
+  for k = 0 to 499 do
+    ignore (D.insert s ~key:k ~value:k : bool)
+  done;
+  for k = 0 to 499 do
+    ignore (D.remove s k : bool)
+  done;
+  (* advance the epoch so the EBR bound moves past all retirements *)
+  for _ = 1 to 3 do
+    Smr_core.Epoch.advance (D.Debug.epoch t)
+  done;
+  D.flush s;
+  let st = D.smr_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "most nodes reclaimed (%d/%d)" st.Smr_core.Smr_intf.reclaimed 500)
+    true
+    (st.Smr_core.Smr_intf.reclaimed > 400)
+
+let concurrent_churn () =
+  let threads = 4 in
+  let t = D.create ~threads ~capacity:262_144 ~check_access:true (Config.default ~threads) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = D.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed:5150 ~tid in
+            for _ = 1 to 10_000 do
+              let k = Mp_util.Rng.below rng 128 in
+              match Mp_util.Rng.below rng 4 with
+              | 0 -> ignore (D.insert s ~key:k ~value:k : bool)
+              | 1 -> ignore (D.remove s k : bool)
+              | _ -> ignore (D.contains s k : bool)
+            done;
+            D.flush s))
+  in
+  Array.iter Domain.join domains;
+  D.check t;
+  Alcotest.(check int) "no use-after-free" 0 (D.violations t)
+
+(* The headline feature: a stalled thread does NOT block reclamation —
+   recovery freezes its window and reclamation proceeds. *)
+let stall_recovery () =
+  let threads = 2 in
+  let t =
+    D.create ~threads ~capacity:262_144 ~check_access:true ~anchor_step:16 ~stall_epochs:2
+      (Config.with_epoch_freq (Config.with_empty_freq (Config.default ~threads) 10) 50)
+  in
+  let s0 = D.session t ~tid:0 in
+  for k = 0 to 63 do
+    ignore (D.insert s0 ~key:(k * 10) ~value:k : bool)
+  done;
+  let parked = Atomic.make false and release = Atomic.make false in
+  let frozen_seen = Atomic.make false in
+  let staller =
+    Domain.spawn (fun () ->
+        let s1 = D.session t ~tid:1 in
+        let r =
+          D.contains_paused s1 300 ~pause:(fun () ->
+              Atomic.set parked true;
+              while not (Atomic.get release) do
+                Domain.cpu_relax ()
+              done)
+        in
+        Atomic.set frozen_seen (D.frozen_nodes t > 0);
+        ignore (r : bool))
+  in
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  (* churn while the reader is parked: DTA must keep reclaiming *)
+  for i = 0 to 9_999 do
+    let k = 1 + (i mod 400) in
+    ignore (D.insert s0 ~key:k ~value:i : bool);
+    ignore (D.remove s0 k : bool)
+  done;
+  D.flush s0;
+  let st = D.smr_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "reclamation proceeded under stall (%d reclaimed, %d wasted)"
+       st.Smr_core.Smr_intf.reclaimed st.Smr_core.Smr_intf.wasted)
+    true
+    (st.Smr_core.Smr_intf.reclaimed > 5_000);
+  Alcotest.(check bool) "window was frozen" true (D.frozen_nodes t > 0);
+  Atomic.set release true;
+  Domain.join staller;
+  (* the recovered thread restarted and completed its operation *)
+  D.check t;
+  Alcotest.(check int) "no use-after-free" 0 (D.violations t)
+
+(* Conformance: DTA through the common SET interface must pass the same
+   generic battery as the scheme-generic structures. *)
+module As_set_suite = struct
+  let set = (module Dstruct.Dta_list.As_set : Dstruct.Set_intf.SET)
+  let cases =
+    [
+      Alcotest.test_case "as_set: sequential basics" `Quick (Common.sequential_basics set);
+      Alcotest.test_case "as_set: boundaries" `Quick (Common.sequential_boundaries set);
+      Alcotest.test_case "as_set: ascending/descending" `Quick (Common.ascending_descending set);
+      Alcotest.test_case "as_set: contains_paused" `Quick (Common.contains_paused_works set);
+      Alcotest.test_case "as_set: concurrent churn" `Slow
+        (Common.churn set ~threads:4 ~ops:8_000 ~range:128);
+      Alcotest.test_case "as_set: net count" `Slow
+        (Common.net_count set ~threads:4 ~ops:8_000 ~range:64);
+    ]
+end
+
+let () =
+  Alcotest.run "dta_list"
+    [
+      ( "dta",
+        [
+          Alcotest.test_case "sequential" `Quick sequential_basics;
+          Alcotest.test_case "fast-path reclamation" `Quick reclaims_on_fast_path;
+          Alcotest.test_case "concurrent churn" `Slow concurrent_churn;
+          Alcotest.test_case "stall recovery" `Slow stall_recovery;
+        ] );
+      ("dta-as-set", As_set_suite.cases);
+    ]
+

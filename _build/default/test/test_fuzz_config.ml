@@ -1,0 +1,78 @@
+(* Configuration-space fuzzing: random (empty_freq, epoch_freq, margin,
+   scheme, structure) combinations under concurrent churn with the
+   use-after-free detector armed. Safety and bookkeeping must hold at
+   every point of the tuning space, not just the paper's defaults. *)
+
+module Config = Smr_core.Config
+
+let fuzz_round rng round =
+  let threads = 2 + Mp_util.Rng.below rng 3 in
+  let range = 32 + Mp_util.Rng.below rng 224 in
+  let ops = 3_000 in
+  let config =
+    Config.default ~threads
+    |> (fun c -> Config.with_empty_freq c (1 + Mp_util.Rng.below rng 60))
+    |> (fun c -> Config.with_epoch_freq c (1 + Mp_util.Rng.below rng 300))
+    |> (fun c -> Config.with_margin c (1 lsl (16 + Mp_util.Rng.below rng 14)))
+    |> fun c ->
+    Config.with_index_policy c
+      (match Mp_util.Rng.below rng 3 with
+      | 0 -> Config.Midpoint
+      | 1 -> Config.Golden
+      | _ -> Config.Randomized)
+  in
+  let scheme_name, scheme =
+    List.nth Common.schemes (Mp_util.Rng.below rng (List.length Common.schemes))
+  in
+  let ds, make =
+    match Mp_util.Rng.below rng 3 with
+    | 0 ->
+      ( "list",
+        fun (module S : Smr_core.Smr_intf.S) ->
+          (module Dstruct.Michael_list.Make (S) : Dstruct.Set_intf.SET) )
+    | 1 ->
+      ( "skiplist",
+        fun (module S : Smr_core.Smr_intf.S) -> (module Dstruct.Skiplist.Make (S)) )
+    | _ -> ("bst", fun (module S : Smr_core.Smr_intf.S) -> (module Dstruct.Nm_bst.Make (S)))
+  in
+  let (module SET : Dstruct.Set_intf.SET) = make scheme in
+  let capacity = (range * 8) + (ops * threads) + 1024 in
+  let t = SET.create ~threads ~capacity ~check_access:true config in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed:(round * 131) ~tid in
+            for i = 1 to ops do
+              let k = Mp_util.Rng.below rng range in
+              if i mod 701 = 0 then
+                ignore (SET.contains_paused s k ~pause:(fun () -> Domain.cpu_relax ()) : bool)
+              else
+                match Mp_util.Rng.below rng 4 with
+                | 0 -> ignore (SET.insert s ~key:k ~value:k : bool)
+                | 1 -> ignore (SET.remove s k : bool)
+                | _ -> ignore (SET.contains s k : bool)
+            done;
+            SET.flush s))
+  in
+  Array.iter Domain.join domains;
+  (try SET.check t
+   with Failure msg ->
+     Alcotest.failf "round %d (%s/%s ef=%d pf=%d m=%d): %s" round ds scheme_name
+       config.Config.empty_freq config.Config.epoch_freq config.Config.margin msg);
+  if SET.violations t <> 0 then
+    Alcotest.failf "round %d (%s/%s): %d use-after-free violations" round ds scheme_name
+      (SET.violations t);
+  let st = SET.smr_stats t in
+  if st.Smr_core.Smr_intf.retired_total <> st.Smr_core.Smr_intf.reclaimed + st.Smr_core.Smr_intf.wasted
+  then Alcotest.failf "round %d (%s/%s): bookkeeping broken" round ds scheme_name
+
+let fuzz () =
+  let rng = Mp_util.Rng.create 0xF022 in
+  for round = 1 to 12 do
+    fuzz_round rng round
+  done
+
+let () =
+  Alcotest.run "fuzz_config"
+    [ ("fuzz", [ Alcotest.test_case "random configurations" `Slow fuzz ]) ]

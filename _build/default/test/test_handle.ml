@@ -1,0 +1,80 @@
+(* Link-word packing: every field must round-trip, marks and incarnation
+   tags must not bleed into neighbours, and the idx16 precision bounds must
+   match the paper's range(i) definition. *)
+
+let check = Alcotest.(check int)
+
+let roundtrip () =
+  let h = Handle.make ~inc:0x1ABC ~id:123_456 ~idx16:0xBEEF ~mark:2 () in
+  check "id" 123_456 (Handle.id h);
+  check "idx16" 0xBEEF (Handle.idx16 h);
+  check "mark" 2 (Handle.mark h);
+  check "inc (masked to 13 bits)" (0x1ABC land Handle.inc_mask) (Handle.inc h)
+
+let null_properties () =
+  Alcotest.(check bool) "null is null" true (Handle.is_null Handle.null);
+  check "null mark" 0 (Handle.mark Handle.null);
+  Alcotest.(check bool) "non-null" false
+    (Handle.is_null (Handle.make ~id:0 ~idx16:0 ~mark:0 ()))
+
+let with_mark_preserves_fields () =
+  let h = Handle.make ~inc:7 ~id:42 ~idx16:0x1234 ~mark:0 () in
+  let m = Handle.with_mark h 3 in
+  check "mark set" 3 (Handle.mark m);
+  check "id preserved" 42 (Handle.id m);
+  check "idx16 preserved" 0x1234 (Handle.idx16 m);
+  check "inc preserved" 7 (Handle.inc m);
+  check "unmarked restores" h (Handle.unmarked m)
+
+let precision_bounds () =
+  (* A handle observed with idx16 = i stands for indices in
+     [i << 16, (i << 16) + 0xFFFF] (paper §4.3.1). *)
+  let h = Handle.make ~id:1 ~idx16:0x00A5 ~mark:0 () in
+  check "lower" (0x00A5 lsl 16) (Handle.idx_lower_bound h);
+  check "upper" ((0x00A5 lsl 16) lor 0xFFFF) (Handle.idx_upper_bound h);
+  check "idx16 of full index" 0x00A5 (Handle.idx16_of_index ((0x00A5 lsl 16) + 12345))
+
+let incarnation_distinguishes_reuse () =
+  let a = Handle.make ~inc:1 ~id:9 ~idx16:0 ~mark:0 () in
+  let b = Handle.make ~inc:2 ~id:9 ~idx16:0 ~mark:0 () in
+  Alcotest.(check bool) "different incarnations differ" false (Handle.equal a b);
+  check "same id" (Handle.id a) (Handle.id b)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"handle pack/unpack roundtrip" ~count:1000
+    QCheck.(
+      quad (int_bound Handle.max_id) (int_bound Handle.idx16_mask) (int_bound 3)
+        (int_bound Handle.inc_mask))
+    (fun (id, idx16, mark, inc) ->
+      let h = Handle.make ~inc ~id ~idx16 ~mark () in
+      Handle.id h = id && Handle.idx16 h = idx16 && Handle.mark h = mark && Handle.inc h = inc)
+
+let qcheck_mark_involution =
+  QCheck.Test.make ~name:"with_mark twice = last mark wins" ~count:500
+    QCheck.(pair (int_bound Handle.max_id) (pair (int_bound 3) (int_bound 3)))
+    (fun (id, (m1, m2)) ->
+      let h = Handle.make ~id ~idx16:55 ~mark:0 () in
+      Handle.mark (Handle.with_mark (Handle.with_mark h m1) m2) = m2)
+
+let qcheck_idx16_monotone =
+  QCheck.Test.make ~name:"idx16_of_index is monotone" ~count:500
+    QCheck.(pair (int_bound 0xFFFF_FFFF) (int_bound 0xFFFF_FFFF))
+    (fun (i, j) ->
+      let lo = min i j and hi = max i j in
+      Handle.idx16_of_index lo <= Handle.idx16_of_index hi)
+
+let () =
+  Alcotest.run "handle"
+    [
+      ( "packing",
+        [
+          Alcotest.test_case "roundtrip" `Quick roundtrip;
+          Alcotest.test_case "null" `Quick null_properties;
+          Alcotest.test_case "with_mark" `Quick with_mark_preserves_fields;
+          Alcotest.test_case "precision bounds" `Quick precision_bounds;
+          Alcotest.test_case "incarnation tag" `Quick incarnation_distinguishes_reuse;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_roundtrip; qcheck_mark_involution; qcheck_idx16_monotone ] );
+    ]

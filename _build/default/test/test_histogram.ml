@@ -1,0 +1,70 @@
+(* The latency histogram: bucketing precision, percentiles, merging. *)
+
+module H = Mp_util.Histogram
+
+let records_and_counts () =
+  let h = H.create () in
+  H.record h 1e-6;
+  H.record h 2e-6;
+  H.record h 3e-6;
+  Alcotest.(check int) "count" 3 (H.count h);
+  Alcotest.(check bool) "max in range" true (H.max_ns h >= 2_900 && H.max_ns h <= 3_100)
+
+let percentile_ordering () =
+  let h = H.create () in
+  for i = 1 to 1000 do
+    H.record h (float_of_int i *. 1e-9)
+  done;
+  let p50 = H.percentile_ns h 50.0 and p99 = H.percentile_ns h 99.0 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  (* log-bucket precision: within ~25% of the true value *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 near 500 (got %d)" p50)
+    true
+    (p50 >= 375 && p50 <= 640);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 near 990 (got %d)" p99)
+    true
+    (p99 >= 740 && p99 <= 1300)
+
+let empty_percentile () =
+  Alcotest.(check int) "empty" 0 (H.percentile_ns (H.create ()) 99.0)
+
+let merge () =
+  let a = H.create () and b = H.create () in
+  H.record a 1e-6;
+  H.record b 1e-3;
+  H.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 2 (H.count a);
+  Alcotest.(check bool) "max from b" true (H.max_ns a >= 900_000)
+
+let qcheck_monotone_percentiles =
+  QCheck.Test.make ~name:"percentiles monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (float_bound_exclusive 0.01))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (fun s -> H.record h (Float.abs s)) samples;
+      H.percentile_ns h 10.0 <= H.percentile_ns h 50.0
+      && H.percentile_ns h 50.0 <= H.percentile_ns h 95.0)
+
+let qcheck_bucket_precision =
+  QCheck.Test.make ~name:"single sample percentile within 25%" ~count:300
+    QCheck.(int_range 10 1_000_000_000)
+    (fun ns ->
+      let h = H.create () in
+      H.record h (float_of_int ns *. 1e-9);
+      let p = H.percentile_ns h 50.0 in
+      let lo = float_of_int ns *. 0.75 and hi = float_of_int ns *. 1.01 in
+      float_of_int p >= lo && float_of_int p <= hi)
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "histogram",
+        Alcotest.test_case "record/count" `Quick records_and_counts
+        :: Alcotest.test_case "percentiles" `Quick percentile_ordering
+        :: Alcotest.test_case "empty" `Quick empty_percentile
+        :: Alcotest.test_case "merge" `Quick merge
+        :: List.map QCheck_alcotest.to_alcotest
+             [ qcheck_monotone_percentiles; qcheck_bucket_precision ] );
+    ]

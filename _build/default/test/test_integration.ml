@@ -1,0 +1,123 @@
+(* Cross-module integration: oversubscribed domains (more domains than
+   cores), mixed workloads including paused readers, and end-state
+   verification across structures sharing one process. *)
+
+module Config = Smr_core.Config
+
+let oversubscribed_mixed (module SET : Dstruct.Set_intf.SET) () =
+  let threads = 8 in
+  let range = 256 and ops = 4_000 in
+  let config = Config.default ~threads in
+  let t =
+    SET.create ~threads ~capacity:((range * 8) + (ops * threads) + 1024) ~check_access:true
+      config
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to (range / 2) - 1 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed:777 ~tid in
+            for i = 1 to ops do
+              let k = Mp_util.Rng.below rng range in
+              if i mod 500 = 0 then
+                (* short stalls inside operations, holding protection *)
+                ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf 0.001) : bool)
+              else
+                match Mp_util.Rng.below rng 10 with
+                | 0 | 1 | 2 -> ignore (SET.insert s ~key:k ~value:k : bool)
+                | 3 | 4 | 5 -> ignore (SET.remove s k : bool)
+                | _ -> ignore (SET.contains s k : bool)
+            done;
+            SET.flush s))
+  in
+  Array.iter Domain.join domains;
+  SET.check t;
+  Alcotest.(check int) "no use-after-free" 0 (SET.violations t);
+  (* after all threads flush, bounded schemes should have modest leftovers *)
+  let st = SET.smr_stats t in
+  Alcotest.(check bool) "bookkeeping consistent" true
+    (st.Smr_core.Smr_intf.retired_total
+    = st.Smr_core.Smr_intf.reclaimed + st.Smr_core.Smr_intf.wasted)
+
+(* Two structures over one scheme in one process must not interfere. *)
+let two_structures_coexist () =
+  let module L = Dstruct.Michael_list.Make (Mp.Margin_ptr) in
+  let module B = Dstruct.Nm_bst.Make (Mp.Margin_ptr) in
+  let threads = 4 in
+  let lt = L.create ~threads ~capacity:32_768 ~check_access:true (Config.default ~threads) in
+  let bt = B.create ~threads ~capacity:32_768 ~check_access:true (Config.default ~threads) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let ls = L.session lt ~tid and bs = B.session bt ~tid in
+            let rng = Mp_util.Rng.split ~seed:55 ~tid in
+            for _ = 1 to 5_000 do
+              let k = Mp_util.Rng.below rng 128 in
+              (match Mp_util.Rng.below rng 4 with
+              | 0 -> ignore (L.insert ls ~key:k ~value:k : bool)
+              | 1 -> ignore (L.remove ls k : bool)
+              | _ -> ignore (L.contains ls k : bool));
+              match Mp_util.Rng.below rng 4 with
+              | 0 -> ignore (B.insert bs ~key:k ~value:k : bool)
+              | 1 -> ignore (B.remove bs k : bool)
+              | _ -> ignore (B.contains bs k : bool)
+            done;
+            L.flush ls;
+            B.flush bs))
+  in
+  Array.iter Domain.join domains;
+  L.check lt;
+  B.check bt;
+  Alcotest.(check int) "list poison-free" 0 (L.violations lt);
+  Alcotest.(check int) "bst poison-free" 0 (B.violations bt)
+
+(* Pool slots must be conserved through heavy reuse: allocs - frees = live. *)
+let slot_conservation () =
+  let module SK = Dstruct.Skiplist.Make (Smr_schemes.Hp) in
+  let threads = 4 in
+  let t = SK.create ~threads ~capacity:16_384 ~check_access:true (Config.default ~threads) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SK.session t ~tid in
+            for i = 1 to 10_000 do
+              let k = (tid * 10_000) + (i mod 100) in
+              ignore (SK.insert s ~key:k ~value:i : bool);
+              if i mod 2 = 0 then ignore (SK.remove s k : bool)
+            done;
+            SK.flush s))
+  in
+  Array.iter Domain.join domains;
+  SK.check t;
+  let st = SK.smr_stats t in
+  Alcotest.(check int) "retired = reclaimed + wasted" st.Smr_core.Smr_intf.retired_total
+    (st.Smr_core.Smr_intf.reclaimed + st.Smr_core.Smr_intf.wasted);
+  Alcotest.(check int) "no poison" 0 (SK.violations t)
+
+let structures : (string * (module Dstruct.Set_intf.SET)) list =
+  [
+    ("list(mp)", (module Dstruct.Michael_list.Make (Mp.Margin_ptr)));
+    ("skiplist(mp)", (module Dstruct.Skiplist.Make (Mp.Margin_ptr)));
+    ("bst(mp)", (module Dstruct.Nm_bst.Make (Mp.Margin_ptr)));
+    ("list(hp)", (module Dstruct.Michael_list.Make (Smr_schemes.Hp)));
+    ("bst(ibr)", (module Dstruct.Nm_bst.Make (Smr_schemes.Ibr)));
+    ("skiplist(ebr)", (module Dstruct.Skiplist.Make (Smr_schemes.Ebr)));
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "oversubscribed mixed workload",
+        List.map
+          (fun (name, set) -> Alcotest.test_case name `Slow (oversubscribed_mixed set))
+          structures );
+      ( "coexistence",
+        [
+          Alcotest.test_case "two structures, one process" `Slow two_structures_coexist;
+          Alcotest.test_case "slot conservation" `Slow slot_conservation;
+        ] );
+    ]

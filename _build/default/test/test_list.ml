@@ -1,0 +1,78 @@
+(* Michael's linked list across every SMR scheme, plus list-specific
+   cases: traversal helping, MP bound updates, and sentinel behaviour. *)
+
+module Config = Smr_core.Config
+module L = Dstruct.Michael_list.Make (Mp.Margin_ptr)
+
+let make_list s = Common.suite_for "list" (fun (module S : Smr_core.Smr_intf.S) ->
+    (module Dstruct.Michael_list.Make (S) : Dstruct.Set_intf.SET)) |> fun suites -> suites @ s
+
+(* The MP integration of Listing 7: after inserting between two nodes, the
+   new node's index is the midpoint of its neighbours'. *)
+let mp_index_between_neighbours () =
+  let t = L.create ~threads:1 ~capacity:1024 (Config.default ~threads:1) in
+  let s = L.session t ~tid:0 in
+  ignore (L.insert s ~key:100 ~value:0 : bool);
+  ignore (L.insert s ~key:300 ~value:0 : bool);
+  ignore (L.insert s ~key:200 ~value:0 : bool);
+  (* walk level-0 to collect indices in key order *)
+  let pool = L.Debug.pool t in
+  let idx k =
+    match L.Debug.id_of_key t k with
+    | Some id -> Mempool.Core.index (Mempool.core pool) id
+    | None -> Alcotest.failf "key %d missing" k
+  in
+  let i100 = idx 100 and i200 = idx 200 and i300 = idx 300 in
+  Alcotest.(check bool) "100 < 200" true (i100 < i200);
+  Alcotest.(check bool) "200 < 300" true (i200 < i300)
+
+(* Ascending insertion halves the remaining range each time: after ~32
+   inserts every index collides and nodes fall back to USE_HP (Fig. 7a). *)
+let ascending_inserts_collide () =
+  let t = L.create ~threads:1 ~capacity:4096 (Config.default ~threads:1) in
+  let s = L.session t ~tid:0 in
+  for k = 0 to 99 do
+    ignore (L.insert s ~key:k ~value:k : bool)
+  done;
+  let pool = Mempool.core (L.Debug.pool t) in
+  let use_hp = ref 0 in
+  for k = 0 to 99 do
+    match L.Debug.id_of_key t k with
+    | Some id -> if Mempool.Core.index pool id = Config.use_hp then incr use_hp
+    | None -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "most ascending keys collide (%d/100)" !use_hp)
+    true (!use_hp > 50)
+
+(* Traversals must help unlink marked nodes left by a racing remove. *)
+let traversal_helps () =
+  let t = L.create ~threads:2 ~capacity:1024 (Config.default ~threads:2) in
+  let s = L.session t ~tid:0 in
+  for k = 0 to 9 do
+    ignore (L.insert s ~key:k ~value:k : bool)
+  done;
+  ignore (L.remove s 5 : bool);
+  Alcotest.(check bool) "still finds others" true (L.contains s 6);
+  L.check t
+
+let value_update_semantics () =
+  (* set semantics: a failed insert does not clobber the existing value *)
+  let t = L.create ~threads:1 ~capacity:256 (Config.default ~threads:1) in
+  let s = L.session t ~tid:0 in
+  ignore (L.insert s ~key:1 ~value:10 : bool);
+  ignore (L.insert s ~key:1 ~value:99 : bool);
+  Alcotest.(check (option int)) "original value" (Some 10) (L.find s 1)
+
+let () =
+  Alcotest.run "michael_list"
+    (make_list
+       [
+         ( "list-specific",
+           [
+             Alcotest.test_case "mp index between neighbours" `Quick mp_index_between_neighbours;
+             Alcotest.test_case "ascending collisions" `Quick ascending_inserts_collide;
+             Alcotest.test_case "traversal helps" `Quick traversal_helps;
+             Alcotest.test_case "no value clobber" `Quick value_update_semantics;
+           ] );
+       ])

@@ -1,0 +1,76 @@
+(* Property-based model checking: arbitrary operation sequences applied to
+   each (structure × scheme) pair must agree, step by step, with a
+   reference implementation (an ordered-set module). *)
+
+module Config = Smr_core.Config
+module IntSet = Set.Make (Int)
+
+type op = Insert of int | Remove of int | Contains of int | Find of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Insert k) (int_bound 63);
+        map (fun k -> Remove k) (int_bound 63);
+        map (fun k -> Contains k) (int_bound 63);
+        map (fun k -> Find k) (int_bound 63);
+      ])
+
+let show_op = function
+  | Insert k -> Printf.sprintf "Insert %d" k
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Contains k -> Printf.sprintf "Contains %d" k
+  | Find k -> Printf.sprintf "Find %d" k
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map show_op l))
+    QCheck.Gen.(list_size (1 -- 200) op_gen)
+
+let agrees_with_model (module SET : Dstruct.Set_intf.SET) ops =
+  let t = SET.create ~threads:1 ~capacity:8192 ~check_access:true (Config.default ~threads:1) in
+  let s = SET.session t ~tid:0 in
+  let model = ref IntSet.empty in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert k ->
+        let expected = not (IntSet.mem k !model) in
+        if SET.insert s ~key:k ~value:(k * 2) <> expected then ok := false;
+        model := IntSet.add k !model
+      | Remove k ->
+        let expected = IntSet.mem k !model in
+        if SET.remove s k <> expected then ok := false;
+        model := IntSet.remove k !model
+      | Contains k -> if SET.contains s k <> IntSet.mem k !model then ok := false
+      | Find k ->
+        let expected = if IntSet.mem k !model then Some (k * 2) else None in
+        if SET.find s k <> expected then ok := false)
+    ops;
+  SET.check t;
+  !ok
+  && SET.size t = IntSet.cardinal !model
+  && SET.violations t = 0
+
+let model_test name set =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:150 ops_arbitrary (agrees_with_model set))
+
+let structures : (string * ((module Smr_core.Smr_intf.S) -> (module Dstruct.Set_intf.SET))) list =
+  [
+    ("list", fun (module S) -> (module Dstruct.Michael_list.Make (S)));
+    ("skiplist", fun (module S) -> (module Dstruct.Skiplist.Make (S)));
+    ("bst", fun (module S) -> (module Dstruct.Nm_bst.Make (S)));
+  ]
+
+let () =
+  Alcotest.run "model"
+    (List.map
+       (fun (ds_name, make) ->
+         ( ds_name,
+           List.map
+             (fun (s_name, s) -> model_test (ds_name ^ "(" ^ s_name ^ ") vs Set model") (make s))
+             Common.schemes ))
+       structures)

@@ -1,0 +1,98 @@
+(* Index-assignment policies (paper §4.1 future work): every policy must
+   keep the order-preserving invariant and place indices strictly inside
+   the interval; their collision behaviour under adversarial insertion
+   orders differs measurably. *)
+
+module MP = Mp.Margin_ptr
+module Config = Smr_core.Config
+module Core = Mempool.Core
+
+let make policy =
+  let pool = Core.create ~capacity:8192 ~threads:1 () in
+  let config = Config.with_index_policy (Config.default ~threads:1) policy in
+  (pool, MP.create ~pool ~threads:1 config)
+
+let strictly_between policy () =
+  let pool, smr = make policy in
+  let th = MP.thread smr ~tid:0 in
+  let rng = Mp_util.Rng.create 3 in
+  for _ = 1 to 500 do
+    let lo = Mp_util.Rng.below rng 0xFFFF_0000 in
+    let gap = 2 + Mp_util.Rng.below rng 100_000 in
+    let a = MP.alloc_with_index th ~index:lo in
+    let b = MP.alloc_with_index th ~index:(lo + gap) in
+    MP.start_op th;
+    MP.update_lower_bound th a;
+    MP.update_upper_bound th b;
+    let id = MP.alloc th in
+    MP.end_op th;
+    let idx = Core.index pool id in
+    if not (idx > lo && idx < lo + gap) then
+      Alcotest.failf "index %d outside (%d, %d)" idx lo (lo + gap);
+    Core.free pool ~tid:0 a;
+    Core.free pool ~tid:0 b;
+    Core.free pool ~tid:0 id
+  done
+
+(* Ascending insertion splits the interval repeatedly toward max_index;
+   count how many inserts each policy survives before USE_HP. *)
+let ascending_capacity policy =
+  let pool, smr = make policy in
+  let th = MP.thread smr ~tid:0 in
+  let head = MP.alloc_with_index th ~index:Config.min_sentinel_index in
+  let tail = MP.alloc_with_index th ~index:Config.max_sentinel_index in
+  let rec insert_after pred count =
+    if count > 100_000 then count
+    else begin
+      MP.start_op th;
+      MP.update_lower_bound th pred;
+      MP.update_upper_bound th tail;
+      let id = MP.alloc th in
+      MP.end_op th;
+      if Core.index pool id = Config.use_hp then count else insert_after id (count + 1)
+    end
+  in
+  ignore head;
+  insert_after head 0
+
+let ascending_capacities () =
+  let mid = ascending_capacity Config.Midpoint in
+  let gold = ascending_capacity Config.Golden in
+  (* midpoint halves the remaining range: ~32 inserts for a 32-bit range
+     (the paper's Fig. 7a analysis); golden shrinks by 0.618 per insert,
+     giving ~46 *)
+  Alcotest.(check bool) (Printf.sprintf "midpoint ~32 (got %d)" mid) true (mid >= 28 && mid <= 36);
+  Alcotest.(check bool) (Printf.sprintf "golden beats midpoint (%d > %d)" gold mid) true
+    (gold > mid)
+
+let randomized_capacity_sane () =
+  (* a uniform split leaves (1-U) of the range: E[-ln(1-U)] = 1, so the
+     range shrinks e-fold per step on average — randomized therefore has
+     LESS ascending capacity than midpoint (~22 vs ~32 for 32 bits), and
+     midpoint should win most trials *)
+  let wins = ref 0 in
+  let min_cap = ref max_int in
+  for _ = 1 to 5 do
+    let r = ascending_capacity Config.Randomized in
+    if r < !min_cap then min_cap := r;
+    if ascending_capacity Config.Midpoint > r then incr wins
+  done;
+  Alcotest.(check bool) (Printf.sprintf "midpoint usually beats randomized (%d/5)" !wins) true
+    (!wins >= 3);
+  Alcotest.(check bool) (Printf.sprintf "randomized capacity sane (%d)" !min_cap) true
+    (!min_cap >= 8)
+
+let () =
+  Alcotest.run "policies"
+    [
+      ( "index policies",
+        [
+          Alcotest.test_case "midpoint strictly between" `Quick
+            (strictly_between Config.Midpoint);
+          Alcotest.test_case "golden strictly between" `Quick (strictly_between Config.Golden);
+          Alcotest.test_case "randomized strictly between" `Quick
+            (strictly_between Config.Randomized);
+          Alcotest.test_case "ascending capacities" `Quick ascending_capacities;
+          Alcotest.test_case "randomized capacity" `Quick randomized_capacity_sane;
+        ] );
+    ]

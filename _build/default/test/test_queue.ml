@@ -1,0 +1,122 @@
+(* Michael–Scott queue over every SMR scheme: FIFO semantics, element
+   conservation under concurrency, reclamation, and — MP-specifically —
+   the fall-back-to-HP behaviour on a non-search client. *)
+
+module Config = Smr_core.Config
+
+module Generic (S : Smr_core.Smr_intf.S) = struct
+  module Q = Dstruct.Ms_queue.Make (S)
+
+  let fifo_order () =
+    let t = Q.create ~threads:1 ~capacity:1024 ~check_access:true (Config.default ~threads:1) in
+    let s = Q.session t ~tid:0 in
+    Alcotest.(check bool) "starts empty" true (Q.is_empty s);
+    Alcotest.(check (option int)) "dequeue empty" None (Q.dequeue s);
+    for v = 1 to 100 do
+      Q.enqueue s v
+    done;
+    Alcotest.(check int) "length" 100 (Q.length t);
+    Alcotest.(check (list int)) "order" (List.init 100 (fun i -> i + 1)) (Q.to_list t);
+    for v = 1 to 100 do
+      Alcotest.(check (option int)) "fifo" (Some v) (Q.dequeue s)
+    done;
+    Alcotest.(check (option int)) "drained" None (Q.dequeue s);
+    Alcotest.(check int) "no poison" 0 (Q.violations t)
+
+  (* producers push tagged values; consumers pop; every pushed value is
+     popped exactly once and per-producer order is preserved. *)
+  let conservation () =
+    let producers = 2 and consumers = 2 in
+    let threads = producers + consumers in
+    let per_producer = 20_000 in
+    let t =
+      Q.create ~threads
+        ~capacity:((per_producer * producers) + 65_536)
+        ~check_access:true (Config.default ~threads)
+    in
+    let popped = Array.init consumers (fun _ -> ref []) in
+    let producer tid () =
+      let s = Q.session t ~tid in
+      for i = 0 to per_producer - 1 do
+        Q.enqueue s ((tid * 1_000_000) + i)
+      done
+    in
+    let remaining = Atomic.make (producers * per_producer) in
+    let consumer idx tid () =
+      let s = Q.session t ~tid in
+      let mine = popped.(idx) in
+      while Atomic.get remaining > 0 do
+        match Q.dequeue s with
+        | Some v ->
+          mine := v :: !mine;
+          Atomic.decr remaining
+        | None -> Domain.cpu_relax ()
+      done;
+      Q.flush s
+    in
+    let domains =
+      List.init producers (fun p -> Domain.spawn (producer p))
+      @ List.init consumers (fun c -> Domain.spawn (consumer c (producers + c)))
+    in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "queue drained" 0 (Q.length t);
+    let all = List.concat_map (fun r -> !r) (Array.to_list popped) in
+    Alcotest.(check int) "conservation" (producers * per_producer) (List.length all);
+    let sorted = List.sort_uniq compare all in
+    Alcotest.(check int) "no duplicates" (producers * per_producer) (List.length sorted);
+    (* per-producer FIFO: within one consumer's pops, values from the same
+       producer must appear in increasing order of sequence number *)
+    Array.iter
+      (fun r ->
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun v ->
+            let p = v / 1_000_000 and i = v mod 1_000_000 in
+            (match Hashtbl.find_opt seen p with
+            | Some last when last <= i -> Alcotest.failf "producer %d order broken" p
+            | _ -> ());
+            Hashtbl.replace seen p i)
+          !r)
+      popped;
+    Alcotest.(check int) "no poison" 0 (Q.violations t);
+    let st = Q.smr_stats t in
+    Alcotest.(check int) "bookkeeping" st.Smr_core.Smr_intf.retired_total
+      (st.Smr_core.Smr_intf.reclaimed + st.Smr_core.Smr_intf.wasted)
+
+  let cases name =
+    [
+      Alcotest.test_case (name ^ ": fifo") `Quick fifo_order;
+      Alcotest.test_case (name ^ ": conservation") `Slow conservation;
+    ]
+end
+
+(* On a non-search client MP must stamp every node USE_HP and protect
+   through the hazard-pointer path (Table 1's "= HP (Other DS)"). *)
+let mp_falls_back_to_hp () =
+  let module Q = Dstruct.Ms_queue.Make (Mp.Margin_ptr) in
+  let t = Q.create ~threads:1 ~capacity:256 ~check_access:true (Config.default ~threads:1) in
+  let s = Q.session t ~tid:0 in
+  Q.enqueue s 1;
+  Q.enqueue s 2;
+  let st = Q.smr_stats t in
+  Alcotest.(check bool) "reads took the HP path" true
+    (st.Smr_core.Smr_intf.hp_fallbacks > 0);
+  ignore (Q.dequeue s : int option);
+  Alcotest.(check int) "no poison" 0 (Q.violations t)
+
+module G_mp = Generic (Mp.Margin_ptr)
+module G_hp = Generic (Smr_schemes.Hp)
+module G_ebr = Generic (Smr_schemes.Ebr)
+module G_he = Generic (Smr_schemes.He)
+module G_ibr = Generic (Smr_schemes.Ibr)
+
+let () =
+  Alcotest.run "ms_queue"
+    [
+      ("mp", G_mp.cases "mp");
+      ("hp", G_hp.cases "hp");
+      ("ebr", G_ebr.cases "ebr");
+      ("he", G_he.cases "he");
+      ("ibr", G_ibr.cases "ibr");
+      ("fallback", [ Alcotest.test_case "MP uses HP path" `Quick mp_falls_back_to_hp ]);
+    ]

@@ -1,0 +1,134 @@
+(* Reclamation safety (Theorem 4.3), empirically: concurrent churn with the
+   pool's use-after-free detector armed must record zero violations for
+   every scheme on every structure. A deliberately unsafe scheme validates
+   that the detector actually catches violations. *)
+
+module Config = Smr_core.Config
+
+(* An SMR "scheme" that frees nodes the moment they are retired — the
+   textbook unsafe behaviour the SMR problem exists to prevent. *)
+module Unsafe_immediate : Smr_core.Smr_intf.S = struct
+  open Smr_core
+
+  type shared = { pool : Mempool.Core.t; counters : Counters.t }
+  type thread = { shared : shared; tid : int }
+  type t = { s : shared; per_thread : thread array }
+
+  let name = "unsafe-immediate"
+
+  let properties =
+    {
+      Smr_intf.full_name = "Unsafe immediate free (negative control)";
+      wasted_memory = Smr_intf.Bounded;
+      per_node_words = 0;
+      self_contained = true;
+      needs_per_reference_calls = false;
+    }
+
+  let create ~pool ~threads (_ : Config.t) =
+    let s = { pool; counters = Counters.create ~threads } in
+    { s; per_thread = Array.init threads (fun tid -> { shared = s; tid }) }
+
+  let thread t ~tid = t.per_thread.(tid)
+  let tid th = th.tid
+  let start_op _ = ()
+  let end_op _ = ()
+  let alloc th = Mempool.Core.alloc th.shared.pool ~tid:th.tid
+
+  let alloc_with_index th ~index =
+    let id = alloc th in
+    Mempool.Core.set_index th.shared.pool id index;
+    id
+
+  let retire th id =
+    Mempool.Core.mark_retired th.shared.pool id;
+    (* no grace period whatsoever *)
+    Mempool.Core.free th.shared.pool ~tid:th.tid id
+
+  let read _ ~refno:(_ : int) link = Atomic.get link
+  let unprotect _ ~refno:(_ : int) = ()
+  let update_lower_bound _ _ = ()
+  let update_upper_bound _ _ = ()
+  let handle_of th id = Mempool.Core.handle th.shared.pool id
+  let flush _ = ()
+  let stats t = Counters.stats t.s.counters
+end
+
+let churn_violations (module SET : Dstruct.Set_intf.SET) ~threads ~ops ~range =
+  let config = Config.default ~threads in
+  let t =
+    SET.create ~threads ~capacity:((range * 8) + (ops * threads) + 1024) ~check_access:true
+      config
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to (range / 2) - 1 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed:4242 ~tid in
+            for _ = 1 to ops do
+              let k = Mp_util.Rng.below rng range in
+              match Mp_util.Rng.below rng 4 with
+              | 0 -> ignore (SET.insert s ~key:k ~value:k : bool)
+              | 1 -> ignore (SET.remove s k : bool)
+              | _ -> ignore (SET.contains s k : bool)
+            done;
+            SET.flush s))
+  in
+  Array.iter Domain.join domains;
+  SET.violations t
+
+let safe_case ds_name make (s_name, s) =
+  Alcotest.test_case
+    (Printf.sprintf "%s(%s) churn is UAF-free" ds_name s_name)
+    `Slow
+    (fun () ->
+      let v = churn_violations (make s) ~threads:4 ~ops:10_000 ~range:128 in
+      Alcotest.(check int) "violations" 0 v)
+
+let detector_catches_unsafe_scheme () =
+  (* Negative control, deterministic: a reader obtains a reference through
+     the unsafe scheme's (no-op) read, the node is retired — and freed on
+     the spot — and the reader's subsequent payload access must be flagged
+     as a use-after-free. *)
+  let pool = Mempool.create ~capacity:64 ~threads:2 ~check_access:true (fun i -> ref i) in
+  let smr =
+    Unsafe_immediate.create ~pool:(Mempool.core pool) ~threads:2 (Config.default ~threads:2)
+  in
+  let th0 = Unsafe_immediate.thread smr ~tid:0 in
+  let th1 = Unsafe_immediate.thread smr ~tid:1 in
+  let id = Unsafe_immediate.alloc th0 in
+  let root = Atomic.make (Unsafe_immediate.handle_of th0 id) in
+  Unsafe_immediate.start_op th1;
+  let w = Unsafe_immediate.read th1 ~refno:0 root in
+  Alcotest.(check int) "reader sees node" id (Handle.id w);
+  (* writer unlinks and retires: the unsafe scheme frees immediately *)
+  Atomic.set root Handle.null;
+  Unsafe_immediate.retire th0 id;
+  (* reader still holds w and dereferences it *)
+  ignore (Mempool.get pool (Handle.id w) : int ref);
+  Unsafe_immediate.end_op th1;
+  Alcotest.(check bool)
+    (Printf.sprintf "detector fired (%d violations)" (Mempool.violations pool))
+    true
+    (Mempool.violations pool > 0)
+
+let structures : (string * ((module Smr_core.Smr_intf.S) -> (module Dstruct.Set_intf.SET))) list =
+  [
+    ("list", fun (module S) -> (module Dstruct.Michael_list.Make (S)));
+    ("skiplist", fun (module S) -> (module Dstruct.Skiplist.Make (S)));
+    ("bst", fun (module S) -> (module Dstruct.Nm_bst.Make (S)));
+  ]
+
+let () =
+  Alcotest.run "safety"
+    ((List.map
+        (fun (ds_name, make) -> (ds_name, List.map (safe_case ds_name make) Common.schemes))
+        structures)
+    @ [
+        ( "detector",
+          [ Alcotest.test_case "unsafe scheme is caught" `Slow detector_catches_unsafe_scheme ] );
+      ])

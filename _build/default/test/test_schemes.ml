@@ -1,0 +1,253 @@
+(* Scheme-generic unit tests, run against every SMR implementation through
+   the common interface. A tiny one-link "structure" (root -> node) stands
+   in for a client: it exercises protection, retirement, reclamation, and
+   the stats counters without data-structure noise. *)
+
+module Config = Smr_core.Config
+module Core = Mempool.Core
+
+let schemes : (string * (module Smr_core.Smr_intf.S)) list =
+  [
+    ("hp", (module Smr_schemes.Hp));
+    ("ebr", (module Smr_schemes.Ebr));
+    ("he", (module Smr_schemes.He));
+    ("ibr", (module Smr_schemes.Ibr));
+    ("mp", (module Mp.Margin_ptr));
+  ]
+
+module Generic (S : Smr_core.Smr_intf.S) = struct
+  let make_world () =
+    let pool = Core.create ~capacity:256 ~threads:2 () in
+    let config = Config.with_empty_freq (Config.default ~threads:2) 1 in
+    let smr = S.create ~pool ~threads:2 config in
+    (pool, smr)
+
+  (* A node that is retired while no one protects it must be reclaimed by
+     the retirer's next flush. *)
+  let reclaims_unprotected () =
+    let pool, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  S.start_op th;
+  let id = S.alloc th in
+  S.end_op th;
+  S.retire th id;
+  S.flush th;
+  Alcotest.(check bool) "slot freed" true (Core.is_free pool id);
+  let st = S.stats smr in
+  Alcotest.(check int) "wasted zero" 0 st.Smr_core.Smr_intf.wasted;
+  Alcotest.(check int) "reclaimed one" 1 st.Smr_core.Smr_intf.reclaimed
+
+  (* A node read (hence protected) by an in-flight operation of another
+     thread must survive reclamation until that operation ends. *)
+  let protects_across_retire () =
+    let pool, smr = make_world () in
+  let th0 = S.thread smr ~tid:0 and th1 = S.thread smr ~tid:1 in
+  S.start_op th0;
+  let id = S.alloc th0 in
+  Core.set_index pool id 500_000;
+  let root = Atomic.make (S.handle_of th0 id) in
+  S.end_op th0;
+  (* reader protects the node mid-operation *)
+  S.start_op th1;
+  let w = S.read th1 ~refno:0 root in
+  Alcotest.(check int) "reader sees node" id (Handle.id w);
+  (* writer unlinks and retires *)
+  S.start_op th0;
+  Atomic.set root Handle.null;
+  S.retire th0 id;
+  S.flush th0;
+  S.end_op th0;
+  Alcotest.(check bool) "protected node not freed" false (Core.is_free pool id);
+  (* reader finishes: reclamation may proceed *)
+  S.end_op th1;
+  S.flush th0;
+  Alcotest.(check bool) "freed after reader ends" true (Core.is_free pool id)
+
+  let counts_retirements () =
+    let _, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  S.start_op th;
+  let ids = List.init 5 (fun _ -> S.alloc th) in
+  S.end_op th;
+  List.iter (S.retire th) ids;
+  S.flush th;
+  let st = S.stats smr in
+  Alcotest.(check int) "retired_total" 5 st.Smr_core.Smr_intf.retired_total;
+  Alcotest.(check int) "reclaimed all" 5 st.Smr_core.Smr_intf.reclaimed
+
+  let alloc_with_index_sets_index () =
+    let pool, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  let id = S.alloc_with_index th ~index:Config.max_sentinel_index in
+  Alcotest.(check int) "index" Config.max_sentinel_index (Core.index pool id);
+  let h = S.handle_of th id in
+  Alcotest.(check int) "handle idx16"
+    (Handle.idx16_of_index Config.max_sentinel_index)
+    (Handle.idx16 h)
+
+  let read_null_is_null () =
+    let _, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  S.start_op th;
+  let root = Atomic.make Handle.null in
+  Alcotest.(check bool) "null passes through" true (Handle.is_null (S.read th ~refno:0 root));
+  S.end_op th
+
+  let unprotect_is_safe () =
+    let _, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  S.start_op th;
+  let id = S.alloc th in
+  let root = Atomic.make (S.handle_of th id) in
+  ignore (S.read th ~refno:1 root : Handle.t);
+  S.unprotect th ~refno:1;
+  S.end_op th
+
+  (* Epoch metadata stamping: birth at alloc, death at retire, visible in
+     the pool words every epoch-filtering scheme reads. *)
+  let stamps_lifetimes () =
+    let pool, smr = make_world () in
+    let th = S.thread smr ~tid:0 in
+    S.start_op th;
+    let id = S.alloc th in
+    S.end_op th;
+    S.retire th id;
+    let birth = Core.birth pool id and death = Core.death pool id in
+    Alcotest.(check bool) "death >= birth" true (death >= birth);
+    S.flush th
+
+  (* Reads on fresh nodes must cost at least one publication fence for
+     pointer-based schemes; stats must move. *)
+  let fences_move_for_pbr () =
+    let _, smr = make_world () in
+    if S.properties.Smr_core.Smr_intf.needs_per_reference_calls then begin
+      let th = S.thread smr ~tid:0 in
+      S.start_op th;
+      let id = S.alloc th in
+      let link = Atomic.make (S.handle_of th id) in
+      let before = (S.stats smr).Smr_core.Smr_intf.fences in
+      ignore (S.read th ~refno:0 link : Handle.t);
+      let after = (S.stats smr).Smr_core.Smr_intf.fences in
+      S.end_op th;
+      Alcotest.(check bool) "fence counted" true (after >= before)
+    end
+
+  (* The read validation loop must re-read when the link changes under it
+     and return the value present at protection time. *)
+  let read_returns_current_value () =
+    let _, smr = make_world () in
+  let th = S.thread smr ~tid:0 in
+  S.start_op th;
+  let a = S.alloc th and b = S.alloc th in
+  let root = Atomic.make (S.handle_of th a) in
+  let w1 = S.read th ~refno:0 root in
+  Alcotest.(check int) "first" a (Handle.id w1);
+  Atomic.set root (S.handle_of th b);
+  let w2 = S.read th ~refno:1 root in
+  Alcotest.(check int) "after swing" b (Handle.id w2);
+  S.end_op th
+
+end
+
+let leaky_never_reclaims () =
+  let pool = Core.create ~capacity:64 ~threads:1 () in
+  let smr = Smr_schemes.Leaky.create ~pool ~threads:1 (Config.default ~threads:1) in
+  let th = Smr_schemes.Leaky.thread smr ~tid:0 in
+  let id = Smr_schemes.Leaky.alloc th in
+  Smr_schemes.Leaky.retire th id;
+  Smr_schemes.Leaky.flush th;
+  Alcotest.(check bool) "never freed" false (Core.is_free pool id);
+  let st = Smr_schemes.Leaky.stats smr in
+  Alcotest.(check int) "wasted grows" 1 st.Smr_core.Smr_intf.wasted
+
+(* EBR is not robust: a stalled reader blocks reclamation of everything,
+   including nodes it never saw. *)
+let ebr_stalled_thread_blocks_everything () =
+  let pool = Core.create ~capacity:256 ~threads:2 () in
+  let config = Config.with_empty_freq (Config.default ~threads:2) 1 in
+  let smr = Smr_schemes.Ebr.create ~pool ~threads:2 config in
+  let th0 = Smr_schemes.Ebr.thread smr ~tid:0 in
+  let th1 = Smr_schemes.Ebr.thread smr ~tid:1 in
+  Smr_schemes.Ebr.start_op th1 (* stalls here forever *);
+  for _ = 1 to 50 do
+    Smr_schemes.Ebr.start_op th0;
+    let id = Smr_schemes.Ebr.alloc th0 in
+    Smr_schemes.Ebr.retire th0 id;
+    Smr_schemes.Ebr.end_op th0
+  done;
+  Smr_schemes.Ebr.flush th0;
+  let st = Smr_schemes.Ebr.stats smr in
+  Alcotest.(check int) "nothing reclaimed under stall" 0 st.Smr_core.Smr_intf.reclaimed;
+  Smr_schemes.Ebr.end_op th1;
+  Smr_schemes.Ebr.flush th0;
+  let st = Smr_schemes.Ebr.stats smr in
+  Alcotest.(check int) "all reclaimed after wakeup" 50 st.Smr_core.Smr_intf.reclaimed
+
+(* HE and IBR are robust: nodes born and retired after the stalled
+   thread's announced epoch are reclaimable despite the stall. *)
+let robust_scheme_reclaims_under_stall name (module S : Smr_core.Smr_intf.S) () =
+  let pool = Core.create ~capacity:4096 ~threads:2 () in
+  let config =
+    Config.with_epoch_freq (Config.with_empty_freq (Config.default ~threads:2) 1) 10
+  in
+  let smr = S.create ~pool ~threads:2 config in
+  let th0 = S.thread smr ~tid:0 and th1 = S.thread smr ~tid:1 in
+  S.start_op th1 (* stalled *);
+  for _ = 1 to 500 do
+    S.start_op th0;
+    let id = S.alloc th0 in
+    S.retire th0 id;
+    S.end_op th0
+  done;
+  S.flush th0;
+  let st = S.stats smr in
+  if st.Smr_core.Smr_intf.reclaimed = 0 then
+    Alcotest.failf "%s reclaimed nothing despite robustness" name;
+  S.end_op th1
+
+let scheme_cases name (module S : Smr_core.Smr_intf.S) =
+  let module G = Generic (S) in
+  ( name,
+    [
+      Alcotest.test_case "reclaims unprotected" `Quick G.reclaims_unprotected;
+      Alcotest.test_case "protects across retire" `Quick G.protects_across_retire;
+      Alcotest.test_case "counts retirements" `Quick G.counts_retirements;
+      Alcotest.test_case "alloc_with_index" `Quick G.alloc_with_index_sets_index;
+      Alcotest.test_case "read null" `Quick G.read_null_is_null;
+      Alcotest.test_case "unprotect safe" `Quick G.unprotect_is_safe;
+      Alcotest.test_case "read tracks link" `Quick G.read_returns_current_value;
+      Alcotest.test_case "lifetime stamping" `Quick G.stamps_lifetimes;
+      Alcotest.test_case "fence accounting" `Quick G.fences_move_for_pbr;
+    ] )
+
+let properties_table () =
+  (* Table 1 sanity: the qualitative properties encoded in each scheme. *)
+  let open Smr_core.Smr_intf in
+  Alcotest.(check bool) "hp bounded" true (Smr_schemes.Hp.properties.wasted_memory = Bounded);
+  Alcotest.(check bool) "mp bounded" true (Mp.Margin_ptr.properties.wasted_memory = Bounded);
+  Alcotest.(check bool) "ebr unbounded" true
+    (Smr_schemes.Ebr.properties.wasted_memory = Unbounded);
+  Alcotest.(check bool) "he robust" true (Smr_schemes.He.properties.wasted_memory = Robust);
+  Alcotest.(check bool) "ibr robust" true (Smr_schemes.Ibr.properties.wasted_memory = Robust);
+  List.iter
+    (fun (name, (module S : Smr_core.Smr_intf.S)) ->
+      if not S.properties.self_contained then Alcotest.failf "%s not self-contained" name)
+    schemes
+
+let () =
+  Alcotest.run "schemes"
+    (List.map (fun (name, s) -> scheme_cases name s) schemes
+    @ [
+        ( "special",
+          [
+            Alcotest.test_case "leaky never reclaims" `Quick leaky_never_reclaims;
+            Alcotest.test_case "ebr stall blocks all" `Quick ebr_stalled_thread_blocks_everything;
+            Alcotest.test_case "he robust under stall" `Quick
+              (robust_scheme_reclaims_under_stall "he" (module Smr_schemes.He));
+            Alcotest.test_case "ibr robust under stall" `Quick
+              (robust_scheme_reclaims_under_stall "ibr" (module Smr_schemes.Ibr));
+            Alcotest.test_case "mp reclaims under stall" `Quick
+              (robust_scheme_reclaims_under_stall "mp" (module Mp.Margin_ptr));
+            Alcotest.test_case "table 1 properties" `Quick properties_table;
+          ] );
+      ])

@@ -1,0 +1,69 @@
+(* Fraser skip list across every SMR scheme, plus skiplist-specific cases:
+   tower linking, level invariants, and the deleter/inserter handshake. *)
+
+module Config = Smr_core.Config
+module SK = Dstruct.Skiplist.Make (Mp.Margin_ptr)
+
+let generic =
+  Common.suite_for "skiplist" (fun (module S : Smr_core.Smr_intf.S) ->
+      (module Dstruct.Skiplist.Make (S) : Dstruct.Set_intf.SET))
+
+let towers_are_sublists () =
+  (* check covers: each level a sorted subset of the one below, heights
+     respected. Exercised here with enough keys for multiple levels. *)
+  let t = SK.create ~threads:1 ~capacity:16_384 (Config.default ~threads:1) in
+  let s = SK.session t ~tid:0 in
+  for k = 0 to 2_000 do
+    ignore (SK.insert s ~key:(k * 3) ~value:k : bool)
+  done;
+  SK.check t;
+  Alcotest.(check int) "size" 2_001 (SK.size t)
+
+let removal_under_load () =
+  let t = SK.create ~threads:1 ~capacity:16_384 (Config.default ~threads:1) in
+  let s = SK.session t ~tid:0 in
+  for k = 0 to 999 do
+    ignore (SK.insert s ~key:k ~value:k : bool)
+  done;
+  for k = 0 to 999 do
+    if k mod 3 = 0 then Alcotest.(check bool) "remove" true (SK.remove s k)
+  done;
+  SK.check t;
+  Alcotest.(check int) "size" 666 (SK.size t);
+  for k = 0 to 999 do
+    Alcotest.(check bool)
+      (Printf.sprintf "membership %d" k)
+      (k mod 3 <> 0) (SK.contains s k)
+  done
+
+(* Insert/remove of the same key hammered from two domains: the
+   tower_state handshake must retire each incarnation exactly once (the
+   pool's alloc/free accounting catches double frees via assertions). *)
+let handshake_single_key () =
+  let threads = 4 in
+  let t = SK.create ~threads ~capacity:65_536 ~check_access:true (Config.default ~threads) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SK.session t ~tid in
+            for _ = 1 to 20_000 do
+              ignore (SK.insert s ~key:42 ~value:tid : bool);
+              ignore (SK.remove s 42 : bool)
+            done;
+            SK.flush s))
+  in
+  Array.iter Domain.join domains;
+  SK.check t;
+  Alcotest.(check int) "no poison" 0 (SK.violations t)
+
+let () =
+  Alcotest.run "skiplist"
+    (generic
+    @ [
+        ( "skiplist-specific",
+          [
+            Alcotest.test_case "towers are sublists" `Quick towers_are_sublists;
+            Alcotest.test_case "removal under load" `Quick removal_under_load;
+            Alcotest.test_case "single-key handshake" `Slow handshake_single_key;
+          ] );
+      ])

@@ -1,0 +1,107 @@
+(* smr_core building blocks: config validation, the retired vector, and
+   the epoch clock. *)
+
+module Config = Smr_core.Config
+module Retired = Smr_core.Retired
+module Epoch = Smr_core.Epoch
+
+let config_defaults () =
+  let c = Config.default ~threads:8 in
+  Alcotest.(check int) "empty_freq" 30 c.Config.empty_freq;
+  Alcotest.(check int) "epoch_freq 150T" (150 * 8) c.Config.epoch_freq;
+  Alcotest.(check int) "margin 2^20" (1 lsl 20) c.Config.margin;
+  ignore (Config.validate c : Config.t)
+
+let config_rejects_small_margin () =
+  let c = Config.with_margin (Config.default ~threads:2) ((1 lsl 16) - 1) in
+  Alcotest.check_raises "margin below 2^16"
+    (Invalid_argument "Config: margin must be at least 2^16 (one idx16 precision range)")
+    (fun () -> ignore (Config.validate c : Config.t))
+
+let config_setters () =
+  let c = Config.default ~threads:2 in
+  Alcotest.(check int) "with_slots" 11 (Config.with_slots c 11).Config.slots;
+  Alcotest.(check int) "with_empty_freq" 5 (Config.with_empty_freq c 5).Config.empty_freq;
+  Alcotest.(check int) "with_epoch_freq" 7 (Config.with_epoch_freq c 7).Config.epoch_freq
+
+let retired_push_filter () =
+  let r = Retired.create ~initial_capacity:2 () in
+  for i = 1 to 10 do
+    Retired.push r i
+  done;
+  Alcotest.(check int) "length" 10 (Retired.length r);
+  let released = ref [] in
+  let n =
+    Retired.filter_in_place r
+      ~keep:(fun id -> id mod 2 = 0)
+      ~release:(fun id -> released := id :: !released)
+  in
+  Alcotest.(check int) "released count" 5 n;
+  Alcotest.(check int) "remaining" 5 (Retired.length r);
+  List.iter (fun id -> Alcotest.(check bool) "odd released" true (id mod 2 = 1)) !released;
+  Retired.iter r (fun id -> Alcotest.(check bool) "even kept" true (id mod 2 = 0));
+  Retired.clear r;
+  Alcotest.(check int) "cleared" 0 (Retired.length r)
+
+let retired_release_all () =
+  let r = Retired.create () in
+  Retired.push r 1;
+  Retired.push r 2;
+  let n = Retired.filter_in_place r ~keep:(fun _ -> false) ~release:ignore in
+  Alcotest.(check int) "all released" 2 n;
+  Alcotest.(check int) "empty" 0 (Retired.length r)
+
+let epoch_announce_cycle () =
+  let e = Epoch.create ~threads:3 in
+  Alcotest.(check int) "initial epoch" 1 (Epoch.current e);
+  Alcotest.(check int) "idle announce" Epoch.inactive (Epoch.announced e ~tid:0);
+  let a = Epoch.announce e ~tid:0 in
+  Alcotest.(check int) "announced current" 1 a;
+  Alcotest.(check int) "min over active" 1 (Epoch.min_announced e);
+  Epoch.advance e;
+  Alcotest.(check int) "advanced" 2 (Epoch.current e);
+  Alcotest.(check int) "stale announcement pins min" 1 (Epoch.min_announced e);
+  Epoch.retire_announcement e ~tid:0;
+  Alcotest.(check int) "all idle" Epoch.inactive (Epoch.min_announced e)
+
+let epoch_concurrent_advance () =
+  let e = Epoch.create ~threads:4 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Epoch.advance e
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" 40_001 (Epoch.current e)
+
+let qcheck_retired_conservation =
+  QCheck.Test.make ~name:"filter conserves elements" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun ids ->
+      let r = Retired.create () in
+      List.iter (Retired.push r) ids;
+      let released = ref 0 in
+      let n = Retired.filter_in_place r ~keep:(fun id -> id mod 3 = 0) ~release:(fun _ -> incr released) in
+      n = !released && Retired.length r + n = List.length ids)
+
+let () =
+  Alcotest.run "smr_core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick config_defaults;
+          Alcotest.test_case "margin floor" `Quick config_rejects_small_margin;
+          Alcotest.test_case "setters" `Quick config_setters;
+        ] );
+      ( "retired",
+        Alcotest.test_case "push/filter" `Quick retired_push_filter
+        :: Alcotest.test_case "release all" `Quick retired_release_all
+        :: List.map QCheck_alcotest.to_alcotest [ qcheck_retired_conservation ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "announce cycle" `Quick epoch_announce_cycle;
+          Alcotest.test_case "concurrent advance" `Slow epoch_concurrent_advance;
+        ] );
+    ]
