@@ -5,6 +5,9 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig2 fig6    # a subset
      MP_BENCH_FULL=1 dune exec bench/main.exe # larger sizes/durations
+     dune exec bench/main.exe -- fig2 --json out.json
+                                              # also dump results as JSON
+                                              # (or MP_BENCH_JSON=out.json)
 
    Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall micro *)
 
@@ -15,6 +18,31 @@ module Report = Mp_harness.Report
 module Instances = Mp_harness.Instances
 
 let full = Sys.getenv_opt "MP_BENCH_FULL" <> None
+
+(* -- machine-readable sink: --json FILE (or MP_BENCH_JSON=FILE) ----------- *)
+
+(* Every Runner.result produced by the suite is also recorded, labelled
+   with its experiment/structure/scheme, and dumped as a JSON array at
+   exit so the perf trajectory is diffable across commits. *)
+let json_path = ref (Sys.getenv_opt "MP_BENCH_JSON")
+let json_results : (string * string * string * Runner.result) list ref = ref []
+let current_experiment = ref ""
+
+let note ~ds ~scheme (r : Runner.result) =
+  if !json_path <> None then
+    json_results := (!current_experiment, ds, scheme, r) :: !json_results;
+  r
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out path in
+      output_string oc (Runner.results_to_json (List.rev !json_results));
+      close_out oc;
+      Printf.printf "[wrote %d results to %s]\n%!" (List.length !json_results) path
+    with Sys_error msg -> Printf.eprintf "cannot write JSON: %s\n" msg)
 
 (* Scaled-down defaults; the paper used 88 HTs, 5 s runs, S = 500K / 5K. *)
 let thread_counts = if full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8 ]
@@ -40,12 +68,19 @@ let spec ?margin ~threads ~init_size ~mix () =
   in
   { (Runner.default ~threads ~init_size ~mix ~config) with Runner.duration_s }
 
+let ds_name = function
+  | Instances.List_ds -> "list"
+  | Instances.Skiplist_ds -> "skiplist"
+  | Instances.Bst_ds -> "bst"
+
 let run_ds ?margin ds ~threads ~init_size ~mix scheme_name =
-  Runner.run (Instances.make ds (Instances.scheme_of_name scheme_name))
-    (spec ?margin ~threads ~init_size ~mix ())
+  note ~ds:(ds_name ds) ~scheme:scheme_name
+    (Runner.run (Instances.make ds (Instances.scheme_of_name scheme_name))
+       (spec ?margin ~threads ~init_size ~mix ()))
 
 let run_dta ~threads ~init_size ~mix =
-  Runner.run (module Dstruct.Dta_list.As_set) (spec ~threads ~init_size ~mix ())
+  note ~ds:"list" ~scheme:"dta"
+    (Runner.run (module Dstruct.Dta_list.As_set) (spec ~threads ~init_size ~mix ()))
 
 let fmt_result (r : Runner.result) =
   Report.fmt_throughput r.Runner.throughput ^ if r.Runner.oom then "*" else ""
@@ -196,7 +231,8 @@ let fig7a () =
             }
           in
           fmt_result
-            (Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s)
+            (note ~ds:"list" ~scheme:sname
+               (Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s))
         in
         [ string_of_int threads; run "mp"; run "hp" ])
       thread_counts
@@ -223,7 +259,7 @@ let fig7bc () =
             Runner.duration_s;
           }
         in
-        let r = Runner.run (Instances.make Instances.Bst_ds Instances.mp) s in
+        let r = note ~ds:"bst" ~scheme:"mp" (Runner.run (Instances.make Instances.Bst_ds Instances.mp) s) in
         [
           Printf.sprintf "2^%d" log2m;
           fmt_result r;
@@ -255,7 +291,8 @@ let stall () =
           }
         in
         let r =
-          Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s
+          note ~ds:"list" ~scheme:sname
+            (Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s)
         in
         [
           sname;
@@ -322,7 +359,7 @@ let micro () =
         in
         [ name; ns ] :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun r1 r2 -> String.compare (List.hd r1) (List.hd r2))
   in
   Report.table ~title:"Micro: single-thread per-operation latency (ns/op, OLS)"
     ~header:[ "case"; "ns/op" ] rows
@@ -353,7 +390,7 @@ let ablation_index () =
                 key_range = (match init with Workload.Ascending_init -> list_size | _ -> 2 * list_size);
               }
             in
-            let r = Runner.run (Instances.make Instances.List_ds Instances.mp) s in
+            let r = note ~ds:"list" ~scheme:"mp" (Runner.run (Instances.make Instances.List_ds Instances.mp) s) in
             let st_fences = Printf.sprintf "%.3f" r.Runner.fences_per_node in
             [ pname; iname; fmt_result r; st_fences ])
           [ ("ascending", Workload.Ascending_init); ("random", Workload.Uniform_init) ])
@@ -382,7 +419,7 @@ let ablation_epoch () =
             stall = Some { Runner.stall_tid = 0; every_ops = 100; pause_s = 0.02 };
           }
         in
-        let r = Runner.run (Instances.make Instances.List_ds Instances.mp) s in
+        let r = note ~ds:"list" ~scheme:"mp" (Runner.run (Instances.make Instances.List_ds Instances.mp) s) in
         [
           label;
           fmt_result r;
@@ -426,7 +463,8 @@ let ext_zipf () =
               }
             in
             let r =
-              Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s
+              note ~ds:"bst" ~scheme:sname
+                (Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s)
             in
             [ sname; dist; fmt_result r; Printf.sprintf "%.3f" r.Runner.fences_per_node ])
           [ ("uniform", None); ("zipf a=0.99", Some 0.99); ("zipf a=1.5", Some 1.5) ])
@@ -570,7 +608,10 @@ let latency () =
             record_latency = true;
           }
         in
-        let r = Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s in
+        let r =
+          note ~ds:"bst" ~scheme:sname
+            (Runner.run (Instances.make Instances.Bst_ds (Instances.scheme_of_name sname)) s)
+        in
         match r.Runner.latency with
         | None -> [ sname; "-"; "-"; "-"; "-" ]
         | Some h ->
@@ -608,8 +649,17 @@ let experiments =
   ]
 
 let () =
+  (* Pull "--json FILE" out of argv; what remains selects experiments. *)
+  let rec strip_json = function
+    | "--json" :: file :: rest ->
+      json_path := Some file;
+      strip_json rest
+    | arg :: rest -> arg :: strip_json rest
+    | [] -> []
+  in
+  let args = strip_json (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match List.tl (Array.to_list Sys.argv) with
+    match args with
     | [] | [ "all" ] -> List.map fst experiments
     | names -> names
   in
@@ -620,9 +670,11 @@ let () =
       match List.assoc_opt name experiments with
       | Some f ->
         let t0 = Unix.gettimeofday () in
+        current_experiment := name;
         f ();
         Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
       | None ->
         Printf.eprintf "unknown experiment %S; known: %s\n" name
           (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  write_json ()

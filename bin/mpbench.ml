@@ -12,7 +12,7 @@ module Workload = Mp_harness.Workload
 module Runner = Mp_harness.Runner
 module Instances = Mp_harness.Instances
 
-let run ds scheme threads size duration workload margin_log2 stall_ms seed check verbose =
+let run ds scheme threads size duration workload margin_log2 stall_ms seed check verbose json =
   let mix =
     match workload with
     | "read" -> Workload.read_dominated
@@ -56,8 +56,21 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
   Printf.printf "wasted avg / max : %.1f / %d nodes\n" r.Runner.wasted_avg r.Runner.wasted_max;
   Printf.printf "fences / node    : %.4f (%d fences, %d visits)\n" r.Runner.fences_per_node
     r.Runner.fences r.Runner.traversed;
+  Printf.printf "scan passes      : %d (%.4fs reclaiming)\n" r.Runner.scan_passes
+    r.Runner.scan_time_s;
   Printf.printf "final size       : %d\n" r.Runner.final_size;
   if check then Printf.printf "UAF violations   : %d\n" r.Runner.violations;
+  (match json with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out path in
+      output_string oc (Runner.results_to_json [ ("mpbench", ds, scheme, r) ]);
+      close_out oc;
+      Printf.printf "json             : %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "mpbench: cannot write JSON: %s\n" msg;
+      exit 1));
   if check && r.Runner.violations > 0 then exit 2
 
 let ds_arg =
@@ -90,11 +103,17 @@ let check_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print the configuration")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the result as a JSON array to $(docv)")
+
 let cmd =
   let term =
     Term.(
       const run $ ds_arg $ scheme_arg $ threads_arg $ size_arg $ duration_arg $ workload_arg
-      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ verbose_arg)
+      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ verbose_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "mpbench" ~doc:"benchmark one SMR scheme on one concurrent search structure")

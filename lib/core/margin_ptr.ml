@@ -13,7 +13,10 @@
 
     Index collisions (no free index between predecessor and successor) are
     stamped [USE_HP] and protected through a per-thread hazard-pointer
-    array instead, so MP degrades gracefully to HP and never loses safety.
+    table instead, so MP degrades gracefully to HP and never loses safety.
+    Both announcement tables (margins and fallback hazards) and the
+    retire-side batching live in the {!Smr_core.Reservation} /
+    {!Smr_core.Reclaimer} kernel.
 
     Deviations from the paper's pseudocode (see DESIGN.md):
     - the margin-coverage fast path re-reads the global epoch, so a thread
@@ -35,23 +38,20 @@ type shared = {
   pool : Mempool.Core.t;
   counters : Counters.t;
   epoch : Epoch.t;
-  mp_slots : int Atomic.t array array; (* announced indices, [no_margin] = empty *)
-  hp_slots : int Atomic.t array array; (* node ids, [no_hazard] = empty *)
+  mps : Reservation.t; (* announced indices, [no_margin] = empty *)
+  hps : Reservation.t; (* fallback node ids, [no_hazard] = empty *)
   margin : int;
   max_index : int;
   index_policy : Config.index_policy;
-  empty_freq : int;
   epoch_freq : int;
   n_slots : int;
-  threads : int;
 }
 
 type thread = {
   shared : shared;
   tid : int;
   rng : Mp_util.Rng.t; (* for the Randomized index policy *)
-  retired : Retired.t;
-  mutable retire_count : int;
+  rsv : Reclaimer.t;
   mutable unlink_count : int;
   mutable lower_bound : int; (* -1 = not reported this operation *)
   mutable upper_bound : int; (* -1 = not reported this operation *)
@@ -66,6 +66,11 @@ type thread = {
   cover_lo : int array;
   cover_hi : int array;
   hp_mirror : int array;
+  (* Reusable scan buffers: margin and hazard snapshots plus the paired
+     per-thread epoch announcements. *)
+  mp_snap : Reservation.snapshot;
+  hp_snap : Reservation.snapshot;
+  epoch_snap : int array;
 }
 
 type t = {
@@ -86,21 +91,24 @@ let properties =
 
 let create ~pool ~threads (config : Config.t) =
   let config = Config.validate config in
+  let counters = Counters.create ~threads in
   let s =
     {
       pool;
-      counters = Counters.create ~threads;
+      counters;
       epoch = Epoch.create ~threads;
-      mp_slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_margin));
-      hp_slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_hazard));
+      mps = Reservation.create ~counters ~threads ~slots:config.slots ~empty:no_margin;
+      hps = Reservation.create ~counters ~threads ~slots:config.slots ~empty:no_hazard;
       margin = config.margin;
       max_index = config.max_index;
       index_policy = config.index_policy;
-      empty_freq = config.empty_freq;
       epoch_freq = config.epoch_freq;
       n_slots = config.slots;
-      threads;
     }
+  in
+  (* Two announcement tables (margins + fallback hazards) back one scan. *)
+  let threshold =
+    Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:(2 * config.slots) ~threads
   in
   let per_thread =
     Array.init threads (fun tid ->
@@ -108,8 +116,7 @@ let create ~pool ~threads (config : Config.t) =
           shared = s;
           tid;
           rng = Mp_util.Rng.split ~seed:0x1D8 ~tid;
-          retired = Retired.create ();
-          retire_count = 0;
+          rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
           unlink_count = 0;
           lower_bound = 0;
           upper_bound = 0;
@@ -118,6 +125,9 @@ let create ~pool ~threads (config : Config.t) =
           cover_lo = Array.make config.slots 1;
           cover_hi = Array.make config.slots 0;
           hp_mirror = Array.make config.slots no_hazard;
+          mp_snap = Reservation.snapshot_create ();
+          hp_snap = Reservation.snapshot_create ();
+          epoch_snap = Array.make threads Epoch.inactive;
         })
   in
   { s; per_thread }
@@ -145,12 +155,12 @@ let end_op th =
   let s = th.shared in
   for refno = 0 to s.n_slots - 1 do
     if th.cover_lo.(refno) <= th.cover_hi.(refno) then begin
-      Atomic.set s.mp_slots.(th.tid).(refno) no_margin;
+      Reservation.clear s.mps ~tid:th.tid ~refno;
       th.cover_lo.(refno) <- 1;
       th.cover_hi.(refno) <- 0
     end;
     if th.hp_mirror.(refno) <> no_hazard then begin
-      Atomic.set s.hp_slots.(th.tid).(refno) no_hazard;
+      Reservation.clear s.hps ~tid:th.tid ~refno;
       th.hp_mirror.(refno) <- no_hazard
     end
   done;
@@ -205,9 +215,8 @@ let alloc_with_index th ~index =
 (* Publish a hazard pointer for [w]'s target and validate. *)
 let rec protect_with_hp th refno link w =
   let s = th.shared in
-  Atomic.set s.hp_slots.(th.tid).(refno) (Handle.id w);
+  Reservation.publish s.hps ~tid:th.tid ~refno (Handle.id w);
   th.hp_mirror.(refno) <- Handle.id w;
-  Counters.on_fence s.counters ~tid:th.tid;
   Mp_util.Striped_counter.incr s.counters.Counters.hp_fallbacks ~tid:th.tid;
   let w' = Atomic.get link in
   if w' = w then w else read_slow th refno link w'
@@ -240,12 +249,11 @@ and read_slow th refno link w =
          below the USE_HP idx16, so a coverage hit never vouches for a
          USE_HP node); with margin >= 2^16 it is never empty. *)
       let v = Handle.idx_lower_bound w + (precision_range / 2) in
-      Atomic.set s.mp_slots.(th.tid).(refno) v;
+      Reservation.publish s.mps ~tid:th.tid ~refno v;
       th.cover_lo.(refno) <-
         max 0 ((v - (s.margin / 2) + precision_range - 1) asr Handle.precision);
       th.cover_hi.(refno) <-
         min (Handle.idx16_mask - 1) ((v + (s.margin / 2) - (precision_range - 1)) asr Handle.precision);
-      Counters.on_fence s.counters ~tid:th.tid;
       let w' = Atomic.get link in
       if w' = w then
         if Epoch.current s.epoch = th.local_epoch then w
@@ -283,53 +291,29 @@ let handle_of th id = Mempool.Core.handle th.shared.pool id
 
 (* -- reclamation (empty of Listing 10) ----------------------------------- *)
 
+(* Same coverage predicate as the reader: the margin must contain the
+   node's whole 16-bit precision range (Appendix A items 6-7). *)
+let covers margin v idx16 =
+  idx16 >= max 0 ((v - (margin / 2) + precision_range - 1) asr Handle.precision)
+  && idx16
+     <= min (Handle.idx16_mask - 1) ((v + (margin / 2) - (precision_range - 1)) asr Handle.precision)
+
 let empty th =
   let s = th.shared in
   (* Snapshot the PPV slots strictly BEFORE the per-thread epochs. A reader
      announces its epoch before publishing margins (start_op then read), so
      a margin captured in the slot snapshot always pairs with an
      up-to-date announcement; the reverse order could pair a fresh margin
-     with a stale "inactive" epoch and skip a live protection.
-
-     Published margins are flattened to (covered idx16 range, owner)
-     triples — the interval-index optimization the paper suggests for the
-     reclamation scan — so the per-retired-node check touches only
-     occupied slots. *)
-  let cap = s.threads * s.n_slots in
-  let m_lo = Array.make cap 0 in
-  let m_hi = Array.make cap 0 in
-  let m_tid = Array.make cap 0 in
-  let m_n = ref 0 in
-  let hp_snap = Array.make cap no_hazard in
-  let hp_n = ref 0 in
-  for t = 0 to s.threads - 1 do
-    for r = 0 to s.n_slots - 1 do
-      let v = Atomic.get s.mp_slots.(t).(r) in
-      if v <> no_margin then begin
-        (* same coverage predicate as the reader: the margin must contain
-           the node's whole 16-bit precision range (Appendix A items 6-7) *)
-        m_lo.(!m_n) <- max 0 ((v - (s.margin / 2) + precision_range - 1) asr Handle.precision);
-        m_hi.(!m_n) <-
-          min (Handle.idx16_mask - 1)
-            ((v + (s.margin / 2) - (precision_range - 1)) asr Handle.precision);
-        m_tid.(!m_n) <- t;
-        incr m_n
-      end;
-      let h = Atomic.get s.hp_slots.(t).(r) in
-      if h <> no_hazard then begin
-        hp_snap.(!hp_n) <- h;
-        incr hp_n
-      end
-    done
-  done;
-  let epochs = Array.init s.threads (fun t -> Atomic.get s.epoch.Epoch.announce.(t)) in
-  let m_n = !m_n and hp_n = !hp_n in
-  let hp_protected id =
-    let rec scan i = i < hp_n && (hp_snap.(i) = id || scan (i + 1)) in
-    scan 0
-  in
+     with a stale "inactive" epoch and skip a live protection. *)
+  Reservation.snapshot s.mps th.mp_snap;
+  Reservation.snapshot s.hps th.hp_snap;
+  Reservation.sort th.hp_snap;
+  Epoch.snapshot_announced s.epoch th.epoch_snap;
+  let margins = th.mp_snap.Reservation.vals
+  and owners = th.mp_snap.Reservation.owners
+  and m_n = th.mp_snap.Reservation.len in
   let keep id =
-    if hp_protected id then true
+    if Reservation.mem th.hp_snap id then true
     else begin
       let idx = Mempool.Core.index s.pool id in
       if idx = use_hp then false
@@ -340,9 +324,9 @@ let empty th =
            node's lifetime cannot have margin-protected it (Thm 4.2). *)
         let rec scan i =
           i < m_n
-          && ((idx16 >= m_lo.(i) && idx16 <= m_hi.(i)
+          && ((covers s.margin margins.(i) idx16
               &&
-              let e = epochs.(m_tid.(i)) in
+              let e = th.epoch_snap.(owners.(i)) in
               e >= birth && e <= death)
              || scan (i + 1))
         in
@@ -350,23 +334,17 @@ let empty th =
       end
     end
   in
-  let released =
-    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
-  in
-  Counters.on_reclaim s.counters ~tid:th.tid released
+  Reclaimer.scan th.rsv ~keep
 
 let retire th id =
   let s = th.shared in
-  Mempool.Core.mark_retired s.pool id;
   Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
-  Retired.push th.retired id;
-  Counters.on_retire s.counters ~tid:th.tid;
+  Reclaimer.retire th.rsv id;
   (* Every [epoch_freq] unlinks, advance the global epoch — the clock that
      bounds how many dead same-index generations one thread can pin. *)
   th.unlink_count <- th.unlink_count + 1;
   if th.unlink_count mod s.epoch_freq = 0 then Epoch.advance s.epoch;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod s.empty_freq = 0 then empty th
+  if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters
@@ -378,7 +356,7 @@ module Debug = struct
   let local_epoch th = th.local_epoch
   let use_hp_mode th = th.use_hp_mode
   let bounds th = (th.lower_bound, th.upper_bound)
-  let mp_slot t ~tid ~refno = Atomic.get t.s.mp_slots.(tid).(refno)
-  let hp_slot t ~tid ~refno = Atomic.get t.s.hp_slots.(tid).(refno)
-  let retired_length th = Retired.length th.retired
+  let mp_slot t ~tid ~refno = Reservation.get t.s.mps ~tid ~refno
+  let hp_slot t ~tid ~refno = Reservation.get t.s.hps ~tid ~refno
+  let retired_length th = Reclaimer.pending th.rsv
 end

@@ -46,7 +46,7 @@ let table ~title ~header rows =
     (hline widths);
   List.iter (fun row -> print_endline (render_row row)) rows;
   print_endline (hline widths);
-  print_string "%!"
+  flush stdout
 
 let fmt_throughput ops_per_s =
   if ops_per_s >= 1e6 then Printf.sprintf "%.2fM" (ops_per_s /. 1e6)

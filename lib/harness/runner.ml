@@ -60,6 +60,8 @@ type result = {
   fences : int;  (** publication fences during the measured window *)
   traversed : int;  (** nodes visited during the measured window *)
   fences_per_node : float;
+  scan_passes : int;  (** reclamation passes during the measured window *)
+  scan_time_s : float;  (** wall-clock seconds those passes took *)
   violations : int;
   oom : bool;  (** a thread exhausted the pool (leaky schemes) *)
   final_size : int;
@@ -166,6 +168,8 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     traversed;
     fences_per_node =
       (if traversed = 0 then 0.0 else float_of_int fences /. float_of_int traversed);
+    scan_passes = stats1.Smr_core.Smr_intf.scan_passes - stats0.Smr_core.Smr_intf.scan_passes;
+    scan_time_s = stats1.Smr_core.Smr_intf.scan_time_s -. stats0.Smr_core.Smr_intf.scan_time_s;
     violations = SET.violations t;
     oom = Atomic.get oom;
     final_size = SET.size t;
@@ -177,3 +181,45 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
        end
        else None);
   }
+
+(* -- machine-readable results --------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %g keeps the output compact and is valid JSON (exponent form
+   included); nan/inf, which JSON cannot carry, degrade to 0. *)
+let json_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+(** One benchmark run as a flat JSON object ([experiment]/[ds]/[scheme]
+    label where in the suite the numbers came from). *)
+let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
+  Printf.sprintf
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"final_size\":%d}"
+    (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
+    (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
+    r.wasted_max r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
+    (json_float r.scan_time_s) r.violations r.oom r.final_size
+
+(** Serialize a batch of labelled results as a JSON array. *)
+let results_to_json entries =
+  "[\n  "
+  ^ String.concat ",\n  "
+      (List.map
+         (fun (experiment, ds, scheme, r) -> result_to_json ~experiment ~ds ~scheme r)
+         entries)
+  ^ "\n]\n"

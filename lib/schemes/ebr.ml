@@ -5,7 +5,11 @@
     announced an epoch newer than [e]. Reads are plain loads — EBR has the
     lowest run-time overhead of all schemes — but a single thread stalled
     mid-operation pins its announced epoch and blocks all reclamation:
-    wasted memory is unbounded (EBR is not even robust). *)
+    wasted memory is unbounded (EBR is not even robust).
+
+    EBR announces through the {!Smr_core.Epoch} clock rather than a slot
+    table, so only the retire-side {!Smr_core.Reclaimer} half of the
+    kernel applies (with zero announcement slots in its threshold). *)
 
 open Smr_core
 
@@ -13,7 +17,6 @@ type shared = {
   pool : Mempool.Core.t;
   counters : Counters.t;
   epoch : Epoch.t;
-  empty_freq : int;
   epoch_freq : int;
   threads : int;
 }
@@ -21,8 +24,7 @@ type shared = {
 type thread = {
   shared : shared;
   tid : int;
-  retired : Retired.t;
-  mutable retire_count : int;
+  rsv : Reclaimer.t;
   mutable alloc_count : int;
 }
 
@@ -44,19 +46,20 @@ let properties =
 
 let create ~pool ~threads (config : Config.t) =
   let config = Config.validate config in
+  let counters = Counters.create ~threads in
   let s =
     {
       pool;
-      counters = Counters.create ~threads;
+      counters;
       epoch = Epoch.create ~threads;
-      empty_freq = config.empty_freq;
       epoch_freq = config.epoch_freq;
       threads;
     }
   in
+  let threshold = Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:0 ~threads in
   let per_thread =
     Array.init threads (fun tid ->
-        { shared = s; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0 })
+        { shared = s; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold; alloc_count = 0 })
   in
   { s; per_thread }
 
@@ -106,20 +109,13 @@ let handle_of th id = Mempool.Core.handle th.shared.pool id
 let empty th =
   let s = th.shared in
   let min_active = Epoch.min_announced s.epoch in
-  let keep id = Mempool.Core.death s.pool id >= min_active in
-  let released =
-    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
-  in
-  Counters.on_reclaim s.counters ~tid:th.tid released
+  Reclaimer.scan th.rsv ~keep:(fun id -> Mempool.Core.death s.pool id >= min_active)
 
 let retire th id =
   let s = th.shared in
-  Mempool.Core.mark_retired s.pool id;
   Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
-  Retired.push th.retired id;
-  Counters.on_retire s.counters ~tid:th.tid;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod s.empty_freq = 0 then begin
+  Reclaimer.retire th.rsv id;
+  if Reclaimer.scan_due th.rsv then begin
     try_advance th;
     empty th
   end

@@ -6,7 +6,12 @@
     reclaimable when no published era falls inside its interval. Multiple
     nodes are protected by one published era as long as the global era
     does not advance, which removes most of HP's fence traffic. Robust but
-    not bounded: everything alive when a thread stalls stays protected. *)
+    not bounded: everything alive when a thread stalls stays protected.
+
+    Built on the {!Smr_core.Reservation}/{!Smr_core.Reclaimer} kernel:
+    slots announce eras; the scan sorts the era snapshot once and asks,
+    per retired node, whether any era falls in [birth, death] — a binary
+    range query instead of the quadratic slot re-scan. *)
 
 open Smr_core
 
@@ -14,18 +19,15 @@ type shared = {
   pool : Mempool.Core.t;
   counters : Counters.t;
   epoch : Epoch.t;
-  slots : int Atomic.t array array; (* published eras, 0 = none *)
-  empty_freq : int;
+  res : Reservation.t; (* published eras, 0 = none *)
   epoch_freq : int;
-  n_slots : int;
-  threads : int;
 }
 
 type thread = {
   shared : shared;
   tid : int;
-  retired : Retired.t;
-  mutable retire_count : int;
+  rsv : Reclaimer.t;
+  snap : Reservation.snapshot;
   mutable alloc_count : int;
 }
 
@@ -48,34 +50,35 @@ let properties =
 
 let create ~pool ~threads (config : Config.t) =
   let config = Config.validate config in
+  let counters = Counters.create ~threads in
   let s =
     {
       pool;
-      counters = Counters.create ~threads;
+      counters;
       epoch = Epoch.create ~threads;
-      slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_era));
-      empty_freq = config.empty_freq;
+      res = Reservation.create ~counters ~threads ~slots:config.slots ~empty:no_era;
       epoch_freq = config.epoch_freq;
-      n_slots = config.slots;
-      threads;
     }
+  in
+  let threshold =
+    Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:config.slots ~threads
   in
   let per_thread =
     Array.init threads (fun tid ->
-        { shared = s; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0 })
+        {
+          shared = s;
+          tid;
+          rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
+          snap = Reservation.snapshot_create ();
+          alloc_count = 0;
+        })
   in
   { s; per_thread }
 
 let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 let start_op (_ : thread) = ()
-
-let end_op th =
-  let mine = th.shared.slots.(th.tid) in
-  for refno = 0 to th.shared.n_slots - 1 do
-    if Atomic.get mine.(refno) <> no_era then Atomic.set mine.(refno) no_era
-  done;
-  Counters.on_fence th.shared.counters ~tid:th.tid
+let end_op th = Reservation.clear_all th.shared.res ~tid:th.tid
 
 let alloc th =
   th.alloc_count <- th.alloc_count + 1;
@@ -104,49 +107,31 @@ let rec read_loop th slot link prev_era =
     retry while the era moves. If the published era is already current the
     read is fence-free — the common case that makes HE fast. *)
 let read th ~refno link =
-  let slot = th.shared.slots.(th.tid).(refno) in
+  let slot = Reservation.slot th.shared.res ~tid:th.tid ~refno in
   read_loop th slot link (Atomic.get slot)
 
-let unprotect th ~refno = Atomic.set th.shared.slots.(th.tid).(refno) no_era
+let unprotect th ~refno = Reservation.clear th.shared.res ~tid:th.tid ~refno
 let update_lower_bound (_ : thread) (_ : int) = ()
 let update_upper_bound (_ : thread) (_ : int) = ()
 let handle_of th id = Mempool.Core.handle th.shared.pool id
 
 (* A retired node conflicts with a published era [e] iff
-   birth <= e <= death. Eras are snapshotted once per pass. *)
+   birth <= e <= death. Eras are snapshotted and sorted once per pass;
+   the per-node test is a binary range query. *)
 let empty th =
   let s = th.shared in
-  let total = s.threads * s.n_slots in
-  let snap = Array.make total no_era in
-  let k = ref 0 in
-  for t = 0 to s.threads - 1 do
-    for r = 0 to s.n_slots - 1 do
-      let e = Atomic.get s.slots.(t).(r) in
-      if e <> no_era then begin
-        snap.(!k) <- e;
-        incr k
-      end
-    done
-  done;
-  let n = !k in
-  let keep id =
-    let birth = Mempool.Core.birth s.pool id and death = Mempool.Core.death s.pool id in
-    let rec conflict i = i < n && ((snap.(i) >= birth && snap.(i) <= death) || conflict (i + 1)) in
-    conflict 0
-  in
-  let released =
-    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
-  in
-  Counters.on_reclaim s.counters ~tid:th.tid released
+  Reservation.snapshot s.res th.snap;
+  Reservation.sort th.snap;
+  Reclaimer.scan th.rsv ~keep:(fun id ->
+      Reservation.exists_in_range th.snap
+        ~lo:(Mempool.Core.birth s.pool id)
+        ~hi:(Mempool.Core.death s.pool id))
 
 let retire th id =
   let s = th.shared in
-  Mempool.Core.mark_retired s.pool id;
   Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
-  Retired.push th.retired id;
-  Counters.on_retire s.counters ~tid:th.tid;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod s.empty_freq = 0 then empty th
+  Reclaimer.retire th.rsv id;
+  if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters

@@ -6,28 +6,25 @@
     points to the node. Wasted memory is bounded by O(H·T) but every
     pointer dereference pays the publish/validate protocol.
 
-    Includes the two optimizations the paper applied to the IBR framework
-    (§6): [empty] scans a snapshot of all hazard pointers instead of
-    re-reading them per retired node, and end-of-operation clearing is
-    accounted as a single fence. *)
+    Built on the {!Smr_core.Reservation}/{!Smr_core.Reclaimer} kernel:
+    slots announce node ids, the scan keeps exactly the snapshot's
+    members. The snapshot-instead-of-re-reading and single-fence-clear
+    optimizations the paper applied to the IBR framework (§6) are the
+    kernel's defaults. *)
 
 open Smr_core
 
 type shared = {
   pool : Mempool.Core.t;
   counters : Counters.t;
-  slots : int Atomic.t array array; (* [thread].[refno], node id or -1 *)
-  empty_freq : int;
-  n_slots : int;
-  threads : int;
+  res : Reservation.t; (* announced node ids, [no_hazard] = empty *)
 }
 
 type thread = {
   shared : shared;
   tid : int;
-  retired : Retired.t;
-  mutable retire_count : int;
-  scratch : int array ref; (* snapshot buffer reused across empty() calls *)
+  rsv : Reclaimer.t;
+  snap : Reservation.snapshot; (* reused across empty() calls *)
 }
 
 type t = {
@@ -49,24 +46,24 @@ let properties =
 
 let create ~pool ~threads (config : Config.t) =
   let config = Config.validate config in
+  let counters = Counters.create ~threads in
   let s =
     {
       pool;
-      counters = Counters.create ~threads;
-      slots = Array.init threads (fun _ -> Array.init config.slots (fun _ -> Atomic.make no_hazard));
-      empty_freq = config.empty_freq;
-      n_slots = config.slots;
-      threads;
+      counters;
+      res = Reservation.create ~counters ~threads ~slots:config.slots ~empty:no_hazard;
     }
+  in
+  let threshold =
+    Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:config.slots ~threads
   in
   let per_thread =
     Array.init threads (fun tid ->
         {
           shared = s;
           tid;
-          retired = Retired.create ();
-          retire_count = 0;
-          scratch = ref (Array.make (threads * config.slots) no_hazard);
+          rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
+          snap = Reservation.snapshot_create ();
         })
   in
   { s; per_thread }
@@ -75,14 +72,9 @@ let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 let start_op (_ : thread) = ()
 
-(* Clearing H slots at operation end; the paper's optimized HP issues a
-   single fence for the batch, so we count one. *)
-let end_op th =
-  let mine = th.shared.slots.(th.tid) in
-  for refno = 0 to th.shared.n_slots - 1 do
-    if Atomic.get mine.(refno) <> no_hazard then Atomic.set mine.(refno) no_hazard
-  done;
-  Counters.on_fence th.shared.counters ~tid:th.tid
+(* Clearing H slots at operation end; the kernel counts the batch as a
+   single fence, as the paper's optimized HP does. *)
+let end_op th = Reservation.clear_all th.shared.res ~tid:th.tid
 
 let alloc th = Mempool.Core.alloc th.shared.pool ~tid:th.tid
 
@@ -108,54 +100,24 @@ let rec read_loop th slot link =
 (** The protect/validate loop. Publishing the hazard is one fence; the
     loop re-runs while the link changes under us (some other thread
     progressed, so the scheme stays nonblocking). *)
-let read th ~refno link = read_loop th th.shared.slots.(th.tid).(refno) link
+let read th ~refno link =
+  read_loop th (Reservation.slot th.shared.res ~tid:th.tid ~refno) link
 
-let unprotect th ~refno = Atomic.set th.shared.slots.(th.tid).(refno) no_hazard
+let unprotect th ~refno = Reservation.clear th.shared.res ~tid:th.tid ~refno
 let update_lower_bound (_ : thread) (_ : int) = ()
 let update_upper_bound (_ : thread) (_ : int) = ()
 let handle_of th id = Mempool.Core.handle th.shared.pool id
 
 (* Reclamation: snapshot every hazard slot once, sort, then release any
-   retired node not present in the snapshot. *)
+   retired node not present in the snapshot (binary search per node). *)
 let empty th =
-  let s = th.shared in
-  let total = s.threads * s.n_slots in
-  if Array.length !(th.scratch) < total then th.scratch := Array.make total no_hazard;
-  let snap = !(th.scratch) in
-  let k = ref 0 in
-  for t = 0 to s.threads - 1 do
-    for r = 0 to s.n_slots - 1 do
-      let v = Atomic.get s.slots.(t).(r) in
-      if v <> no_hazard then begin
-        snap.(!k) <- v;
-        incr k
-      end
-    done
-  done;
-  let n = !k in
-  let sub = Array.sub snap 0 n in
-  Array.sort compare sub;
-  let protected_ id =
-    let rec bsearch lo hi =
-      if lo >= hi then false
-      else
-        let mid = (lo + hi) / 2 in
-        if sub.(mid) = id then true else if sub.(mid) < id then bsearch (mid + 1) hi else bsearch lo mid
-    in
-    bsearch 0 n
-  in
-  let released =
-    Retired.filter_in_place th.retired ~keep:protected_ ~release:(fun id ->
-        Mempool.Core.free s.pool ~tid:th.tid id)
-  in
-  Counters.on_reclaim s.counters ~tid:th.tid released
+  Reservation.snapshot th.shared.res th.snap;
+  Reservation.sort th.snap;
+  Reclaimer.scan th.rsv ~keep:(fun id -> Reservation.mem th.snap id)
 
 let retire th id =
-  Mempool.Core.mark_retired th.shared.pool id;
-  Retired.push th.retired id;
-  Counters.on_retire th.shared.counters ~tid:th.tid;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod th.shared.empty_freq = 0 then empty th
+  Reclaimer.retire th.rsv id;
+  if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters

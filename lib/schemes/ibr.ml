@@ -4,7 +4,11 @@
     [lower, upper] covering the birth epochs of every node it may hold. A
     retired node is reclaimable if, for every thread, its whole lifetime
     lies outside the thread's interval. Cheaper than HE (an era change
-    updates one interval, not every PPV); robust but not bounded. *)
+    updates one interval, not every PPV); robust but not bounded.
+
+    Built on the {!Smr_core.Reservation}/{!Smr_core.Reclaimer} kernel:
+    the interval endpoints live in two single-slot reservation tables,
+    snapshotted flat (per-tid) once per scan. *)
 
 open Smr_core
 
@@ -12,9 +16,8 @@ type shared = {
   pool : Mempool.Core.t;
   counters : Counters.t;
   epoch : Epoch.t;
-  lower : int Atomic.t array;
-  upper : int Atomic.t array;
-  empty_freq : int;
+  lower : Reservation.t; (* one slot per thread, [idle_lower] = idle *)
+  upper : Reservation.t; (* one slot per thread, [idle_upper] = idle *)
   epoch_freq : int;
   threads : int;
 }
@@ -22,15 +25,13 @@ type shared = {
 type thread = {
   shared : shared;
   tid : int;
-  retired : Retired.t;
-  mutable retire_count : int;
+  rsv : Reclaimer.t;
+  snap_lo : Reservation.snapshot;
+  snap_hi : Reservation.snapshot;
   mutable alloc_count : int;
 }
 
-type t = {
-  s : shared;
-  per_thread : thread array;
-}
+type t = { s : shared; per_thread : thread array }
 
 let name = "ibr"
 
@@ -49,38 +50,40 @@ let properties =
 
 let create ~pool ~threads (config : Config.t) =
   let config = Config.validate config in
+  let counters = Counters.create ~threads in
   let s =
-    {
-      pool;
-      counters = Counters.create ~threads;
-      epoch = Epoch.create ~threads;
-      lower = Array.init threads (fun _ -> Atomic.make idle_lower);
-      upper = Array.init threads (fun _ -> Atomic.make idle_upper);
-      empty_freq = config.empty_freq;
-      epoch_freq = config.epoch_freq;
-      threads;
-    }
+    { pool; counters; epoch = Epoch.create ~threads;
+      lower = Reservation.create ~counters ~threads ~slots:1 ~empty:idle_lower;
+      upper = Reservation.create ~counters ~threads ~slots:1 ~empty:idle_upper;
+      epoch_freq = config.epoch_freq; threads }
   in
+  (* One announcement (the interval) per thread, regardless of the
+     configured per-reference slot count. *)
+  let threshold = Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:1 ~threads in
   let per_thread =
     Array.init threads (fun tid ->
-        { shared = s; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0 })
+        { shared = s; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
+          snap_lo = Reservation.snapshot_create (); snap_hi = Reservation.snapshot_create ();
+          alloc_count = 0 })
   in
   { s; per_thread }
 
 let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 
+(* Both endpoint writes publish under the one fence counted per
+   operation start, as in the original. *)
 let start_op th =
   let s = th.shared in
   let e = Epoch.current s.epoch in
-  Atomic.set s.lower.(th.tid) e;
-  Atomic.set s.upper.(th.tid) e;
+  Reservation.set s.lower ~tid:th.tid ~refno:0 e;
+  Reservation.set s.upper ~tid:th.tid ~refno:0 e;
   Counters.on_fence s.counters ~tid:th.tid
 
 let end_op th =
   let s = th.shared in
-  Atomic.set s.lower.(th.tid) idle_lower;
-  Atomic.set s.upper.(th.tid) idle_upper
+  Reservation.clear s.lower ~tid:th.tid ~refno:0;
+  Reservation.clear s.upper ~tid:th.tid ~refno:0
 
 let alloc th =
   th.alloc_count <- th.alloc_count + 1;
@@ -95,18 +98,16 @@ let alloc_with_index th ~index =
   id
 
 (** Reads stretch the upper endpoint to cover the target's birth epoch
-    (read from the node metadata — the role of IBR's pointer tag). The
-    update only fires when the global epoch moved since the interval was
-    last stretched, so the overhead is per-operation, not per-dereference.
-    Safety for chains of retired nodes follows from the structures'
-    "a retired node points only at nodes retired no earlier" invariant,
-    exactly as in the IBR paper. *)
+    (the role of IBR's pointer tag); the update only fires when the epoch
+    moved, so the overhead is per-operation, not per-dereference. Safety
+    for retired chains follows from the structures' "a retired node points
+    only at nodes retired no earlier" invariant, as in the IBR paper. *)
 let read th ~refno:(_ : int) link =
   let s = th.shared in
   let w = Atomic.get link in
   if not (Handle.is_null w) then begin
     let birth = Mempool.Core.birth s.pool (Handle.id w) in
-    let up = s.upper.(th.tid) in
+    let up = Reservation.slot s.upper ~tid:th.tid ~refno:0 in
     if Atomic.get up < birth then begin
       Atomic.set up (max birth (Epoch.current s.epoch));
       Counters.on_fence s.counters ~tid:th.tid
@@ -120,11 +121,13 @@ let update_upper_bound (_ : thread) (_ : int) = ()
 let handle_of th id = Mempool.Core.handle th.shared.pool id
 
 (* Node [birth, death] conflicts with interval [lo, hi] unless
-   death < lo or birth > hi. *)
+   death < lo or birth > hi; idle intervals are empty and never
+   conflict. Flat snapshots index endpoint values by tid. *)
 let empty th =
   let s = th.shared in
-  let lo = Array.map Atomic.get s.lower in
-  let hi = Array.map Atomic.get s.upper in
+  Reservation.snapshot_flat s.lower th.snap_lo;
+  Reservation.snapshot_flat s.upper th.snap_hi;
+  let lo = th.snap_lo.Reservation.vals and hi = th.snap_hi.Reservation.vals in
   let keep id =
     let birth = Mempool.Core.birth s.pool id and death = Mempool.Core.death s.pool id in
     let rec conflict t =
@@ -132,19 +135,13 @@ let empty th =
     in
     conflict 0
   in
-  let released =
-    Retired.filter_in_place th.retired ~keep ~release:(fun id -> Mempool.Core.free s.pool ~tid:th.tid id)
-  in
-  Counters.on_reclaim s.counters ~tid:th.tid released
+  Reclaimer.scan th.rsv ~keep
 
 let retire th id =
   let s = th.shared in
-  Mempool.Core.mark_retired s.pool id;
   Mempool.Core.set_death s.pool id (Epoch.current s.epoch);
-  Retired.push th.retired id;
-  Counters.on_retire s.counters ~tid:th.tid;
-  th.retire_count <- th.retire_count + 1;
-  if th.retire_count mod s.empty_freq = 0 then empty th
+  Reclaimer.retire th.rsv id;
+  if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters

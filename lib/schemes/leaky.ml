@@ -1,26 +1,14 @@
 (** "No reclamation" baseline: retired nodes are never freed.
 
     Zero run-time overhead (reads are plain loads), unbounded wasted
-    memory. Serves as the throughput ceiling and the wasted-memory worst
-    case in the evaluation. *)
+    memory; the throughput ceiling and wasted-memory worst case in the
+    evaluation. Retires still flow through {!Smr_core.Reclaimer} for
+    uniform accounting — its scan is simply never run. *)
 
 open Smr_core
 
-type shared = {
-  pool : Mempool.Core.t;
-  counters : Counters.t;
-}
-
-type thread = {
-  shared : shared;
-  tid : int;
-  retired : Retired.t;
-}
-
-type t = {
-  s : shared;
-  per_thread : thread array;
-}
+type thread = { pool : Mempool.Core.t; tid : int; rsv : Reclaimer.t }
+type t = { counters : Counters.t; per_thread : thread array }
 
 let name = "none"
 
@@ -34,29 +22,30 @@ let properties =
   }
 
 let create ~pool ~threads (_ : Config.t) =
-  let s = { pool; counters = Counters.create ~threads } in
-  { s; per_thread = Array.init threads (fun tid -> { shared = s; tid; retired = Retired.create () }) }
+  let counters = Counters.create ~threads in
+  {
+    counters;
+    per_thread =
+      Array.init threads (fun tid ->
+          { pool; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold:max_int });
+  }
 
 let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 let start_op (_ : thread) = ()
 let end_op (_ : thread) = ()
-let alloc th = Mempool.Core.alloc th.shared.pool ~tid:th.tid
+let alloc th = Mempool.Core.alloc th.pool ~tid:th.tid
 
 let alloc_with_index th ~index =
   let id = alloc th in
-  Mempool.Core.set_index th.shared.pool id index;
+  Mempool.Core.set_index th.pool id index;
   id
 
-let retire th id =
-  Mempool.Core.mark_retired th.shared.pool id;
-  Retired.push th.retired id;
-  Counters.on_retire th.shared.counters ~tid:th.tid
-
+let retire th id = Reclaimer.retire th.rsv id
 let read (_ : thread) ~refno:(_ : int) link = Atomic.get link
 let unprotect (_ : thread) ~refno:(_ : int) = ()
 let update_lower_bound (_ : thread) (_ : int) = ()
 let update_upper_bound (_ : thread) (_ : int) = ()
-let handle_of th id = Mempool.Core.handle th.shared.pool id
+let handle_of th id = Mempool.Core.handle th.pool id
 let flush (_ : thread) = ()
-let stats t = Counters.stats t.s.counters
+let stats t = Counters.stats t.counters

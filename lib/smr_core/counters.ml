@@ -8,6 +8,8 @@ type t = {
   reclaimed : Sc.t;
   retired_total : Sc.t;
   hp_fallbacks : Sc.t;
+  scan_passes : Sc.t;
+  scan_time_ns : Sc.t;
 }
 
 let create ~threads =
@@ -17,6 +19,8 @@ let create ~threads =
     reclaimed = Sc.create ~threads;
     retired_total = Sc.create ~threads;
     hp_fallbacks = Sc.create ~threads;
+    scan_passes = Sc.create ~threads;
+    scan_time_ns = Sc.create ~threads;
   }
 
 let stats t : Smr_intf.stats =
@@ -26,6 +30,8 @@ let stats t : Smr_intf.stats =
     reclaimed = Sc.sum t.reclaimed;
     retired_total = Sc.sum t.retired_total;
     hp_fallbacks = Sc.sum t.hp_fallbacks;
+    scan_passes = Sc.sum t.scan_passes;
+    scan_time_s = float_of_int (Sc.sum t.scan_time_ns) *. 1e-9;
   }
 
 let on_retire t ~tid =
@@ -37,3 +43,7 @@ let on_reclaim t ~tid n =
   Sc.add t.reclaimed ~tid n
 
 let on_fence t ~tid = Sc.incr t.fences ~tid
+
+let on_scan t ~tid ~ns =
+  Sc.incr t.scan_passes ~tid;
+  Sc.add t.scan_time_ns ~tid ns

@@ -6,6 +6,8 @@ type t = {
   reclaimed : Mp_util.Striped_counter.t;
   retired_total : Mp_util.Striped_counter.t;
   hp_fallbacks : Mp_util.Striped_counter.t;
+  scan_passes : Mp_util.Striped_counter.t;
+  scan_time_ns : Mp_util.Striped_counter.t;
 }
 
 val create : threads:int -> t
@@ -13,3 +15,6 @@ val stats : t -> Smr_intf.stats
 val on_retire : t -> tid:int -> unit
 val on_reclaim : t -> tid:int -> int -> unit
 val on_fence : t -> tid:int -> unit
+
+(** Account one reclamation pass that took [ns] nanoseconds. *)
+val on_scan : t -> tid:int -> ns:int -> unit

@@ -34,6 +34,14 @@ let announced t ~tid = Atomic.get t.announce.(tid)
 (** Mark thread [tid] idle. *)
 let retire_announcement t ~tid = Atomic.set t.announce.(tid) inactive
 
+(** Fill [buf.(tid)] with every thread's announced epoch ({!inactive}
+    for idle threads) — the epoch snapshot a reclamation pass pairs with
+    its slot snapshot. *)
+let snapshot_announced t buf =
+  for tid = 0 to Array.length t.announce - 1 do
+    buf.(tid) <- Atomic.get t.announce.(tid)
+  done
+
 (** Smallest epoch announced by any active thread ({!inactive} if all are
     idle). Reclamation may release anything strictly older. *)
 let min_announced t =

@@ -19,5 +19,9 @@ val announce : t -> tid:int -> int
 val announced : t -> tid:int -> int
 val retire_announcement : t -> tid:int -> unit
 
+(** Fill [buf.(tid)] with each thread's announced epoch ([inactive] for
+    idle threads); [buf] must have at least [threads] entries. *)
+val snapshot_announced : t -> int array -> unit
+
 (** Smallest epoch announced by any active thread. *)
 val min_announced : t -> int

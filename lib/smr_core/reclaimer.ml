@@ -1,0 +1,61 @@
+(** Per-thread retire-side driver — the private half of the
+    reservation/reclamation kernel.
+
+    Owns the thread's {!Retired} list and the scan trigger. A scan
+    ([empty] in the paper) costs O(slots·threads) to snapshot the
+    announcement table plus O(|retired|) to filter, so the kernel runs
+    one only when at least {!scan_threshold} retires have accumulated:
+    [max (empty_freq, slots·threads + 2·threads)]. Since at most
+    [slots·threads] nodes can be announcement-protected at once, each
+    pass frees at least the Ω(threads) surplus, making scan work
+    amortized O(1) per retire while wasted memory stays within the same
+    class each scheme certifies (the bound grows only by the constant
+    batch slack). Scans are timed and counted into
+    {!Counters}/{!Smr_intf.stats} ([scan_passes], [scan_time_s]). *)
+
+type t = {
+  pool : Mempool.Core.t;
+  counters : Counters.t;
+  tid : int;
+  retired : Retired.t;
+  threshold : int;
+  mutable since_scan : int; (* retires since the last scan *)
+}
+
+(** The amortization threshold: never scan more often than every
+    [empty_freq] retires, nor before the batch exceeds the table
+    capacity ([slots·threads], the most nodes announcements can
+    protect) by a Ω(threads) margin that a pass is guaranteed to free. *)
+let scan_threshold ~empty_freq ~slots ~threads =
+  max empty_freq ((slots * threads) + (2 * threads))
+
+let create ~pool ~counters ~tid ~threshold =
+  { pool; counters; tid; retired = Retired.create (); threshold; since_scan = 0 }
+
+let pending t = Retired.length t.retired
+
+(** Hand a node to the reclaimer: poison it, queue it, count it. The
+    caller stamps any death metadata (epoch schemes) before or after —
+    this call never scans. *)
+let retire t id =
+  Mempool.Core.mark_retired t.pool id;
+  Retired.push t.retired id;
+  Counters.on_retire t.counters ~tid:t.tid;
+  t.since_scan <- t.since_scan + 1
+
+(** True once the batch since the last scan reached the threshold. *)
+let scan_due t = t.since_scan >= t.threshold
+
+(** Run a reclamation pass now: drop every retired node [keep] rejects
+    back into the pool, reset the batch counter, and account the pass
+    ([scan_passes], [scan_time_s], [reclaimed], [wasted]). *)
+let scan t ~keep =
+  t.since_scan <- 0;
+  let t0 = Unix.gettimeofday () in
+  let released =
+    Retired.filter_in_place t.retired ~keep ~release:(fun id ->
+        Mempool.Core.free t.pool ~tid:t.tid id)
+  in
+  Counters.on_reclaim t.counters ~tid:t.tid released;
+  let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  Counters.on_scan t.counters ~tid:t.tid ~ns

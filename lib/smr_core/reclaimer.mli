@@ -1,0 +1,28 @@
+(** Per-thread retire-side driver: owns the retired list, batches
+    retires, and triggers amortized reclamation scans. Schemes keep only
+    the [keep] predicate they pass to {!scan}. *)
+
+type t
+
+(** [max (empty_freq, slots·threads + 2·threads)]: scan no more often
+    than the configured frequency, and never before the batch exceeds
+    the announcement-table capacity by a Ω(threads) slack a pass must
+    free — amortized O(1) scan work per retire. *)
+val scan_threshold : empty_freq:int -> slots:int -> threads:int -> int
+
+val create : pool:Mempool.Core.t -> counters:Counters.t -> tid:int -> threshold:int -> t
+
+(** Nodes currently awaiting reclamation on this thread. *)
+val pending : t -> int
+
+(** Queue a retired node (marks it retired in the pool and counts it).
+    Never scans; callers check {!scan_due} afterwards. *)
+val retire : t -> int -> unit
+
+(** True once retires since the last scan reached the threshold. *)
+val scan_due : t -> bool
+
+(** Run a pass now (also used by [flush]): frees every queued node
+    [keep] rejects, resets the batch, counts the pass and its wall-clock
+    time into the scheme's stats. *)
+val scan : t -> keep:(int -> bool) -> unit

@@ -1,0 +1,149 @@
+(** Per-thread announcement-slot table — the shared half of the
+    reservation/reclamation kernel.
+
+    Every scheme in the paper's protect/retire/scan family announces
+    *something* in a per-thread slot before touching shared memory: HP
+    announces node ids, HE announces eras, IBR announces an epoch
+    interval, MP announces key indices (plus node ids on its HP
+    fallback). This module owns that table and the snapshotting a
+    reclamation pass needs, so a scheme is reduced to its announce /
+    validate policy.
+
+    Fence accounting is folded in: {!publish} counts one publication
+    fence and {!clear_all} counts one for the whole batch (the paper's
+    §6 "optimized" accounting for end-of-operation clearing). {!set}
+    and {!clear} are silent so schemes that batch several slot writes
+    under a single fence (IBR's interval endpoints, MP's end_op) can
+    keep their exact fence counts.
+
+    The snapshot buffers are owned by the caller and reused across
+    passes, so a reclamation scan allocates nothing once warm; sorted
+    membership tests are binary search with [Int] comparisons — no
+    polymorphic [compare] on the hot path. *)
+
+type t = {
+  counters : Counters.t;
+  table : int Atomic.t array array; (* [tid].[refno] *)
+  empty : int; (* sentinel for an unoccupied slot *)
+  slots : int;
+  threads : int;
+}
+
+let create ~counters ~threads ~slots ~empty =
+  {
+    counters;
+    table = Array.init threads (fun _ -> Array.init slots (fun _ -> Atomic.make empty));
+    empty;
+    slots;
+    threads;
+  }
+
+let threads t = t.threads
+let slots_per_thread t = t.slots
+let capacity t = t.threads * t.slots
+
+(* Hot read paths hoist the slot atomic once per protection loop instead
+   of re-indexing the table on every iteration. *)
+let slot t ~tid ~refno = t.table.(tid).(refno)
+let get t ~tid ~refno = Atomic.get t.table.(tid).(refno)
+
+(** Plain slot write, no fence counted (for multi-slot updates that the
+    scheme accounts as one fence). *)
+let set t ~tid ~refno v = Atomic.set t.table.(tid).(refno) v
+
+(** Publish an announcement: one slot write, one publication fence. *)
+let publish t ~tid ~refno v =
+  Atomic.set t.table.(tid).(refno) v;
+  Counters.on_fence t.counters ~tid
+
+let clear t ~tid ~refno = Atomic.set t.table.(tid).(refno) t.empty
+
+(** Clear every occupied slot of [tid]; the batch costs one fence. *)
+let clear_all t ~tid =
+  let mine = t.table.(tid) in
+  for refno = 0 to t.slots - 1 do
+    if Atomic.get mine.(refno) <> t.empty then Atomic.set mine.(refno) t.empty
+  done;
+  Counters.on_fence t.counters ~tid
+
+(* -- snapshots ----------------------------------------------------------- *)
+
+type snapshot = {
+  mutable vals : int array;
+  mutable owners : int array;
+  mutable len : int;
+}
+
+let snapshot_create () = { vals = [||]; owners = [||]; len = 0 }
+
+let ensure t snap =
+  let cap = capacity t in
+  if Array.length snap.vals < cap then begin
+    snap.vals <- Array.make cap t.empty;
+    snap.owners <- Array.make cap 0
+  end
+
+(** Fill [snap] with every occupied slot's value, paired with the owning
+    tid in [owners]. Order is table order. *)
+let snapshot t snap =
+  ensure t snap;
+  let k = ref 0 in
+  for tid = 0 to t.threads - 1 do
+    let row = t.table.(tid) in
+    for refno = 0 to t.slots - 1 do
+      let v = Atomic.get row.(refno) in
+      if v <> t.empty then begin
+        snap.vals.(!k) <- v;
+        snap.owners.(!k) <- tid;
+        incr k
+      end
+    done
+  done;
+  snap.len <- !k
+
+(** Fill [snap] with {e every} slot value — sentinels included — in flat
+    [(tid * slots) + refno] position order, so a scheme whose scan wants
+    per-thread values (IBR's interval endpoints) can index by tid. *)
+let snapshot_flat t snap =
+  ensure t snap;
+  let k = ref 0 in
+  for tid = 0 to t.threads - 1 do
+    let row = t.table.(tid) in
+    for refno = 0 to t.slots - 1 do
+      snap.vals.(!k) <- Atomic.get row.(refno);
+      snap.owners.(!k) <- tid;
+      incr k
+    done
+  done;
+  snap.len <- !k
+
+(** Sort the snapshot values with [Int.compare] so membership queries are
+    binary search. Allocation-free: the buffer's unused tail is padded
+    with [max_int] and the whole array heap-sorted in place (announced
+    values must therefore be below [max_int]; node ids, eras and indices
+    all are). Invalidates [owners]. *)
+let sort snap =
+  Array.fill snap.vals snap.len (Array.length snap.vals - snap.len) max_int;
+  Array.sort Int.compare snap.vals
+
+(* First position in the sorted prefix holding a value >= [v]
+   ([snap.len] if none). *)
+let lower_bound snap v =
+  let lo = ref 0 and hi = ref snap.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if snap.vals.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** Sorted membership: is [v] announced in the snapshot? *)
+let mem snap v =
+  let i = lower_bound snap v in
+  i < snap.len && snap.vals.(i) = v
+
+(** Sorted range query: does the snapshot hold any value in
+    [\[lo, hi\]]? (HE: "does any published era fall inside the node's
+    birth–death interval?") *)
+let exists_in_range snap ~lo ~hi =
+  let i = lower_bound snap lo in
+  i < snap.len && snap.vals.(i) <= hi

@@ -1,0 +1,68 @@
+(** Per-thread announcement-slot table shared by every SMR scheme: HP
+    announces node ids, HE eras, IBR interval endpoints, MP key indices
+    (and node ids on its HP fallback). Owns the slots and the reusable
+    snapshot buffers a reclamation pass reads, so scheme modules keep
+    only their announce/validate policy. *)
+
+type t
+
+(** [create ~counters ~threads ~slots ~empty] builds a [threads × slots]
+    table with every slot holding the sentinel [empty]. Fences issued by
+    {!publish}/{!clear_all} are charged to [counters]. *)
+val create : counters:Counters.t -> threads:int -> slots:int -> empty:int -> t
+
+val threads : t -> int
+val slots_per_thread : t -> int
+
+(** Total slot count ([threads × slots]) — the snapshot capacity. *)
+val capacity : t -> int
+
+(** The raw slot atomic, for protection loops that hoist it once. *)
+val slot : t -> tid:int -> refno:int -> int Atomic.t
+
+val get : t -> tid:int -> refno:int -> int
+
+(** Plain slot write, {e no} fence counted — for multi-slot updates the
+    scheme accounts as a single fence. *)
+val set : t -> tid:int -> refno:int -> int -> unit
+
+(** Announce a value: slot write plus one counted publication fence. *)
+val publish : t -> tid:int -> refno:int -> int -> unit
+
+(** Reset one slot to the sentinel (uncounted, like HP's unprotect). *)
+val clear : t -> tid:int -> refno:int -> unit
+
+(** Clear all of [tid]'s occupied slots, counted as one batched fence
+    (the paper's §6 end-of-operation accounting). *)
+val clear_all : t -> tid:int -> unit
+
+(** A reusable scan buffer. [vals]/[owners]/[len] are readable by scheme
+    scan predicates; only this module mutates them. After {!sort},
+    [owners] is meaningless. *)
+type snapshot = private {
+  mutable vals : int array;
+  mutable owners : int array;
+  mutable len : int;
+}
+
+val snapshot_create : unit -> snapshot
+
+(** Fill [snap] with every occupied slot (sentinels filtered out),
+    pairing each value with its owner tid. Grows the buffer on first
+    use; allocation-free thereafter. *)
+val snapshot : t -> snapshot -> unit
+
+(** Fill [snap] with every slot value — sentinels included — in flat
+    [(tid × slots) + refno] order, for scans indexed by thread. *)
+val snapshot_flat : t -> snapshot -> unit
+
+(** In-place [Int.compare] sort of the snapshot (no polymorphic compare,
+    no allocation); enables {!mem}/{!exists_in_range}. Announced values
+    must be below [max_int]. Invalidates [owners]. *)
+val sort : snapshot -> unit
+
+(** Binary-search membership in a sorted snapshot. *)
+val mem : snapshot -> int -> bool
+
+(** Does a sorted snapshot hold any value in [\[lo, hi\]]? *)
+val exists_in_range : snapshot -> lo:int -> hi:int -> bool

@@ -26,6 +26,8 @@ type stats = {
   reclaimed : int;  (** nodes returned to the pool *)
   retired_total : int;
   hp_fallbacks : int;  (** MP only: reads served through the HP path *)
+  scan_passes : int;  (** reclamation passes ([empty]) executed *)
+  scan_time_s : float;  (** total wall-clock seconds spent in scans *)
 }
 
 module type S = sig

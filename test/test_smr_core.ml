@@ -1,9 +1,12 @@
-(* smr_core building blocks: config validation, the retired vector, and
-   the epoch clock. *)
+(* smr_core building blocks: config validation, the retired vector, the
+   epoch clock, and the reservation/reclamation kernel. *)
 
 module Config = Smr_core.Config
 module Retired = Smr_core.Retired
 module Epoch = Smr_core.Epoch
+module Counters = Smr_core.Counters
+module Reservation = Smr_core.Reservation
+module Reclaimer = Smr_core.Reclaimer
 
 let config_defaults () =
   let c = Config.default ~threads:8 in
@@ -43,6 +46,26 @@ let retired_push_filter () =
   Retired.clear r;
   Alcotest.(check int) "cleared" 0 (Retired.length r)
 
+let retired_empty_filter () =
+  let r = Retired.create () in
+  let n = Retired.filter_in_place r ~keep:(fun _ -> true) ~release:(fun _ -> Alcotest.fail "nothing to release") in
+  Alcotest.(check int) "no releases" 0 n;
+  Alcotest.(check int) "still empty" 0 (Retired.length r)
+
+let retired_duplicate_ids () =
+  let r = Retired.create () in
+  Retired.push r 7;
+  Retired.push r 7;
+  Retired.push r 3;
+  let released = ref [] in
+  let n =
+    Retired.filter_in_place r ~keep:(fun _ -> false) ~release:(fun id -> released := id :: !released)
+  in
+  Alcotest.(check int) "both copies released" 3 n;
+  Alcotest.(check int) "sevens released twice" 2
+    (List.length (List.filter (fun id -> id = 7) !released));
+  Alcotest.(check int) "empty after" 0 (Retired.length r)
+
 let retired_release_all () =
   let r = Retired.create () in
   Retired.push r 1;
@@ -76,6 +99,150 @@ let epoch_concurrent_advance () =
   Array.iter Domain.join domains;
   Alcotest.(check int) "no lost increments" 40_001 (Epoch.current e)
 
+(* -- reservation kernel --------------------------------------------------- *)
+
+let reservation_publish_clear () =
+  let counters = Counters.create ~threads:2 in
+  let res = Reservation.create ~counters ~threads:2 ~slots:3 ~empty:(-1) in
+  Alcotest.(check int) "threads" 2 (Reservation.threads res);
+  Alcotest.(check int) "slots" 3 (Reservation.slots_per_thread res);
+  Alcotest.(check int) "capacity" 6 (Reservation.capacity res);
+  Alcotest.(check int) "starts empty" (-1) (Reservation.get res ~tid:0 ~refno:0);
+  Reservation.publish res ~tid:0 ~refno:0 42;
+  Reservation.publish res ~tid:1 ~refno:2 99;
+  Alcotest.(check int) "published" 42 (Reservation.get res ~tid:0 ~refno:0);
+  Alcotest.(check int) "slot atomic aliases table" 42
+    (Atomic.get (Reservation.slot res ~tid:0 ~refno:0));
+  Alcotest.(check int) "two publish fences" 2 (Counters.stats counters).Smr_core.Smr_intf.fences;
+  Reservation.clear res ~tid:0 ~refno:0;
+  Alcotest.(check int) "cleared to sentinel" (-1) (Reservation.get res ~tid:0 ~refno:0);
+  Alcotest.(check int) "clear is uncounted" 2 (Counters.stats counters).Smr_core.Smr_intf.fences;
+  Reservation.clear_all res ~tid:1;
+  Alcotest.(check int) "clear_all resets" (-1) (Reservation.get res ~tid:1 ~refno:2);
+  Alcotest.(check int) "clear_all costs one fence" 3
+    (Counters.stats counters).Smr_core.Smr_intf.fences
+
+let reservation_snapshot_reuse () =
+  let counters = Counters.create ~threads:2 in
+  let res = Reservation.create ~counters ~threads:2 ~slots:2 ~empty:0 in
+  let snap = Reservation.snapshot_create () in
+  Reservation.set res ~tid:0 ~refno:0 10;
+  Reservation.set res ~tid:1 ~refno:1 20;
+  Reservation.snapshot res snap;
+  Alcotest.(check int) "sentinels filtered" 2 snap.Reservation.len;
+  Alcotest.(check int) "first value" 10 snap.Reservation.vals.(0);
+  Alcotest.(check int) "first owner" 0 snap.Reservation.owners.(0);
+  Alcotest.(check int) "second owner" 1 snap.Reservation.owners.(1);
+  let vals_before = snap.Reservation.vals in
+  Reservation.clear res ~tid:0 ~refno:0;
+  Reservation.snapshot res snap;
+  Alcotest.(check int) "refilled" 1 snap.Reservation.len;
+  Alcotest.(check bool) "buffer reused, not reallocated" true
+    (snap.Reservation.vals == vals_before);
+  Reservation.snapshot_flat res snap;
+  Alcotest.(check int) "flat covers every slot" 4 snap.Reservation.len;
+  Alcotest.(check int) "flat keeps sentinels" 0 snap.Reservation.vals.(0);
+  Alcotest.(check int) "flat (tid*slots)+refno order" 20 snap.Reservation.vals.(3)
+
+let reservation_sorted_queries () =
+  let counters = Counters.create ~threads:1 in
+  let res = Reservation.create ~counters ~threads:1 ~slots:5 ~empty:(-1) in
+  List.iteri (fun refno v -> Reservation.set res ~tid:0 ~refno v) [ 30; 10; 50; 10 ];
+  let snap = Reservation.snapshot_create () in
+  Reservation.snapshot res snap;
+  Reservation.sort snap;
+  Alcotest.(check int) "len unchanged by sort" 4 snap.Reservation.len;
+  Alcotest.(check bool) "mem present" true (Reservation.mem snap 30);
+  Alcotest.(check bool) "mem duplicate" true (Reservation.mem snap 10);
+  Alcotest.(check bool) "mem absent" false (Reservation.mem snap 40);
+  Alcotest.(check bool) "sentinel never member" false (Reservation.mem snap (-1));
+  Alcotest.(check bool) "range hit" true (Reservation.exists_in_range snap ~lo:25 ~hi:35);
+  Alcotest.(check bool) "range miss between" false (Reservation.exists_in_range snap ~lo:31 ~hi:49);
+  Alcotest.(check bool) "range above all" false
+    (Reservation.exists_in_range snap ~lo:51 ~hi:max_int);
+  Alcotest.(check bool) "inclusive bounds" true (Reservation.exists_in_range snap ~lo:50 ~hi:50)
+
+(* One domain publishes/validates/clears in a loop while another
+   snapshots: a snapshot must only ever contain the published value, and
+   a validated announcement must still be in the slot. *)
+let reservation_publish_validate_race () =
+  let counters = Counters.create ~threads:2 in
+  let res = Reservation.create ~counters ~threads:2 ~slots:1 ~empty:(-1) in
+  let rounds = 20_000 in
+  let bad = Atomic.make 0 in
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to rounds do
+          Reservation.publish res ~tid:0 ~refno:0 i;
+          (* validate: the announcement must survive until we clear it *)
+          if Reservation.get res ~tid:0 ~refno:0 <> i then Atomic.incr bad;
+          Reservation.clear res ~tid:0 ~refno:0
+        done)
+  in
+  let scanner =
+    Domain.spawn (fun () ->
+        let snap = Reservation.snapshot_create () in
+        for _ = 1 to rounds do
+          Reservation.snapshot res snap;
+          for k = 0 to snap.Reservation.len - 1 do
+            let v = snap.Reservation.vals.(k) in
+            if v < 1 || v > rounds then Atomic.incr bad
+          done
+        done)
+  in
+  Domain.join writer;
+  Domain.join scanner;
+  Alcotest.(check int) "no torn or sentinel values observed" 0 (Atomic.get bad)
+
+(* -- reclaimer ------------------------------------------------------------ *)
+
+let reclaimer_threshold_formula () =
+  Alcotest.(check int) "capacity-dominated" 20
+    (Reclaimer.scan_threshold ~empty_freq:10 ~slots:8 ~threads:2);
+  Alcotest.(check int) "empty_freq-dominated" 100
+    (Reclaimer.scan_threshold ~empty_freq:100 ~slots:1 ~threads:2);
+  Alcotest.(check int) "no slots still Ω(threads)" 8
+    (Reclaimer.scan_threshold ~empty_freq:1 ~slots:0 ~threads:4)
+
+let reclaimer_batches_then_scans () =
+  let pool = Mempool.Core.create ~capacity:64 ~threads:1 () in
+  let counters = Counters.create ~threads:1 in
+  let rsv = Reclaimer.create ~pool ~counters ~tid:0 ~threshold:5 in
+  let ids = Array.init 5 (fun _ -> Mempool.Core.alloc pool ~tid:0) in
+  for i = 0 to 3 do
+    Reclaimer.retire rsv ids.(i);
+    Alcotest.(check bool) (Printf.sprintf "not due after %d" (i + 1)) false
+      (Reclaimer.scan_due rsv)
+  done;
+  Reclaimer.retire rsv ids.(4);
+  Alcotest.(check bool) "due at threshold" true (Reclaimer.scan_due rsv);
+  Alcotest.(check int) "all pending" 5 (Reclaimer.pending rsv);
+  let protected = ids.(2) in
+  Reclaimer.scan rsv ~keep:(fun id -> id = protected);
+  Alcotest.(check int) "unprotected freed" 1 (Reclaimer.pending rsv);
+  Alcotest.(check bool) "batch reset" false (Reclaimer.scan_due rsv);
+  let st = Counters.stats counters in
+  Alcotest.(check int) "one pass counted" 1 st.Smr_core.Smr_intf.scan_passes;
+  Alcotest.(check int) "reclaimed counted" 4 st.Smr_core.Smr_intf.reclaimed;
+  Alcotest.(check int) "wasted = still pending" 1 st.Smr_core.Smr_intf.wasted;
+  Alcotest.(check bool) "scan time accumulates" true (st.Smr_core.Smr_intf.scan_time_s >= 0.0);
+  Alcotest.(check bool) "freed slot back in pool" true (Mempool.Core.is_free pool ids.(0));
+  Alcotest.(check bool) "kept slot still retired" false (Mempool.Core.is_free pool protected)
+
+let reclaimer_flush_drains () =
+  let pool = Mempool.Core.create ~capacity:64 ~threads:1 () in
+  let counters = Counters.create ~threads:1 in
+  let rsv = Reclaimer.create ~pool ~counters ~tid:0 ~threshold:max_int in
+  for _ = 1 to 10 do
+    Reclaimer.retire rsv (Mempool.Core.alloc pool ~tid:0)
+  done;
+  Alcotest.(check bool) "huge threshold never due" false (Reclaimer.scan_due rsv);
+  (* flush = an unconditional scan with nothing protected *)
+  Reclaimer.scan rsv ~keep:(fun _ -> false);
+  Alcotest.(check int) "flush drains everything" 0 (Reclaimer.pending rsv);
+  Alcotest.(check int) "all reclaimed" 10 (Counters.stats counters).Smr_core.Smr_intf.reclaimed;
+  Alcotest.(check int) "pool fully recycled" 0 (Mempool.Core.live_count pool)
+
 let qcheck_retired_conservation =
   QCheck.Test.make ~name:"filter conserves elements" ~count:200
     QCheck.(list (int_bound 1000))
@@ -98,7 +265,22 @@ let () =
       ( "retired",
         Alcotest.test_case "push/filter" `Quick retired_push_filter
         :: Alcotest.test_case "release all" `Quick retired_release_all
+        :: Alcotest.test_case "empty filter" `Quick retired_empty_filter
+        :: Alcotest.test_case "duplicate ids" `Quick retired_duplicate_ids
         :: List.map QCheck_alcotest.to_alcotest [ qcheck_retired_conservation ] );
+      ( "reservation",
+        [
+          Alcotest.test_case "publish/clear" `Quick reservation_publish_clear;
+          Alcotest.test_case "snapshot reuse" `Quick reservation_snapshot_reuse;
+          Alcotest.test_case "sorted queries" `Quick reservation_sorted_queries;
+          Alcotest.test_case "publish/validate race" `Slow reservation_publish_validate_race;
+        ] );
+      ( "reclaimer",
+        [
+          Alcotest.test_case "threshold formula" `Quick reclaimer_threshold_formula;
+          Alcotest.test_case "batch then scan" `Quick reclaimer_batches_then_scans;
+          Alcotest.test_case "flush drains" `Quick reclaimer_flush_drains;
+        ] );
       ( "epoch",
         [
           Alcotest.test_case "announce cycle" `Quick epoch_announce_cycle;
