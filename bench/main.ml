@@ -9,7 +9,7 @@
                                               # also dump results as JSON
                                               # (or MP_BENCH_JSON=out.json)
 
-   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall micro *)
+   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall micro pipe *)
 
 module Config = Smr_core.Config
 module Workload = Mp_harness.Workload
@@ -364,6 +364,198 @@ let micro () =
   Report.table ~title:"Micro: single-thread per-operation latency (ns/op, OLS)"
     ~header:[ "case"; "ns/op" ] rows
 
+(* -- Micro: alloc/free pipe through the mempool transfer path ------------- *)
+
+(* Thread A allocs, thread B frees: every slot crosses the global free
+   list twice (B spills, A refills), the worst case for the transfer
+   path. Hand-off between the pair moves whole batches through an SPSC
+   ring so the pipe itself costs ~nothing per slot and the pool transfer
+   dominates. Chained vs per-slot isolates exactly the CAS-per-chain vs
+   CAS-per-slot difference the magazine batching buys. *)
+let run_pipe ~pairs ~transfer ~duration =
+  let threads = 2 * pairs in
+  let fair_share = 1024 in
+  (* Deep ring: a blocked side sleeps (yielding the core) rather than
+     spin-burning its timeslice, so the ring must hold a whole
+     timeslice's worth of slots for the running side to chew through. *)
+  let ring_cap = 128 and batch_len = 2048 in
+  let capacity = pairs * (((ring_cap + 4) * batch_len) + (4 * fair_share)) in
+  let pool = Mempool.Core.create ~capacity ~threads ~transfer ~fair_share () in
+  let stop = Atomic.make false in
+  let barrier = Atomic.make 0 in
+  let ops = Array.make (Mp_util.Padding.spaced_length threads) 0 in
+  let rings =
+    Array.init pairs (fun _ -> Array.init ring_cap (fun _ -> Atomic.make [||]))
+  in
+  (* Return path for spent batch arrays: recycling them keeps the pipe's
+     own allocation (and minor-GC) cost out of the measurement. *)
+  let returns =
+    Array.init pairs (fun _ -> Array.init ring_cap (fun _ -> Atomic.make [||]))
+  in
+  let wait_start () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < threads do
+      Domain.cpu_relax ()
+    done
+  in
+  (* Blocked sides briefly spin then sleep: on an oversubscribed host a
+     pure spin wastes the whole timeslice the peer needs. *)
+  let blocked_pause spins =
+    if !spins < 64 then begin
+      incr spins;
+      Domain.cpu_relax ()
+    end
+    else Unix.sleepf 0.0001
+  in
+  let producer pair () =
+    let tid = 2 * pair in
+    let ring = rings.(pair) and back = returns.(pair) in
+    wait_start ();
+    let produced = ref 0 and w = ref 0 and rb = ref 0 in
+    let batch = ref (Array.make batch_len 0) and filled = ref 0 in
+    let spins = ref 0 in
+    let fresh_batch () =
+      let slot = back.(!rb land (ring_cap - 1)) in
+      let recycled = Atomic.get slot in
+      if Array.length recycled > 0 then begin
+        Atomic.set slot [||];
+        incr rb;
+        recycled
+      end
+      else Array.make batch_len 0
+    in
+    while not (Atomic.get stop) do
+      (match Mempool.Core.alloc pool ~tid with
+      | id ->
+        !batch.(!filled) <- id;
+        incr filled;
+        incr produced;
+        if !filled = batch_len then begin
+          let slot = ring.(!w land (ring_cap - 1)) in
+          while Array.length (Atomic.get slot) > 0 && not (Atomic.get stop) do
+            blocked_pause spins
+          done;
+          spins := 0;
+          if not (Atomic.get stop) then begin
+            Atomic.set slot !batch;
+            incr w;
+            batch := fresh_batch ();
+            filled := 0
+          end
+        end
+      | exception Mempool.Exhausted -> blocked_pause spins)
+    done;
+    (* Return the partial batch so the pool quiesces for the invariant
+       checks below. *)
+    for i = 0 to !filled - 1 do
+      Mempool.Core.free pool ~tid !batch.(i)
+    done;
+    ops.(Mp_util.Padding.spaced_index tid) <- !produced
+  in
+  let consumer pair () =
+    let tid = (2 * pair) + 1 in
+    let ring = rings.(pair) and back = returns.(pair) in
+    wait_start ();
+    let freed = ref 0 and r = ref 0 and wb = ref 0 in
+    let spins = ref 0 in
+    let drain_slot slot =
+      let batch = Atomic.get slot in
+      let n = Array.length batch in
+      if n > 0 then begin
+        Atomic.set slot [||];
+        incr r;
+        for i = 0 to n - 1 do
+          Mempool.Core.free pool ~tid batch.(i)
+        done;
+        freed := !freed + n;
+        (* Best-effort recycle; a full return ring just lets the GC have
+           this one. *)
+        let rslot = back.(!wb land (ring_cap - 1)) in
+        if Array.length (Atomic.get rslot) = 0 then begin
+          Atomic.set rslot batch;
+          incr wb
+        end;
+        true
+      end
+      else false
+    in
+    while not (Atomic.get stop) do
+      if drain_slot ring.(!r land (ring_cap - 1)) then spins := 0 else blocked_pause spins
+    done;
+    (* Drain what producers already published so nothing stays parked in
+       the ring. *)
+    while drain_slot ring.(!r land (ring_cap - 1)) do
+      ()
+    done;
+    ops.(Mp_util.Padding.spaced_index tid) <- !freed
+  in
+  let domains =
+    Array.init threads (fun i ->
+        let pair = i / 2 in
+        if i land 1 = 0 then Domain.spawn (producer pair) else Domain.spawn (consumer pair))
+  in
+  let t_start = Unix.gettimeofday () in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  Array.iter Domain.join domains;
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let throughput = float_of_int total_ops /. elapsed in
+  if Mempool.Core.live_count pool <> 0 then
+    failwith "pipe: slots leaked across the transfer path";
+  (total_ops, throughput)
+
+let pipe_result ~pairs ~total_ops ~throughput : Runner.result =
+  {
+    Runner.spec_threads = 2 * pairs;
+    mix_name = "alloc_free_pipe";
+    total_ops;
+    throughput;
+    wasted_avg = 0.0;
+    wasted_max = 0;
+    fences = 0;
+    traversed = 0;
+    fences_per_node = 0.0;
+    scan_passes = 0;
+    scan_time_s = 0.0;
+    violations = 0;
+    oom = false;
+    final_size = 0;
+    latency = None;
+  }
+
+let pipe () =
+  let rows =
+    List.map
+      (fun pairs ->
+        let measure transfer scheme =
+          (* Scheduler noise on an oversubscribed host is the dominant
+             variance source; give the pipe a slightly longer window than
+             the quick-scale default. *)
+          let total_ops, throughput =
+            run_pipe ~pairs ~transfer ~duration:(Float.max duration_s 0.7)
+          in
+          ignore
+            (note ~ds:"mempool" ~scheme (pipe_result ~pairs ~total_ops ~throughput)
+              : Runner.result);
+          throughput
+        in
+        let chained = measure Mempool.Chained "chained" in
+        let per_slot = measure Mempool.Per_slot "per_slot" in
+        [
+          string_of_int (2 * pairs);
+          Report.fmt_throughput chained;
+          Report.fmt_throughput per_slot;
+          Printf.sprintf "%.2fx" (chained /. per_slot);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Report.table
+    ~title:
+      "Pipe: alloc/free producer-consumer pairs through the global free list (allocs+frees/s)"
+    ~header:[ "threads"; "chained"; "per-slot"; "speedup" ]
+    rows
+
 (* -- Extension: index-assignment policy ablation (paper §4.1 future work) *)
 
 let ablation_index () =
@@ -640,6 +832,7 @@ let experiments =
     ("fig7bc", fig7bc);
     ("stall", stall);
     ("micro", micro);
+    ("pipe", pipe);
     ("ablation-index", ablation_index);
     ("ablation-epoch", ablation_epoch);
     ("ext-zipf", ext_zipf);

@@ -12,7 +12,8 @@ module Workload = Mp_harness.Workload
 module Runner = Mp_harness.Runner
 module Instances = Mp_harness.Instances
 
-let run ds scheme threads size duration workload margin_log2 stall_ms seed check verbose json =
+let run ds scheme threads size duration workload margin_log2 stall_ms seed check latency verbose
+    json =
   let mix =
     match workload with
     | "read" -> Workload.read_dominated
@@ -27,6 +28,7 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
       Runner.duration_s = duration;
       seed;
       check_access = check;
+      record_latency = latency;
       stall =
         (if stall_ms > 0 then
            Some
@@ -59,6 +61,12 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
   Printf.printf "scan passes      : %d (%.4fs reclaiming)\n" r.Runner.scan_passes
     r.Runner.scan_time_s;
   Printf.printf "final size       : %d\n" r.Runner.final_size;
+  (match r.Runner.latency with
+  | None -> ()
+  | Some h ->
+    let p q = Mp_util.Histogram.percentile_ns h q in
+    Printf.printf "latency p50/p99  : %d / %d ns (max %d, %d samples)\n" (p 50.0) (p 99.0)
+      (Mp_util.Histogram.max_ns h) (Mp_util.Histogram.count h));
   if check then Printf.printf "UAF violations   : %d\n" r.Runner.violations;
   (match json with
   | None -> ()
@@ -101,6 +109,12 @@ let seed_arg = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"workload RN
 let check_arg =
   Arg.(value & flag & info [ "check" ] ~doc:"arm the use-after-free detector (slower)")
 
+let latency_arg =
+  Arg.(
+    value & flag
+    & info [ "latency" ]
+        ~doc:"record sampled per-operation latency and report p50/p99/max")
+
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print the configuration")
 
 let json_arg =
@@ -113,7 +127,7 @@ let cmd =
   let term =
     Term.(
       const run $ ds_arg $ scheme_arg $ threads_arg $ size_arg $ duration_arg $ workload_arg
-      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ verbose_arg $ json_arg)
+      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ latency_arg $ verbose_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "mpbench" ~doc:"benchmark one SMR scheme on one concurrent search structure")

@@ -28,7 +28,10 @@ type spec = {
   stall : stall_spec option;
   config : Smr_core.Config.t;
   check_access : bool;
-  record_latency : bool;  (** per-operation histograms (adds a clock read per op) *)
+  record_latency : bool;  (** sampled per-operation histograms *)
+  latency_sample : int;
+      (** with [record_latency], time one in this many operations (rounded
+          up to a power of two) instead of paying two clock reads per op *)
   zipf_alpha : float option;  (** skew operation keys zipfian-ly (extension) *)
 }
 
@@ -47,6 +50,7 @@ let default ~threads ~init_size ~mix ~config =
     config;
     check_access = false;
     record_latency = false;
+    latency_sample = 32;
     zipf_alpha = None;
   }
 
@@ -102,8 +106,16 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
   let barrier = Atomic.make 0 in
   let stop = Atomic.make false in
   let oom = Atomic.make false in
-  let ops = Array.make spec.threads 0 in
+  (* Spaced indexing (Mp_util.Padding): per-thread op counts a cache line
+     apart, so final writes and any future mid-run reads never contend. *)
+  let ops = Array.make (Mp_util.Padding.spaced_length spec.threads) 0 in
   let histograms = Array.init spec.threads (fun _ -> Mp_util.Histogram.create ()) in
+  (* 1-in-N latency sampling: N rounded up to a power of two so the
+     sample test is a mask, not a division. *)
+  let sample_mask =
+    let rec up n = if n >= spec.latency_sample then n else up (n * 2) in
+    up 1 - 1
+  in
   let worker tid () =
     let s = SET.session t ~tid in
     let rng = Rng.split ~seed:spec.seed ~tid in
@@ -121,7 +133,8 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     (try
        while not (Atomic.get stop) do
          let k = Mp_util.Keygen.next keygen rng in
-         let t0 = if spec.record_latency then Unix.gettimeofday () else 0.0 in
+         let sampled = spec.record_latency && !count land sample_mask = 0 in
+         let t0 = if sampled then Unix.gettimeofday () else 0.0 in
          (match spec.stall with
          | Some st when tid = st.stall_tid && !count mod st.every_ops = st.every_ops - 1 ->
            ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf st.pause_s) : bool)
@@ -130,12 +143,11 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
            | Workload.Read -> ignore (SET.contains s k : bool)
            | Workload.Insert -> ignore (SET.insert s ~key:k ~value:k : bool)
            | Workload.Remove -> ignore (SET.remove s k : bool)));
-         if spec.record_latency then
-           Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
+         if sampled then Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
          incr count
        done
      with Mempool.Exhausted -> Atomic.set oom true);
-    ops.(tid) <- !count
+    ops.(Mp_util.Padding.spaced_index tid) <- !count
   in
   let domains = Array.init spec.threads (fun tid -> Domain.spawn (worker tid)) in
   (* Main thread samples wasted memory while the clock runs. *)
@@ -149,8 +161,11 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     if w > !wasted_max then wasted_max := w
   done;
   Atomic.set stop true;
-  Array.iter Domain.join domains;
+  (* Throughput denominator: the measured window ends when the stop flag
+     is raised, not after Domain.join — join/teardown time is not time the
+     workers spent producing the counted operations. *)
   let elapsed = Unix.gettimeofday () -. t_start in
+  Array.iter Domain.join domains;
   let stats1 = SET.smr_stats t in
   let traversed1 = SET.traversed t in
   let total_ops = Array.fold_left ( + ) 0 ops in
@@ -206,14 +221,23 @@ let json_float f =
   else Printf.sprintf "%.6g" f
 
 (** One benchmark run as a flat JSON object ([experiment]/[ds]/[scheme]
-    label where in the suite the numbers came from). *)
+    label where in the suite the numbers came from). Latency percentiles
+    are 0 when the run did not record latency. *)
 let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
+  let lat_p50, lat_p99, lat_max =
+    match r.latency with
+    | None -> (0, 0, 0)
+    | Some h ->
+      ( Mp_util.Histogram.percentile_ns h 50.0,
+        Mp_util.Histogram.percentile_ns h 99.0,
+        Mp_util.Histogram.max_ns h )
+  in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"final_size\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
     r.wasted_max r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
-    (json_float r.scan_time_s) r.violations r.oom r.final_size
+    (json_float r.scan_time_s) r.violations r.oom r.final_size lat_p50 lat_p99 lat_max
 
 (** Serialize a batch of labelled results as a JSON array. *)
 let results_to_json entries =

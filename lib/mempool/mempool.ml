@@ -14,11 +14,16 @@
     practice of reserving extra space during node allocation. ['a t] adds
     the client data structure's node payloads on top.
 
-    Allocation is thread-partitioned for scalability: each thread owns a
-    private free list (no synchronization) and overflows to / refills from
-    a global lock-free Treiber stack whose top word carries an ABA version
-    tag. Slots are linked through a side array, so free lists allocate
-    nothing. *)
+    Allocation is thread-partitioned for scalability: each thread owns two
+    private free-list magazines (no synchronization) and exchanges whole
+    [fair_share]-length chains with a global lock-free stack of chains
+    whose top word carries an ABA version tag. A spill publishes an entire
+    chain with one CAS and a refill claims one with one CAS — magazine
+    batching in the style of Blelloch & Wei's constant-time fixed-size
+    allocator — instead of one CAS per slot. Slots are linked through side
+    arrays, so free lists and chains allocate nothing. The legacy per-slot
+    transfer survives as [Per_slot] (chains of length one) so the batching
+    win stays measurable (`bench/main.exe pipe`). *)
 
 exception Exhausted
 
@@ -27,27 +32,50 @@ let state_free = 0
 let state_live = 1
 let state_retired = 2
 
+(** Granularity of traffic through the global free list: [Chained] moves
+    whole [fair_share]-length chains per CAS; [Per_slot] is the legacy
+    one-CAS-per-slot Treiber stack, kept for comparison benchmarks. *)
+type transfer = Chained | Per_slot
+
 module Core = struct
+  (* Per-thread free lists: an active magazine ([head]) that alloc pops
+     and free pushes, plus a full spare magazine that delays the global
+     round-trip. Rotating a full active list into the spare keeps its
+     (head, tail, count) known, so spilling it later is a single chain
+     push — no walk, no per-slot CAS. The trailing [pad_] fields fatten
+     the record past a cache line (per-stripe dummy fields idiom,
+     {!Mp_util.Padding}) so neighbouring threads' records cannot
+     false-share under the stats sampler. *)
   type local = {
-    mutable head : int; (* -1 = empty *)
+    mutable head : int; (* active magazine, -1 = empty *)
     mutable count : int;
+    mutable tail : int; (* last slot of the active magazine, -1 when empty *)
+    mutable spare_head : int; (* full spare magazine, -1 = none *)
+    mutable spare_count : int;
+    mutable spare_tail : int;
+    mutable pad_0 : int;
+    mutable pad_1 : int;
+    mutable pad_2 : int;
   }
 
   type t = {
     capacity : int;
     threads : int;
+    transfer : transfer;
     state : int array;
     index : int array; (* 32-bit MP index *)
     birth : int array; (* birth epoch *)
     death : int array; (* retirement epoch *)
     incarnation : int array; (* bumped on every free; detects slot reuse *)
-    stack_next : int array; (* free-list links, -1 terminated *)
-    global_top : int Atomic.t; (* (version << 33) lor (id + 1); 0 in low bits = empty *)
+    stack_next : int array; (* intra-chain free-list links, -1 terminated *)
+    chain_next : int array; (* by chain head: next chain in the global stack *)
+    chain_len : int array; (* by chain head: slots in this chain *)
+    chain_tail : int array; (* by chain head: last slot of this chain *)
+    global_top : int Atomic.t; (* (version << 33) lor (head + 1); 0 in low bits = empty *)
     locals : local array;
-    fair_share : int; (* local free-list size that triggers overflow to global *)
+    fair_share : int; (* magazine size: chain length and overflow trigger *)
     check_access : bool;
     violations : int Atomic.t;
-    live : Mp_util.Striped_counter.t;
     allocs : Mp_util.Striped_counter.t;
     frees : Mp_util.Striped_counter.t;
   }
@@ -57,23 +85,51 @@ module Core = struct
   let top_id_plus1 top = top land id_plus1_mask
   let top_version top = top lsr 33
 
-  (* -- global Treiber stack (version-tagged against ABA) ---------------- *)
+  (* -- global stack of chains (version-tagged against ABA) --------------- *)
 
-  let rec global_push t id =
-    let top = Atomic.get t.global_top in
-    t.stack_next.(id) <- top_id_plus1 top - 1;
-    let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(id + 1) in
-    if not (Atomic.compare_and_set t.global_top top top') then global_push t id
+  (* A chain is a [stack_next]-linked slot list, [head] through [tail]
+     (whose link is -1), with its length and tail memoized at the head.
+     Pushing or popping one is a single CAS on the tagged top word
+     regardless of length. *)
 
-  let rec global_pop t =
+  let rec global_push_chain t ~head ~tail ~len =
     let top = Atomic.get t.global_top in
-    let id_plus1 = top_id_plus1 top in
-    if id_plus1 = 0 then -1
-    else
-      let id = id_plus1 - 1 in
-      let next = t.stack_next.(id) in
+    t.chain_next.(head) <- top_id_plus1 top - 1;
+    t.chain_len.(head) <- len;
+    t.chain_tail.(head) <- tail;
+    let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(head + 1) in
+    if not (Atomic.compare_and_set t.global_top top top') then
+      global_push_chain t ~head ~tail ~len
+
+  (* Pop a whole chain; returns its head or -1. [chain_len]/[chain_tail]
+     at the head stay valid for the winner: they are only rewritten by the
+     next push of that head, which requires winning it first. Reading
+     [chain_next] of a head another thread already claimed may yield a
+     stale link, but then the top word moved and the CAS fails. *)
+  let rec global_pop_chain t =
+    let top = Atomic.get t.global_top in
+    let head_plus1 = top_id_plus1 top in
+    if head_plus1 = 0 then -1
+    else begin
+      let head = head_plus1 - 1 in
+      let next = t.chain_next.(head) in
       let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(next + 1) in
-      if Atomic.compare_and_set t.global_top top top' then id else global_pop t
+      if Atomic.compare_and_set t.global_top top top' then head else global_pop_chain t
+    end
+
+  (* Spill a fully-known chain: one CAS when chained, one per slot in the
+     legacy mode (each slot becomes a length-1 chain). *)
+  let spill t ~head ~tail ~len =
+    match t.transfer with
+    | Chained -> global_push_chain t ~head ~tail ~len
+    | Per_slot ->
+      let id = ref head in
+      while !id >= 0 do
+        let next = t.stack_next.(!id) in
+        t.stack_next.(!id) <- -1;
+        global_push_chain t ~head:!id ~tail:!id ~len:1;
+        id := next
+      done
 
   (** When set, a detected use-after-free raises instead of counting, so
       tests can pinpoint the offending access (set via MP_TRAP_UAF=1). *)
@@ -97,94 +153,151 @@ module Core = struct
       Mutex.unlock history_lock
     end
 
-
-
-  let create ~capacity ~threads ?(check_access = false) () =
+  let create ~capacity ~threads ?(transfer = Chained) ?fair_share ?(check_access = false) () =
     if capacity > Handle.max_id then invalid_arg "Mempool.create: capacity too large";
     if capacity < threads then invalid_arg "Mempool.create: capacity < threads";
+    let fair_share =
+      match fair_share with
+      | Some f when f >= 1 -> f
+      | Some _ -> invalid_arg "Mempool.create: fair_share must be positive"
+      | None -> max 64 (capacity / (threads * 2))
+    in
     let t =
       {
         capacity;
         threads;
+        transfer;
         state = Array.make capacity state_free;
         index = Array.make capacity 0;
         birth = Array.make capacity 0;
         death = Array.make capacity 0;
         incarnation = Array.make capacity 0;
         stack_next = Array.make capacity (-1);
+        chain_next = Array.make capacity (-1);
+        chain_len = Array.make capacity 0;
+        chain_tail = Array.make capacity (-1);
         global_top = Atomic.make (top_pack ~version:0 ~id_plus1:0);
-        locals = Array.init threads (fun _ -> { head = -1; count = 0 });
-        fair_share = max 64 (capacity / (threads * 2));
+        locals =
+          Array.init threads (fun _ ->
+              {
+                head = -1;
+                count = 0;
+                tail = -1;
+                spare_head = -1;
+                spare_count = 0;
+                spare_tail = -1;
+                pad_0 = 0;
+                pad_1 = 0;
+                pad_2 = 0;
+              });
+        fair_share;
         check_access;
         violations = Atomic.make 0;
-        live = Mp_util.Striped_counter.create ~threads;
         allocs = Mp_util.Striped_counter.create ~threads;
         frees = Mp_util.Striped_counter.create ~threads;
       }
     in
     (* Seed each local free list with its fair share; everything else goes
-       to the global stack so any thread can reach it. A slot parked in
-       another thread's local list is still unreachable until that thread
-       spills, so [Exhausted] is a per-thread-visibility condition, not a
-       global-emptiness one. *)
-    let next_local = ref 0 in
+       to the global stack — as fair_share-length chains — so any thread
+       can reach it. A slot parked in another thread's local magazines is
+       still unreachable until that thread spills, so [Exhausted] is a
+       per-thread-visibility condition, not a global-emptiness one. *)
+    let seeded = ref 0 in
+    let chain_head = ref (-1) and chain_tail = ref (-1) and chain_len = ref 0 in
+    let chain_cap = match transfer with Chained -> fair_share | Per_slot -> 1 in
+    let flush_chain () =
+      if !chain_len > 0 then begin
+        global_push_chain t ~head:!chain_head ~tail:!chain_tail ~len:!chain_len;
+        chain_head := -1;
+        chain_tail := -1;
+        chain_len := 0
+      end
+    in
     for id = capacity - 1 downto 0 do
-      let l = t.locals.(!next_local mod threads) in
-      if l.count < t.fair_share && !next_local < threads * t.fair_share then begin
+      let l = t.locals.(!seeded mod threads) in
+      if l.count < t.fair_share && !seeded < threads * t.fair_share then begin
         t.stack_next.(id) <- l.head;
+        if l.head < 0 then l.tail <- id;
         l.head <- id;
         l.count <- l.count + 1;
-        incr next_local
+        incr seeded
       end
-      else global_push t id
+      else begin
+        t.stack_next.(id) <- !chain_head;
+        if !chain_head < 0 then chain_tail := id;
+        chain_head := id;
+        incr chain_len;
+        if !chain_len >= chain_cap then flush_chain ()
+      end
     done;
+    flush_chain ();
     t
 
   let capacity t = t.capacity
   let threads t = t.threads
+  let fair_share t = t.fair_share
 
   (* -- alloc / free ------------------------------------------------------ *)
 
-  (** Pop a free slot for thread [tid]; refills from the global stack when
-      the local list is empty. Raises {!Exhausted} if no slot exists. *)
+  (* Make the active magazine non-empty: promote the spare, else claim a
+     whole chain from the global stack (one CAS). Raises {!Exhausted} when
+     both local magazines and the global stack are empty. *)
+  let refill t l =
+    if l.spare_head >= 0 then begin
+      l.head <- l.spare_head;
+      l.count <- l.spare_count;
+      l.tail <- l.spare_tail;
+      l.spare_head <- -1;
+      l.spare_count <- 0;
+      l.spare_tail <- -1
+    end
+    else begin
+      let head = global_pop_chain t in
+      if head < 0 then raise Exhausted;
+      l.head <- head;
+      l.count <- t.chain_len.(head);
+      l.tail <- t.chain_tail.(head)
+    end
+
+  (** Pop a free slot for thread [tid]; refills a whole chain from the
+      global stack when both local magazines are empty. Raises
+      {!Exhausted} if no slot is reachable. *)
   let alloc t ~tid =
     let l = t.locals.(tid) in
-    let id =
-      if l.head >= 0 then begin
-        let id = l.head in
-        l.head <- t.stack_next.(id);
-        l.count <- l.count - 1;
-        id
-      end
-      else global_pop t
-    in
-    if id < 0 then raise Exhausted;
+    if l.head < 0 then refill t l;
+    let id = l.head in
+    l.head <- t.stack_next.(id);
+    l.count <- l.count - 1;
+    if l.head < 0 then l.tail <- -1;
     assert (t.state.(id) = state_free);
     t.state.(id) <- state_live;
     t.index.(id) <- 0;
-    Mp_util.Striped_counter.incr t.live ~tid;
     Mp_util.Striped_counter.incr t.allocs ~tid;
     id
 
-  (** Return slot [id] to thread [tid]'s free list (spilling half to the
-      global stack when the local list is over its fair share). *)
+  (** Return slot [id] to thread [tid]'s free lists. A full active
+      magazine rotates into the spare; a displaced full spare is spilled
+      to the global stack as one chain (a single CAS per [fair_share]
+      frees on the chained path). *)
   let free t ~tid id =
     assert (t.state.(id) <> state_free);
     record_history id "free";
     t.state.(id) <- state_free;
     t.incarnation.(id) <- t.incarnation.(id) + 1;
-    Mp_util.Striped_counter.add t.live ~tid (-1);
     Mp_util.Striped_counter.incr t.frees ~tid;
     let l = t.locals.(tid) in
-    if l.count >= t.fair_share * 2 then
-      (* Spill to keep producer/consumer thread pairs balanced. *)
-      for _ = 1 to t.fair_share do
-        let spill = l.head in
-        l.head <- t.stack_next.(spill);
-        l.count <- l.count - 1;
-        global_push t spill
-      done;
+    if l.count >= t.fair_share then begin
+      if l.spare_head >= 0 then
+        spill t ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count;
+      l.spare_head <- l.head;
+      l.spare_count <- l.count;
+      l.spare_tail <- l.tail;
+      l.head <- -1;
+      l.count <- 0;
+      l.tail <- -1
+    end;
     t.stack_next.(id) <- l.head;
+    if l.head < 0 then l.tail <- id;
     l.head <- id;
     l.count <- l.count + 1
 
@@ -227,9 +340,24 @@ module Core = struct
   (* -- statistics -------------------------------------------------------- *)
 
   let violations t = Atomic.get t.violations
-  let live_count t = Mp_util.Striped_counter.sum t.live
   let alloc_count t = Mp_util.Striped_counter.sum t.allocs
   let free_count t = Mp_util.Striped_counter.sum t.frees
+
+  (* Derived rather than its own striped counter: one fewer atomic RMW on
+     both hot paths, and the sampler's read stays well-defined (both
+     addends are atomic sums). *)
+  let live_count t = alloc_count t - free_count t
+
+  (* -- testing hooks ----------------------------------------------------- *)
+
+  let debug_top_word t = Atomic.get t.global_top
+
+  let debug_pop_chain t =
+    let head = global_pop_chain t in
+    if head < 0 then None else Some (head, t.chain_tail.(head), t.chain_len.(head))
+
+  let debug_push_chain t ~head ~tail ~len = global_push_chain t ~head ~tail ~len
+  let debug_next_free t id = t.stack_next.(id)
 end
 
 type 'a t = {
@@ -237,8 +365,9 @@ type 'a t = {
   payload : 'a array;
 }
 
-let create ~capacity ~threads ?(check_access = false) make_payload =
-  let core = Core.create ~capacity ~threads ~check_access () in
+let create ~capacity ~threads ?(transfer = Chained) ?fair_share ?(check_access = false)
+    make_payload =
+  let core = Core.create ~capacity ~threads ~transfer ?fair_share ~check_access () in
   { core; payload = Array.init capacity make_payload }
 
 let core t = t.core

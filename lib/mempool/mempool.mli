@@ -2,7 +2,9 @@
     real in a garbage-collected language. Payloads are pre-allocated;
     [alloc]/[free] recycle slot ids; with [check_access] armed, touching a
     freed slot's payload is recorded (or trapped) as a use-after-free.
-    See the implementation header for the full design discussion. *)
+    Thread-local free-list magazines exchange whole [fair_share]-length
+    chains with the global free list in one CAS each way. See the
+    implementation header for the full design discussion. *)
 
 exception Exhausted
 
@@ -11,6 +13,12 @@ val state_free : int
 
 val state_live : int
 val state_retired : int
+
+(** Granularity of traffic through the global free list: [Chained]
+    (default) moves whole [fair_share]-length chains with one CAS;
+    [Per_slot] is the legacy one-CAS-per-slot Treiber stack, kept so the
+    batching win stays measurable. *)
+type transfer = Chained | Per_slot
 
 (** Payload-agnostic layer: slot states, free lists and the per-node
     metadata words SMR schemes piggyback on nodes (MP index, birth and
@@ -24,16 +32,29 @@ module Core : sig
       {!Use_after_free} instead of only counting. *)
   val trap_on_violation : bool ref
 
-  val create : capacity:int -> threads:int -> ?check_access:bool -> unit -> t
+  (** [?fair_share] overrides the magazine/chain size (default
+      [max 64 (capacity / (threads * 2))]). *)
+  val create :
+    capacity:int ->
+    threads:int ->
+    ?transfer:transfer ->
+    ?fair_share:int ->
+    ?check_access:bool ->
+    unit ->
+    t
+
   val capacity : t -> int
   val threads : t -> int
 
+  (** Magazine size: the chain length moved per global CAS. *)
+  val fair_share : t -> int
+
   (** Pop a free slot for [tid]; raises {!Exhausted} when neither the
-      thread's local free list nor the global stack has one. *)
+      thread's local magazines nor the global chain stack has one. *)
   val alloc : t -> tid:int -> int
 
-  (** Return a slot; spills to the global stack when the local free list
-      exceeds its fair share. *)
+  (** Return a slot; spills a full spare magazine to the global chain
+      stack when both local magazines fill up. *)
   val free : t -> tid:int -> int -> unit
 
   val state : t -> int -> int
@@ -63,14 +84,41 @@ module Core : sig
   val live_count : t -> int
   val alloc_count : t -> int
   val free_count : t -> int
+
+  (** {2 Testing hooks}
+
+      Direct access to the global chain stack for invariant and ABA
+      regression tests. Not for production use: popping a chain makes its
+      slots unreachable until pushed back. *)
+
+  (** The raw version-tagged top word. *)
+  val debug_top_word : t -> int
+
+  (** Claim one whole chain: [(head, tail, len)], or [None] if empty. *)
+  val debug_pop_chain : t -> (int * int * int) option
+
+  (** Publish a chain (its slots must be [stack_next]-linked, [tail]'s
+      link -1). *)
+  val debug_push_chain : t -> head:int -> tail:int -> len:int -> unit
+
+  (** The free-list link of a slot. *)
+  val debug_next_free : t -> int -> int
 end
 
 (** A pool with client payloads of type ['a] attached to each slot. *)
 type 'a t
 
-(** [create ~capacity ~threads ?check_access make_payload] pre-allocates
-    [capacity] payloads with [make_payload slot_id]. *)
-val create : capacity:int -> threads:int -> ?check_access:bool -> (int -> 'a) -> 'a t
+(** [create ~capacity ~threads ?transfer ?fair_share ?check_access
+    make_payload] pre-allocates [capacity] payloads with
+    [make_payload slot_id]. *)
+val create :
+  capacity:int ->
+  threads:int ->
+  ?transfer:transfer ->
+  ?fair_share:int ->
+  ?check_access:bool ->
+  (int -> 'a) ->
+  'a t
 
 val core : 'a t -> Core.t
 val capacity : 'a t -> int

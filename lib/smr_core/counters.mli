@@ -1,7 +1,8 @@
-(** Striped run-time counters shared by all scheme implementations. *)
+(** Striped run-time counters shared by all scheme implementations.
+    Cache-line isolated atomic stripes; wasted memory is derived as
+    [retired_total - reclaimed] in {!stats}. *)
 
 type t = {
-  wasted : Mp_util.Striped_counter.t;
   fences : Mp_util.Striped_counter.t;
   reclaimed : Mp_util.Striped_counter.t;
   retired_total : Mp_util.Striped_counter.t;

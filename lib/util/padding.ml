@@ -1,0 +1,46 @@
+(** Cache-line isolation idioms.
+
+    OCaml gives no direct control over heap-block placement, so true
+    per-cache-line alignment is impossible; what *is* controllable is how
+    far apart logically-adjacent mutable cells end up. Two idioms, both
+    used across the hot paths:
+
+    - {b spaced array indexing}: size an array [stride] times larger than
+      the number of stripes and put stripe [i] at element [i * stride].
+      For an [int array] the elements themselves are the mutable words,
+      so a stride of one cache line guarantees no two stripes share a
+      line. For an ['a Atomic.t array] the array holds pointers; spacing
+      the pointers does not by itself separate the pointed-to blocks, but
+      allocating the dummy in-between atomics in the same [Array.init]
+      sweep places [stride - 1] two-word blocks between every pair of
+      live cells — 14 words on 64-bit, more than a line — and the blocks
+      keep their relative order through compaction.
+
+    - {b per-stripe dummy fields}: fatten a per-thread record with unused
+      trailing fields until the block exceeds a cache line, so two
+      distinct records can never fully share one no matter where the GC
+      puts them (see [Mempool.Core]'s local free-list records).
+
+    The 64-byte line size is an assumption (true of every x86-64 and
+    most AArch64 parts), not a probe. *)
+
+let line_bytes = 64
+let word_bytes = Sys.word_size / 8
+
+(** Words per assumed cache line: 8 on 64-bit. *)
+let line_words = line_bytes / word_bytes
+
+(** Element spacing for spaced array indexing. *)
+let stride = line_words
+
+(** Physical length of a spaced array holding [n] stripes. *)
+let spaced_length n = n * stride
+
+(** Physical index of stripe [i] in a spaced array. *)
+let spaced_index i = i * stride
+
+(** [atomic_int_array n] allocates [n] zero-initialized atomic cells for
+    spaced indexing: use [(arr).(spaced_index i)]. The interleaved dummy
+    atomics exist only to keep the live cells' heap blocks a cache line
+    apart. *)
+let atomic_int_array n = Array.init (spaced_length n) (fun _ -> Atomic.make 0)

@@ -1,0 +1,20 @@
+(** Cache-line isolation idioms: spaced array indexing and per-stripe
+    dummy fields. See the implementation header for the full discussion
+    of what OCaml's GC does and does not let us control. *)
+
+val line_bytes : int
+val word_bytes : int
+val line_words : int
+
+(** Element spacing for spaced array indexing (= [line_words]). *)
+val stride : int
+
+(** Physical length of a spaced array holding [n] stripes. *)
+val spaced_length : int -> int
+
+(** Physical index of stripe [i] in a spaced array. *)
+val spaced_index : int -> int
+
+(** [n] atomic int cells, zeroed, spaced a cache line apart; index with
+    [spaced_index]. *)
+val atomic_int_array : int -> int Atomic.t array

@@ -1,22 +1,35 @@
 (** Per-thread striped counter.
 
-    Each thread increments a private cell; [sum] aggregates all cells. The
-    cells are plain mutable ints wrapped in single-field records so each
-    lives in its own heap block (OCaml offers no direct control over cache
-    line placement; a dedicated block per stripe is the closest idiom). *)
+    Each thread increments a private cell; [sum] aggregates all cells.
+    Cells are [int Atomic.t] so the cross-domain reads done by samplers
+    ([sum] while writers run) are well-defined under the OCaml memory
+    model without any extra fencing on either side, and they are spaced a
+    cache line apart ({!Padding.atomic_int_array}) so neighbouring
+    threads' increments do not false-share — the 2 ms stats sampler in
+    the harness otherwise keeps stealing the line mid-run. Increments use
+    [fetch_and_add]: a single locked RMW, safe even if a stripe ever
+    gains a second writer. *)
 
-type cell = { mutable v : int }
+type t = {
+  threads : int;
+  cells : int Atomic.t array; (* spaced: stripe i at [Padding.spaced_index i] *)
+}
 
-type t = { cells : cell array }
+let create ~threads = { threads; cells = Padding.atomic_int_array threads }
 
-let create ~threads = { cells = Array.init threads (fun _ -> { v = 0 }) }
+let cell t tid = Array.unsafe_get t.cells (Padding.spaced_index tid)
+let incr t ~tid = ignore (Atomic.fetch_and_add (cell t tid) 1 : int)
+let add t ~tid n = ignore (Atomic.fetch_and_add (cell t tid) n : int)
+let get t ~tid = Atomic.get (cell t tid)
 
-let incr t ~tid = t.cells.(tid).v <- t.cells.(tid).v + 1
+let sum t =
+  let acc = ref 0 in
+  for tid = 0 to t.threads - 1 do
+    acc := !acc + Atomic.get (cell t tid)
+  done;
+  !acc
 
-let add t ~tid n = t.cells.(tid).v <- t.cells.(tid).v + n
-
-let get t ~tid = t.cells.(tid).v
-
-let sum t = Array.fold_left (fun acc c -> acc + c.v) 0 t.cells
-
-let reset t = Array.iter (fun c -> c.v <- 0) t.cells
+let reset t =
+  for tid = 0 to t.threads - 1 do
+    Atomic.set (cell t tid) 0
+  done

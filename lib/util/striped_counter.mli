@@ -1,4 +1,5 @@
-(** Per-thread striped counter: uncontended increments, summed reads. *)
+(** Per-thread striped counter: uncontended increments on cache-line
+    isolated atomic cells, well-defined concurrent [sum] reads. *)
 
 type t
 

@@ -176,6 +176,138 @@ let concurrent_alloc_free_stress () =
   Alcotest.(check int) "allocs = frees" (Core.alloc_count (Mempool.core p))
     (Core.free_count (Mempool.core p))
 
+(* Producer/consumer pipe across the chain-batched transfer path: tid 0
+   only allocs (drains chains from the global stack), tid 1 only frees
+   (spills chains to it), so every slot crosses the global list twice per
+   round trip. Incarnation counters witness that no slot is lost or
+   duplicated: each free bumps exactly one slot's incarnation, so the sum
+   over all slots must equal the number of frees, and a final drain from
+   both tids must surface every slot exactly once. *)
+let pipe_no_lost_or_duplicated transfer () =
+  let capacity = 4096 and rounds = 100_000 in
+  let p =
+    Mempool.create ~capacity ~threads:2 ~transfer ~fair_share:256 (fun i -> i)
+  in
+  let c = Mempool.core p in
+  let q = Queue.create () in
+  let m = Mutex.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          let rec grab () =
+            match Mempool.alloc p ~tid:0 with
+            | id -> id
+            | exception Mempool.Exhausted ->
+              Domain.cpu_relax ();
+              grab ()
+          in
+          let id = grab () in
+          Mutex.lock m;
+          Queue.push id q;
+          Mutex.unlock m
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let consumed = ref 0 in
+        while !consumed < rounds do
+          let item =
+            Mutex.lock m;
+            let r = if Queue.is_empty q then None else Some (Queue.pop q) in
+            Mutex.unlock m;
+            r
+          in
+          match item with
+          | Some id ->
+            Mempool.free p ~tid:1 id;
+            incr consumed
+          | None -> Domain.cpu_relax ()
+        done)
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  Alcotest.(check int) "quiescent live count" 0 (Mempool.live_count p);
+  Alcotest.(check int) "allocs = frees" (Core.alloc_count c) (Core.free_count c);
+  (* Sum of incarnations = one bump per free, over all slots. *)
+  let inc_sum = ref 0 in
+  for id = 0 to capacity - 1 do
+    inc_sum := !inc_sum + Core.incarnation c id
+  done;
+  Alcotest.(check int) "incarnation bumps = frees" (Core.free_count c) !inc_sum;
+  (* Drain both tids: every slot must come out exactly once — nothing
+     lost in a half-spilled chain, nothing duplicated by a double pop. *)
+  let seen = Array.make capacity false in
+  let taken = ref 0 in
+  List.iter
+    (fun tid ->
+      try
+        while true do
+          let id = Mempool.alloc p ~tid in
+          if seen.(id) then Alcotest.failf "slot %d handed out twice" id;
+          seen.(id) <- true;
+          incr taken
+        done
+      with Mempool.Exhausted -> ())
+    [ 0; 1 ];
+  Alcotest.(check int) "every slot reachable exactly once" capacity !taken
+
+(* ABA regression on the version-tagged top word: popping a chain and
+   pushing the same chain back must yield a *different* top word, so a
+   CAS armed with the stale word (the classic A-B-A interleaving: victim
+   reads top = X, others pop X, pop Y, re-push X) can never succeed. *)
+let chain_aba_version_tag () =
+  let p = Mempool.create ~capacity:1024 ~threads:1 ~fair_share:128 (fun i -> i) in
+  let c = Mempool.core p in
+  let w0 = Core.debug_top_word c in
+  (match Core.debug_pop_chain c with
+  | None -> Alcotest.fail "global stack unexpectedly empty"
+  | Some (head, tail, len) ->
+    Alcotest.(check int) "chain is fair_share long" (Core.fair_share c) len;
+    (* Walk the chain: tail reachable from head in exactly len hops. *)
+    let steps = ref 1 and id = ref head in
+    while Core.debug_next_free c !id >= 0 do
+      id := Core.debug_next_free c !id;
+      incr steps
+    done;
+    Alcotest.(check int) "chain link count" len !steps;
+    Alcotest.(check int) "memoized tail is the walked tail" tail !id;
+    Core.debug_push_chain c ~head ~tail ~len);
+  let w1 = Core.debug_top_word c in
+  Alcotest.(check bool) "same head re-pushed, top word differs (ABA defeated)" true
+    (w0 <> w1);
+  (* And the pool still hands out every slot exactly once. *)
+  let seen = Array.make 1024 false in
+  let taken = ref 0 in
+  (try
+     while true do
+       let id = Mempool.alloc p ~tid:0 in
+       if seen.(id) then Alcotest.failf "slot %d handed out twice after ABA churn" id;
+       seen.(id) <- true;
+       incr taken
+     done
+   with Mempool.Exhausted -> ());
+  Alcotest.(check int) "all slots intact" 1024 !taken
+
+(* Version must advance on every push AND pop, never repeating a word even
+   through deep pop/push cycles of the same chains. *)
+let chain_version_monotonic () =
+  let p = Mempool.create ~capacity:2048 ~threads:1 ~fair_share:64 (fun i -> i) in
+  let c = Mempool.core p in
+  let words = Hashtbl.create 64 in
+  Hashtbl.add words (Core.debug_top_word c) ();
+  for _ = 1 to 50 do
+    match Core.debug_pop_chain c with
+    | None -> Alcotest.fail "global stack unexpectedly empty"
+    | Some (head, tail, len) ->
+      let w = Core.debug_top_word c in
+      if Hashtbl.mem words w then Alcotest.failf "top word 0x%x repeated after pop" w;
+      Hashtbl.add words w ();
+      Core.debug_push_chain c ~head ~tail ~len;
+      let w = Core.debug_top_word c in
+      if Hashtbl.mem words w then Alcotest.failf "top word 0x%x repeated after push" w;
+      Hashtbl.add words w ()
+  done
+
 let capacity_validation () =
   Alcotest.check_raises "capacity < threads rejected"
     (Invalid_argument "Mempool.create: capacity < threads") (fun () ->
@@ -203,5 +335,14 @@ let () =
         [
           Alcotest.test_case "cross-thread rebalancing" `Slow cross_thread_rebalancing;
           Alcotest.test_case "alloc/free stress" `Slow concurrent_alloc_free_stress;
+          Alcotest.test_case "pipe chained: no slot lost/duplicated" `Slow
+            (pipe_no_lost_or_duplicated Mempool.Chained);
+          Alcotest.test_case "pipe per-slot: no slot lost/duplicated" `Slow
+            (pipe_no_lost_or_duplicated Mempool.Per_slot);
+        ] );
+      ( "chains",
+        [
+          Alcotest.test_case "ABA version tag" `Quick chain_aba_version_tag;
+          Alcotest.test_case "top-word monotonicity" `Quick chain_version_monotonic;
         ] );
     ]
