@@ -9,7 +9,7 @@
                                               # also dump results as JSON
                                               # (or MP_BENCH_JSON=out.json)
 
-   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall micro pipe *)
+   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall crash micro pipe *)
 
 module Config = Smr_core.Config
 module Workload = Mp_harness.Workload
@@ -277,6 +277,22 @@ let fig7bc () =
 
 (* -- Stall experiment: deterministic robustness comparison ---------------- *)
 
+(* The watchdog evaluates the scheme's declared waste bound (Table 1)
+   against the live counter while the fault plan runs. *)
+let watchdog_for sname ~config ~threads ~size_at_arm =
+  let (module S : Smr_core.Smr_intf.S) = Instances.scheme_of_name sname in
+  Mp_harness.Watchdog.spec_for ~scheme:sname ~properties:S.properties ~config ~threads
+    ~size_at_arm
+
+let fmt_verdict (r : Runner.result) =
+  match r.Runner.watchdog with
+  | None -> "-"
+  | Some v -> Mp_harness.Watchdog.to_string v
+
+(* Unlike the legacy op-boundary pause (Runner.stall), the fault plan
+   stalls tid 0 *inside* the protect/validate window — reservation
+   published, not yet validated — the exact schedule the robustness
+   theorems quantify over. *)
 let stall () =
   let threads = 4 in
   let rows =
@@ -287,7 +303,14 @@ let stall () =
           {
             (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
             Runner.duration_s = duration_s *. 2.0;
-            stall = Some { Runner.stall_tid = 0; every_ops = 100; pause_s = 0.02 };
+            faults =
+              Some
+                (Mp_util.Fault.plan ~label:"bench-stall"
+                   [
+                     Mp_util.Fault.stall_event ~tid:0 ~point:Mp_util.Fault.Protect_validate
+                       ~after_hits:50 ~every:200 ~pause:0.02 ();
+                   ]);
+            watchdog = Some (watchdog_for sname ~config ~threads ~size_at_arm:(2 * 2 * list_size));
           }
         in
         let r =
@@ -299,12 +322,61 @@ let stall () =
           fmt_result r;
           Printf.sprintf "%.0f" r.Runner.wasted_avg;
           string_of_int r.Runner.wasted_max;
+          fmt_verdict r;
         ])
       [ "mp"; "hp"; "ibr"; "he"; "ebr" ]
   in
   Report.table
-    ~title:"Stall injection: list write-dominated with a thread sleeping mid-operation"
-    ~header:[ "scheme"; "throughput"; "wasted avg"; "wasted max" ]
+    ~title:
+      "Stall injection: list write-dominated, tid 0 sleeping inside the protect/validate window"
+    ~header:[ "scheme"; "throughput"; "wasted avg"; "wasted max"; "watchdog" ]
+    rows
+
+(* -- Crash experiment: the dead-thread scenario of §4.4 ------------------- *)
+
+(* One domain dies mid-protect — reservation published, never cleared,
+   never cleared up — while the rest keep churning. Bounded schemes (MP,
+   HP) must hold their predetermined waste bound anyway; robust schemes
+   hold a size-at-crash bound; EBR's waste grows with the churn (the
+   watchdog records the expected violation of the reference envelope). *)
+let crash () =
+  let threads = 4 in
+  let rows =
+    List.map
+      (fun sname ->
+        let config = Config.default ~threads in
+        let s =
+          {
+            (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
+            Runner.duration_s = duration_s *. 2.0;
+            faults =
+              Some
+                (Mp_util.Fault.plan ~label:"bench-crash"
+                   [
+                     Mp_util.Fault.crash_event ~tid:0 ~point:Mp_util.Fault.Protect_validate
+                       ~after_hits:1_000;
+                   ]);
+            watchdog = Some (watchdog_for sname ~config ~threads ~size_at_arm:(2 * 2 * list_size));
+          }
+        in
+        let r =
+          note ~ds:"list" ~scheme:sname
+            (Runner.run (Instances.make Instances.List_ds (Instances.scheme_of_name sname)) s)
+        in
+        [
+          sname;
+          fmt_result r;
+          string_of_int r.Runner.wasted_max;
+          String.concat "," (List.map string_of_int r.Runner.crashed);
+          String.concat "," (List.map string_of_int r.Runner.pinning_tids);
+          fmt_verdict r;
+        ])
+      [ "mp"; "hp"; "ibr"; "he"; "ebr" ]
+  in
+  Report.table
+    ~title:
+      "Crash injection: list write-dominated, tid 0 dies inside the protect/validate window"
+    ~header:[ "scheme"; "throughput"; "wasted max"; "crashed"; "pinning"; "watchdog" ]
     rows
 
 (* -- Bechamel micro-benchmarks: per-operation latency --------------------- *)
@@ -520,6 +592,10 @@ let pipe_result ~pairs ~total_ops ~throughput : Runner.result =
     scan_time_s = 0.0;
     violations = 0;
     oom = false;
+    alloc_stalls = 0;
+    crashed = [];
+    pinning_tids = [];
+    watchdog = None;
     final_size = 0;
     latency = None;
   }
@@ -831,6 +907,7 @@ let experiments =
     ("fig7a", fig7a);
     ("fig7bc", fig7bc);
     ("stall", stall);
+    ("crash", crash);
     ("micro", micro);
     ("pipe", pipe);
     ("ablation-index", ablation_index);

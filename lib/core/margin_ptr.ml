@@ -147,6 +147,9 @@ let tid th = th.tid
 let start_op th =
   th.local_epoch <- Epoch.announce th.shared.epoch ~tid:th.tid;
   Counters.on_fence th.shared.counters ~tid:th.tid;
+  (* Epoch announced; a crash here freezes the announcement the scan's
+     epoch filter pairs with this thread's margins. *)
+  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
   th.lower_bound <- -1;
   th.upper_bound <- -1;
   th.use_hp_mode <- false
@@ -218,6 +221,8 @@ let rec protect_with_hp th refno link w =
   Reservation.publish s.hps ~tid:th.tid ~refno (Handle.id w);
   th.hp_mirror.(refno) <- Handle.id w;
   Mp_util.Striped_counter.incr s.counters.Counters.hp_fallbacks ~tid:th.tid;
+  (* Fallback hazard visible, link not yet re-read. *)
+  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
   let w' = Atomic.get link in
   if w' = w then w else read_slow th refno link w'
 
@@ -254,6 +259,9 @@ and read_slow th refno link w =
         max 0 ((v - (s.margin / 2) + precision_range - 1) asr Handle.precision);
       th.cover_hi.(refno) <-
         min (Handle.idx16_mask - 1) ((v + (s.margin / 2) - (precision_range - 1)) asr Handle.precision);
+      (* Margin visible, link and epoch not yet re-validated — the
+         interleaving Thm 4.2 must survive. *)
+      Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
       let w' = Atomic.get link in
       if w' = w then
         if Epoch.current s.epoch = th.local_epoch then w
@@ -348,6 +356,13 @@ let retire th id =
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters
+
+(* Either announcement table pins: a dead thread's margins keep every
+   covered index generation its epoch spans, its fallback hazards keep
+   exact nodes. *)
+let pinning_tids t =
+  List.sort_uniq Int.compare
+    (Reservation.occupied_tids t.s.mps @ Reservation.occupied_tids t.s.hps)
 
 (** Introspection hooks for tests and the wasted-memory bound experiment. *)
 module Debug = struct

@@ -457,6 +457,10 @@ module As_set : Set_intf.SET = struct
   let traversed = traversed
   let smr_stats = smr_stats
   let violations = violations
+
+  (* DTA's anchors are per-thread freezing state, not reservations; the
+     harness's pinning report does not apply. *)
+  let pinning_tids _ = []
   let live_nodes = live_nodes
   let flush = flush
 end

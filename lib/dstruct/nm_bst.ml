@@ -431,6 +431,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let traversed t = Sc.sum t.traversed
   let smr_stats t = S.stats t.smr
   let violations t = Mempool.violations t.pool
+  let pinning_tids t = S.pinning_tids t.smr
   let live_nodes t = Mempool.live_count t.pool
   let flush s = S.flush s.th
 end

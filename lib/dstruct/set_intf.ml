@@ -50,6 +50,11 @@ module type SET = sig
       correct scheme). *)
   val violations : t -> int
 
+  (** Tids still holding an SMR reservation (see
+      {!Smr_core.Smr_intf.S.pinning_tids}) — after a run, the stalled or
+      crashed threads pinning wasted memory. *)
+  val pinning_tids : t -> int list
+
   (** Nodes currently allocated (live + retired). *)
   val live_nodes : t -> int
 

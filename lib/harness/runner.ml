@@ -33,6 +33,14 @@ type spec = {
       (** with [record_latency], time one in this many operations (rounded
           up to a power of two) instead of paying two clock reads per op *)
   zipf_alpha : float option;  (** skew operation keys zipfian-ly (extension) *)
+  faults : Mp_util.Fault.plan option;
+      (** armed after populate, before the workers spawn; disarmed after
+          they join. Crashed domains are reported, not fatal. *)
+  watchdog : Watchdog.spec option;
+      (** evaluate this waste bound on every sampler tick *)
+  alloc_retry : int;
+      (** pool-exhaustion backpressure: retries (with backoff) per
+          operation before the worker gives up and flags [oom] *)
 }
 
 (** Paper default: S random keys from a range of size 2S. *)
@@ -52,6 +60,9 @@ let default ~threads ~init_size ~mix ~config =
     record_latency = false;
     latency_sample = 32;
     zipf_alpha = None;
+    faults = None;
+    watchdog = None;
+    alloc_retry = 1_000;
   }
 
 type result = {
@@ -67,7 +78,15 @@ type result = {
   scan_passes : int;  (** reclamation passes during the measured window *)
   scan_time_s : float;  (** wall-clock seconds those passes took *)
   violations : int;
-  oom : bool;  (** a thread exhausted the pool (leaky schemes) *)
+  oom : bool;
+      (** a thread starved on the pool past its retry budget (leaky
+          schemes, or faults pinning everything) *)
+  alloc_stalls : int;  (** pool-exhaustion retries absorbed as backpressure *)
+  crashed : int list;  (** tids killed by a fault-plan crash event *)
+  pinning_tids : int list;
+      (** tids still holding reservations after the run — with faults, the
+          dead threads pinning waste *)
+  watchdog : Watchdog.verdict option;
   final_size : int;
   latency : Mp_util.Histogram.t option;  (** merged across threads when recorded *)
 }
@@ -109,6 +128,8 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
   (* Spaced indexing (Mp_util.Padding): per-thread op counts a cache line
      apart, so final writes and any future mid-run reads never contend. *)
   let ops = Array.make (Mp_util.Padding.spaced_length spec.threads) 0 in
+  let stalls = Array.make (Mp_util.Padding.spaced_length spec.threads) 0 in
+  let crashed_flags = Array.make spec.threads false in
   let histograms = Array.init spec.threads (fun _ -> Mp_util.Histogram.create ()) in
   (* 1-in-N latency sampling: N rounded up to a power of two so the
      sample test is a mask, not a division. *)
@@ -125,11 +146,36 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
       | None -> Mp_util.Keygen.uniform ~range:spec.key_range
     in
     let hist = histograms.(tid) in
+    let backoff = Mp_util.Backoff.create () in
+    let my_stalls = ref 0 in
     Atomic.incr barrier;
     while Atomic.get barrier < spec.threads do
       Domain.cpu_relax ()
     done;
     let count = ref 0 in
+    (* Pool exhaustion is backpressure, not a dead run: retry the
+       operation (the failed insert left the structure unchanged) under
+       backoff up to [alloc_retry] times, counting each stall. Only when
+       the budget runs dry — the pool is pinned solid, e.g. a leaky
+       scheme or a crashed thread holding everything — does the worker
+       flag [oom] and bow out. *)
+    let rec exec_retry k attempts =
+      match
+        (match Workload.pick spec.mix rng with
+        | Workload.Read -> ignore (SET.contains s k : bool)
+        | Workload.Insert -> ignore (SET.insert s ~key:k ~value:k : bool)
+        | Workload.Remove -> ignore (SET.remove s k : bool))
+      with
+      | () -> if attempts > 0 then Mp_util.Backoff.reset backoff
+      | exception Mempool.Exhausted ->
+        incr my_stalls;
+        if attempts >= spec.alloc_retry || Atomic.get stop then begin
+          Atomic.set oom true;
+          raise Mempool.Exhausted
+        end;
+        Mp_util.Backoff.once backoff;
+        exec_retry k (attempts + 1)
+    in
     (try
        while not (Atomic.get stop) do
          let k = Mp_util.Keygen.next keygen rng in
@@ -138,17 +184,26 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
          (match spec.stall with
          | Some st when tid = st.stall_tid && !count mod st.every_ops = st.every_ops - 1 ->
            ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf st.pause_s) : bool)
-         | _ -> (
-           match Workload.pick spec.mix rng with
-           | Workload.Read -> ignore (SET.contains s k : bool)
-           | Workload.Insert -> ignore (SET.insert s ~key:k ~value:k : bool)
-           | Workload.Remove -> ignore (SET.remove s k : bool)));
+         | _ -> exec_retry k 0);
          if sampled then Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
          incr count
-       done
-     with Mempool.Exhausted -> Atomic.set oom true);
+       done;
+       SET.flush s
+     with
+    | Mempool.Exhausted -> ()
+    | Mp_util.Fault.Crashed _ ->
+      (* The fault plan killed this thread mid-operation. Its published
+         reservations stay in place — that is the scenario — so no flush,
+         no cleanup; just mark it dead for the report. *)
+      crashed_flags.(tid) <- true);
+    stalls.(Mp_util.Padding.spaced_index tid) <- !my_stalls;
     ops.(Mp_util.Padding.spaced_index tid) <- !count
   in
+  (* Arm faults only now: populate above ran on tid 0 and must not crash. *)
+  (match spec.faults with
+  | Some p -> Mp_util.Fault.arm ~threads:spec.threads p
+  | None -> ());
+  let wd = Option.map Watchdog.create spec.watchdog in
   let domains = Array.init spec.threads (fun tid -> Domain.spawn (worker tid)) in
   (* Main thread samples wasted memory while the clock runs. *)
   let t_start = Unix.gettimeofday () in
@@ -158,7 +213,8 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     let w = (SET.smr_stats t).Smr_core.Smr_intf.wasted in
     wasted_sum := !wasted_sum +. float_of_int w;
     incr wasted_samples;
-    if w > !wasted_max then wasted_max := w
+    if w > !wasted_max then wasted_max := w;
+    Option.iter (fun wd -> Watchdog.observe wd ~wasted:w) wd
   done;
   Atomic.set stop true;
   (* Throughput denominator: the measured window ends when the stop flag
@@ -166,9 +222,25 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
      workers spent producing the counted operations. *)
   let elapsed = Unix.gettimeofday () -. t_start in
   Array.iter Domain.join domains;
+  (if spec.faults <> None then Mp_util.Fault.disarm ());
+  let crashed =
+    List.filter (fun tid -> crashed_flags.(tid)) (List.init spec.threads Fun.id)
+  in
+  (* Surviving threads cleared their announcements on the way out, so any
+     tid still occupying a reservation slot is a stalled/crashed one. *)
+  let pinning = SET.pinning_tids t in
   let stats1 = SET.smr_stats t in
   let traversed1 = SET.traversed t in
-  let total_ops = Array.fold_left ( + ) 0 ops in
+  (* Throughput counts only threads that lived to the end: a crashed
+     domain's partial op count would dilute per-thread comparability. *)
+  let total_ops =
+    let sum = ref 0 in
+    for tid = 0 to spec.threads - 1 do
+      if not crashed_flags.(tid) then sum := !sum + ops.(Mp_util.Padding.spaced_index tid)
+    done;
+    !sum
+  in
+  let alloc_stalls = Array.fold_left ( + ) 0 stalls in
   let fences = stats1.Smr_core.Smr_intf.fences - stats0.Smr_core.Smr_intf.fences in
   let traversed = traversed1 - traversed0 in
   {
@@ -187,6 +259,10 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     scan_time_s = stats1.Smr_core.Smr_intf.scan_time_s -. stats0.Smr_core.Smr_intf.scan_time_s;
     violations = SET.violations t;
     oom = Atomic.get oom;
+    alloc_stalls;
+    crashed;
+    pinning_tids = pinning;
+    watchdog = Option.map Watchdog.verdict wd;
     final_size = SET.size t;
     latency =
       (if spec.record_latency then begin
@@ -232,12 +308,16 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
         Mp_util.Histogram.percentile_ns h 99.0,
         Mp_util.Histogram.max_ns h )
   in
+  let json_int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
     r.wasted_max r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
-    (json_float r.scan_time_s) r.violations r.oom r.final_size lat_p50 lat_p99 lat_max
+    (json_float r.scan_time_s) r.violations r.oom r.alloc_stalls (json_int_list r.crashed)
+    (json_int_list r.pinning_tids)
+    (Watchdog.json_fields r.watchdog)
+    r.final_size lat_p50 lat_p99 lat_max
 
 (** Serialize a batch of labelled results as a JSON array. *)
 let results_to_json entries =

@@ -240,31 +240,31 @@ module Core = struct
   (* -- alloc / free ------------------------------------------------------ *)
 
   (* Make the active magazine non-empty: promote the spare, else claim a
-     whole chain from the global stack (one CAS). Raises {!Exhausted} when
-     both local magazines and the global stack are empty. *)
-  let refill t l =
+     whole chain from the global stack (one CAS). False when both local
+     magazines and the global stack are empty. *)
+  let try_refill t l =
     if l.spare_head >= 0 then begin
       l.head <- l.spare_head;
       l.count <- l.spare_count;
       l.tail <- l.spare_tail;
       l.spare_head <- -1;
       l.spare_count <- 0;
-      l.spare_tail <- -1
+      l.spare_tail <- -1;
+      true
     end
     else begin
       let head = global_pop_chain t in
-      if head < 0 then raise Exhausted;
-      l.head <- head;
-      l.count <- t.chain_len.(head);
-      l.tail <- t.chain_tail.(head)
+      if head < 0 then false
+      else begin
+        l.head <- head;
+        l.count <- t.chain_len.(head);
+        l.tail <- t.chain_tail.(head);
+        true
+      end
     end
 
-  (** Pop a free slot for thread [tid]; refills a whole chain from the
-      global stack when both local magazines are empty. Raises
-      {!Exhausted} if no slot is reachable. *)
-  let alloc t ~tid =
-    let l = t.locals.(tid) in
-    if l.head < 0 then refill t l;
+  (* Pop the head of a non-empty active magazine and mark it live. *)
+  let take t ~tid l =
     let id = l.head in
     l.head <- t.stack_next.(id);
     l.count <- l.count - 1;
@@ -274,6 +274,28 @@ module Core = struct
     t.index.(id) <- 0;
     Mp_util.Striped_counter.incr t.allocs ~tid;
     id
+
+  (** Pop a free slot for thread [tid]; refills a whole chain from the
+      global stack when both local magazines are empty. Raises
+      {!Exhausted} if no slot is reachable. *)
+  let alloc t ~tid =
+    let l = t.locals.(tid) in
+    if l.head < 0 then begin
+      Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_refill;
+      if not (try_refill t l) then raise Exhausted
+    end;
+    take t ~tid l
+
+  (** Non-raising {!alloc}: [None] when no slot is reachable, so callers
+      can degrade into backpressure (retry with backoff, count the stall)
+      instead of unwinding. *)
+  let alloc_opt t ~tid =
+    let l = t.locals.(tid) in
+    if l.head < 0 then begin
+      Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_refill;
+      if not (try_refill t l) then None else Some (take t ~tid l)
+    end
+    else Some (take t ~tid l)
 
   (** Return slot [id] to thread [tid]'s free lists. A full active
       magazine rotates into the spare; a displaced full spare is spilled
@@ -287,8 +309,10 @@ module Core = struct
     Mp_util.Striped_counter.incr t.frees ~tid;
     let l = t.locals.(tid) in
     if l.count >= t.fair_share then begin
-      if l.spare_head >= 0 then
-        spill t ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count;
+      if l.spare_head >= 0 then begin
+        Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_spill;
+        spill t ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count
+      end;
       l.spare_head <- l.head;
       l.spare_count <- l.count;
       l.spare_tail <- l.tail;
@@ -383,6 +407,7 @@ let get t id =
 let unsafe_get t id = t.payload.(id)
 
 let alloc t ~tid = Core.alloc t.core ~tid
+let alloc_opt t ~tid = Core.alloc_opt t.core ~tid
 let free t ~tid id = Core.free t.core ~tid id
 let handle t id = Core.handle t.core id
 let violations t = Core.violations t.core

@@ -53,6 +53,11 @@ module Core : sig
       thread's local magazines nor the global chain stack has one. *)
   val alloc : t -> tid:int -> int
 
+  (** Non-raising {!alloc}: [None] when no slot is reachable, so callers
+      can degrade into backpressure (retry with backoff, count the
+      stall) instead of unwinding through {!Exhausted}. *)
+  val alloc_opt : t -> tid:int -> int option
+
   (** Return a slot; spills a full spare magazine to the global chain
       stack when both local magazines fill up. *)
   val free : t -> tid:int -> int -> unit
@@ -131,6 +136,7 @@ val get : 'a t -> int -> 'a
 val unsafe_get : 'a t -> int -> 'a
 
 val alloc : 'a t -> tid:int -> int
+val alloc_opt : 'a t -> tid:int -> int option
 val free : 'a t -> tid:int -> int -> unit
 val handle : 'a t -> int -> Handle.t
 val violations : 'a t -> int

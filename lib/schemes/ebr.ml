@@ -68,7 +68,10 @@ let tid th = th.tid
 
 let start_op th =
   ignore (Epoch.announce th.shared.epoch ~tid:th.tid);
-  Counters.on_fence th.shared.counters ~tid:th.tid
+  Counters.on_fence th.shared.counters ~tid:th.tid;
+  (* EBR's only reservation is the epoch announcement; a crash here vetoes
+     every future advance — the unbounded-waste scenario of §4.4. *)
+  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
 
 let end_op th = Epoch.retire_announcement th.shared.epoch ~tid:th.tid
 
@@ -125,3 +128,9 @@ let flush th =
   empty th
 
 let stats t = Counters.stats t.s.counters
+
+let pinning_tids t =
+  let s = t.s in
+  List.filter
+    (fun tid -> Epoch.announced s.epoch ~tid <> Epoch.inactive)
+    (List.init s.threads Fun.id)

@@ -100,6 +100,8 @@ let rec read_loop th slot link prev_era =
   else begin
     Atomic.set slot era;
     Counters.on_fence th.shared.counters ~tid:th.tid;
+    (* Era published but not yet re-validated against the clock. *)
+    Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
     read_loop th slot link era
   end
 
@@ -135,3 +137,4 @@ let retire th id =
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters
+let pinning_tids t = Reservation.occupied_tids t.s.res

@@ -93,6 +93,9 @@ let rec read_loop th slot link =
     else begin
       Atomic.set slot id;
       Counters.on_fence th.shared.counters ~tid:th.tid;
+      (* The hazard is visible but unvalidated — the window a stalled or
+         dying thread leaves a node pinned from. *)
+      Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
       if Atomic.get link = w then w else read_loop th slot link
     end
   end
@@ -121,3 +124,4 @@ let retire th id =
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters
+let pinning_tids t = Reservation.occupied_tids t.s.res

@@ -78,7 +78,9 @@ let start_op th =
   let e = Epoch.current s.epoch in
   Reservation.set s.lower ~tid:th.tid ~refno:0 e;
   Reservation.set s.upper ~tid:th.tid ~refno:0 e;
-  Counters.on_fence s.counters ~tid:th.tid
+  Counters.on_fence s.counters ~tid:th.tid;
+  (* Interval published; a crash here pins [e, e] forever. *)
+  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
 
 let end_op th =
   let s = th.shared in
@@ -110,7 +112,9 @@ let read th ~refno:(_ : int) link =
     let up = Reservation.slot s.upper ~tid:th.tid ~refno:0 in
     if Atomic.get up < birth then begin
       Atomic.set up (max birth (Epoch.current s.epoch));
-      Counters.on_fence s.counters ~tid:th.tid
+      Counters.on_fence s.counters ~tid:th.tid;
+      (* Stretched endpoint visible, target not yet dereferenced. *)
+      Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
     end
   end;
   w
@@ -145,3 +149,4 @@ let retire th id =
 
 let flush th = empty th
 let stats t = Counters.stats t.s.counters
+let pinning_tids t = Reservation.occupied_tids t.s.lower

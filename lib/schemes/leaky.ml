@@ -49,3 +49,7 @@ let update_upper_bound (_ : thread) (_ : int) = ()
 let handle_of th id = Mempool.Core.handle th.pool id
 let flush (_ : thread) = ()
 let stats t = Counters.stats t.counters
+
+(* Leaky holds no reservations: waste comes from never reclaiming, not
+   from any thread's announcement. *)
+let pinning_tids (_ : t) = []

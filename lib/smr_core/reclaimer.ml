@@ -38,6 +38,7 @@ let pending t = Retired.length t.retired
     caller stamps any death metadata (epoch schemes) before or after —
     this call never scans. *)
 let retire t id =
+  Mp_util.Fault.hit ~tid:t.tid Mp_util.Fault.Reclaimer_retire;
   Mempool.Core.mark_retired t.pool id;
   Retired.push t.retired id;
   Counters.on_retire t.counters ~tid:t.tid;
@@ -50,6 +51,7 @@ let scan_due t = t.since_scan >= t.threshold
     back into the pool, reset the batch counter, and account the pass
     ([scan_passes], [scan_time_s], [reclaimed], [wasted]). *)
 let scan t ~keep =
+  Mp_util.Fault.hit ~tid:t.tid Mp_util.Fault.Reclaimer_scan;
   t.since_scan <- 0;
   let t0 = Unix.gettimeofday () in
   let released =

@@ -51,20 +51,37 @@ let get t ~tid ~refno = Atomic.get t.table.(tid).(refno)
     scheme accounts as one fence). *)
 let set t ~tid ~refno v = Atomic.set t.table.(tid).(refno) v
 
-(** Publish an announcement: one slot write, one publication fence. *)
+(** Publish an announcement: one slot write, one publication fence. The
+    fault point fires {e after} the write, inside the window where the
+    announcement is visible but not yet validated — a crash here leaves
+    the slot published forever. *)
 let publish t ~tid ~refno v =
   Atomic.set t.table.(tid).(refno) v;
-  Counters.on_fence t.counters ~tid
+  Counters.on_fence t.counters ~tid;
+  Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_publish
 
-let clear t ~tid ~refno = Atomic.set t.table.(tid).(refno) t.empty
+let clear t ~tid ~refno =
+  Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_clear;
+  Atomic.set t.table.(tid).(refno) t.empty
 
-(** Clear every occupied slot of [tid]; the batch costs one fence. *)
+(** Clear every occupied slot of [tid]; the batch costs one fence. The
+    fault point fires before any slot is cleared, so a crash leaves the
+    whole row published. *)
 let clear_all t ~tid =
+  Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_clear;
   let mine = t.table.(tid) in
   for refno = 0 to t.slots - 1 do
     if Atomic.get mine.(refno) <> t.empty then Atomic.set mine.(refno) t.empty
   done;
   Counters.on_fence t.counters ~tid
+
+(** Tids with at least one occupied slot — the threads whose (possibly
+    stalled or dead) announcements are currently pinning memory. *)
+let occupied_tids t =
+  let rec occupied row refno =
+    refno < t.slots && (Atomic.get row.(refno) <> t.empty || occupied row (refno + 1))
+  in
+  List.filter (fun tid -> occupied t.table.(tid) 0) (List.init t.threads Fun.id)
 
 (* -- snapshots ----------------------------------------------------------- *)
 

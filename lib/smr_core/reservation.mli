@@ -36,6 +36,10 @@ val clear : t -> tid:int -> refno:int -> unit
     (the paper's §6 end-of-operation accounting). *)
 val clear_all : t -> tid:int -> unit
 
+(** Tids with at least one occupied slot — the threads whose (possibly
+    stalled or dead) announcements are currently pinning memory. *)
+val occupied_tids : t -> int list
+
 (** A reusable scan buffer. [vals]/[owners]/[len] are readable by scheme
     scan predicates; only this module mutates them. After {!sort},
     [owners] is meaningless. *)

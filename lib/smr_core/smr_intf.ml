@@ -89,4 +89,10 @@ module type S = sig
   val flush : thread -> unit
 
   val stats : t -> stats
+
+  (** Tids currently holding a live reservation — published PPV slots,
+      interval endpoints, or an active epoch announcement. After a run,
+      a quiesced thread has cleared everything, so a non-empty answer
+      names the stalled or crashed threads pinning wasted memory. *)
+  val pinning_tids : t -> int list
 end

@@ -1,0 +1,245 @@
+(** Deterministic, seeded fault injection for the SMR hot paths.
+
+    The robustness theorems (paper §4.4) quantify over adversarial
+    schedules: a thread may stall or die at *any* instruction while
+    holding a reservation. Oversubscription and the harness's coarse
+    op-boundary pause only ever exercise a few of those schedules, so
+    this module plants named {e injection points} in the interior of the
+    dangerous windows — between publishing a reservation and validating
+    it, inside retire/scan, inside the pool's spill/refill — where a
+    per-run {!plan} can fire a stall, a yield storm, or a permanent
+    crash that leaves the thread's announcements published forever.
+
+    Cost discipline: every point is {!hit}, which is one load-and-branch
+    on {!val-enabled} when no plan is armed. Points sit on slow-ish
+    paths (publication, refill, scan), never inside fence-free fast
+    paths, so disarmed overhead is one predictable branch.
+
+    The store is process-global because injection points live in code
+    that has no handle to thread state beyond a [tid]. {!arm} must be
+    called while the target domains are not yet running (the runner arms
+    between populate and spawn) and {!disarm} after they joined. *)
+
+(* -- injection points ----------------------------------------------------- *)
+
+type point =
+  | Reservation_publish  (** after a PPV slot write became visible *)
+  | Reservation_clear  (** before announcement slots are cleared *)
+  | Reclaimer_retire  (** entering [retire], before the node is queued *)
+  | Reclaimer_scan  (** entering a reclamation pass *)
+  | Mempool_refill  (** local magazines empty, before the global claim *)
+  | Mempool_spill  (** before a full magazine spills to the global stack *)
+  | Protect_validate
+      (** the scheme-specific protect/validate window: between announcing
+          protection (hazard, era, interval, margin or epoch) and
+          validating / using it *)
+
+let n_points = 7
+
+let point_index = function
+  | Reservation_publish -> 0
+  | Reservation_clear -> 1
+  | Reclaimer_retire -> 2
+  | Reclaimer_scan -> 3
+  | Mempool_refill -> 4
+  | Mempool_spill -> 5
+  | Protect_validate -> 6
+
+let point_name = function
+  | Reservation_publish -> "reservation_publish"
+  | Reservation_clear -> "reservation_clear"
+  | Reclaimer_retire -> "reclaimer_retire"
+  | Reclaimer_scan -> "reclaimer_scan"
+  | Mempool_refill -> "mempool_refill"
+  | Mempool_spill -> "mempool_spill"
+  | Protect_validate -> "protect_validate"
+
+let all_points =
+  [
+    Reservation_publish;
+    Reservation_clear;
+    Reclaimer_retire;
+    Reclaimer_scan;
+    Mempool_refill;
+    Mempool_spill;
+    Protect_validate;
+  ]
+
+(* -- fault plans ----------------------------------------------------------- *)
+
+type action =
+  | Stall of float  (** sleep this many seconds inside the window *)
+  | Yield_storm of int  (** spin [cpu_relax] this many times *)
+  | Crash
+      (** raise {!Crashed}: the thread unwinds out of its workload loop
+          and never runs again, leaving every published reservation
+          (slots, eras, intervals, epoch announcements) in place *)
+
+type event = {
+  point : point;
+  tid : int;  (** the thread the event targets *)
+  after_hits : int;  (** fire once the (point, tid) hit count reaches this *)
+  every : int;  (** 0 = fire once; k > 0 = re-fire every k further hits *)
+  action : action;
+}
+
+type plan = {
+  label : string;
+  events : event list;
+}
+
+let action_to_string = function
+  | Stall s -> Printf.sprintf "stall(%gs)" s
+  | Yield_storm n -> Printf.sprintf "yield_storm(%d)" n
+  | Crash -> "crash"
+
+let event_to_string e =
+  Printf.sprintf "%s@%s tid=%d hits=%d%s" (action_to_string e.action) (point_name e.point) e.tid
+    e.after_hits
+    (if e.every > 0 then Printf.sprintf "+%d" e.every else "")
+
+let plan_to_string p =
+  Printf.sprintf "%s[%s]"
+    (if p.label = "" then "plan" else p.label)
+    (String.concat "; " (List.map event_to_string p.events))
+
+let stall_event ~tid ~point ~after_hits ?(every = 0) ~pause () =
+  { point; tid; after_hits; every; action = Stall pause }
+
+let yield_event ~tid ~point ~after_hits ?(every = 0) ~spins () =
+  { point; tid; after_hits; every; action = Yield_storm spins }
+
+let crash_event ~tid ~point ~after_hits = { point; tid; after_hits; every = 0; action = Crash }
+
+let plan ?(label = "") events = { label; events }
+
+exception Crashed of int
+
+(* -- armed state ----------------------------------------------------------- *)
+
+type armed = {
+  p : plan;
+  threads : int;
+  hits : int array;  (** flat (point × tid); only the owner tid writes its cells *)
+  crashed : bool Atomic.t array;
+  log_lock : Mutex.t;
+  mutable log : (point * int * action) list;  (** most recent first *)
+}
+
+let state : armed option ref = ref None
+
+(** The single hot-path flag: injection points branch on this and
+    nothing else when no plan is armed. *)
+let enabled = ref false
+
+let arm ~threads p =
+  state :=
+    Some
+      {
+        p;
+        threads;
+        hits = Array.make (n_points * threads) 0;
+        crashed = Array.init threads (fun _ -> Atomic.make false);
+        log_lock = Mutex.create ();
+        log = [];
+      };
+  enabled := true
+
+let disarm () =
+  enabled := false;
+  state := None
+
+let armed () = !enabled
+
+let due ev h =
+  if ev.every <= 0 then h = ev.after_hits
+  else h >= ev.after_hits && (h - ev.after_hits) mod ev.every = 0
+
+let fire st ~tid ev =
+  Mutex.lock st.log_lock;
+  st.log <- (ev.point, tid, ev.action) :: st.log;
+  Mutex.unlock st.log_lock;
+  match ev.action with
+  | Stall s -> Unix.sleepf s
+  | Yield_storm n ->
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+  | Crash ->
+    Atomic.set st.crashed.(tid) true;
+    raise (Crashed tid)
+
+let hit_armed ~tid point =
+  match !state with
+  | None -> ()
+  | Some st ->
+    if tid >= 0 && tid < st.threads && not (Atomic.get st.crashed.(tid)) then begin
+      let idx = (point_index point * st.threads) + tid in
+      let h = st.hits.(idx) + 1 in
+      st.hits.(idx) <- h;
+      List.iter
+        (fun ev -> if ev.point == point && ev.tid = tid && due ev h then fire st ~tid ev)
+        st.p.events
+    end
+
+(** The injection point. One branch when disarmed. *)
+let[@inline] hit ~tid point = if !enabled then hit_armed ~tid point
+
+(* -- post-mortem ----------------------------------------------------------- *)
+
+let crashed ~tid =
+  match !state with
+  | Some st when tid >= 0 && tid < st.threads -> Atomic.get st.crashed.(tid)
+  | _ -> false
+
+let crashed_tids () =
+  match !state with
+  | None -> []
+  | Some st ->
+    List.filter (fun tid -> Atomic.get st.crashed.(tid)) (List.init st.threads Fun.id)
+
+let fired () =
+  match !state with
+  | None -> []
+  | Some st ->
+    Mutex.lock st.log_lock;
+    let l = List.rev st.log in
+    Mutex.unlock st.log_lock;
+    l
+
+let hit_count ~tid point =
+  match !state with
+  | Some st when tid >= 0 && tid < st.threads -> st.hits.((point_index point * st.threads) + tid)
+  | _ -> 0
+
+(* -- random plans ----------------------------------------------------------- *)
+
+(** Seeded random stall/crash mix, for the fault soak: 1–3 events over
+    random points/threads. At most one crash per plan, and never on
+    thread 0, so single-threaded callers and at least one worker always
+    make progress. *)
+let random_plan ~seed ~threads =
+  let rng = Rng.create (seed * 0x9E3779B1) in
+  let points = Array.of_list all_points in
+  let pick_point () = points.(Rng.below rng (Array.length points)) in
+  let n_events = 1 + Rng.below rng 3 in
+  let crash_budget = ref 1 in
+  let events =
+    List.init n_events (fun _ ->
+        let point = pick_point () in
+        let tid = Rng.below rng threads in
+        let after_hits = 1 + Rng.below rng 400 in
+        match Rng.below rng 3 with
+        | 0 when !crash_budget > 0 && tid > 0 ->
+          decr crash_budget;
+          crash_event ~tid ~point ~after_hits
+        | 0 | 1 ->
+          stall_event ~tid ~point ~after_hits ~every:(50 + Rng.below rng 400)
+            ~pause:(0.0001 +. (Rng.float rng *. 0.002))
+            ()
+        | _ ->
+          yield_event ~tid ~point ~after_hits ~every:(50 + Rng.below rng 400)
+            ~spins:(100 + Rng.below rng 5000)
+            ())
+  in
+  plan ~label:(Printf.sprintf "random(seed=%d)" seed) events

@@ -1,0 +1,90 @@
+(** Deterministic, seeded fault injection for the SMR hot paths.
+
+    Named injection points sit inside the dangerous windows of the
+    protect/retire/scan protocols (between publishing a reservation and
+    validating it, inside retire and reclamation scans, inside the
+    pool's spill/refill). A per-run {!plan} fires stalls, yield storms,
+    or a permanent {!Crash} — the thread unwinds out of its workload
+    loop with its announcements still published, modelling a thread
+    that died holding a reservation (paper §4.4).
+
+    When no plan is armed, {!hit} is a single load-and-branch. *)
+
+type point =
+  | Reservation_publish  (** after a PPV slot write became visible *)
+  | Reservation_clear  (** before announcement slots are cleared *)
+  | Reclaimer_retire  (** entering [retire], before the node is queued *)
+  | Reclaimer_scan  (** entering a reclamation pass *)
+  | Mempool_refill  (** local magazines empty, before the global claim *)
+  | Mempool_spill  (** before a full magazine spills to the global stack *)
+  | Protect_validate
+      (** the scheme-specific protect/validate window: between announcing
+          protection and validating / using it *)
+
+val point_name : point -> string
+val all_points : point list
+
+type action =
+  | Stall of float  (** sleep this many seconds inside the window *)
+  | Yield_storm of int  (** spin [cpu_relax] this many times *)
+  | Crash  (** raise {!Crashed}, leaving every announcement published *)
+
+type event = {
+  point : point;
+  tid : int;
+  after_hits : int;  (** fire once the (point, tid) hit count reaches this *)
+  every : int;  (** 0 = fire once; k > 0 = re-fire every k further hits *)
+  action : action;
+}
+
+type plan = {
+  label : string;
+  events : event list;
+}
+
+val plan : ?label:string -> event list -> plan
+val plan_to_string : plan -> string
+val event_to_string : event -> string
+val action_to_string : action -> string
+
+val stall_event :
+  tid:int -> point:point -> after_hits:int -> ?every:int -> pause:float -> unit -> event
+
+val yield_event :
+  tid:int -> point:point -> after_hits:int -> ?every:int -> spins:int -> unit -> event
+
+val crash_event : tid:int -> point:point -> after_hits:int -> event
+
+(** Raised by a {!Crash} event; carries the crashing tid. Workload loops
+    catch it, mark the domain dead, and return without any cleanup, so
+    the thread's reservations stay published forever. *)
+exception Crashed of int
+
+(** [arm ~threads p] installs [p]. Call while the target domains are not
+    running; hit counters reset to zero. *)
+val arm : threads:int -> plan -> unit
+
+(** Disable all injection points and drop the armed state. *)
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+(** The injection point: cost is one load-and-branch unless a plan is
+    armed. [tid]s outside the armed thread count are ignored, as are
+    hits from already-crashed threads. *)
+val hit : tid:int -> point -> unit
+
+(** Did a {!Crash} event fire on [tid] (since {!arm})? *)
+val crashed : tid:int -> bool
+
+val crashed_tids : unit -> int list
+
+(** Events fired so far, oldest first. *)
+val fired : unit -> (point * int * action) list
+
+(** Hits recorded at a (point, tid) since {!arm}. *)
+val hit_count : tid:int -> point -> int
+
+(** Seeded random stall/crash mix (1–3 events, at most one crash, never
+    on tid 0) for the fault soak. *)
+val random_plan : seed:int -> threads:int -> plan

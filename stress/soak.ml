@@ -1,6 +1,21 @@
 (* Long-running safety soak across the full (structure × scheme) matrix
    with the use-after-free detector armed. Not part of `dune runtest` —
-   run manually:  dune exec stress/soak.exe -- [minutes]  *)
+   run manually:
+
+     dune exec stress/soak.exe -- [minutes]
+     dune exec stress/soak.exe -- --faults SEED [--rounds N] [--json FILE]
+
+   With --faults, every round arms a seeded random fault plan
+   (Mp_util.Fault.random_plan): interior stalls, yield storms and at most
+   one permanent crash per round, landing inside the SMR protect/validate
+   windows, retire/scan, and the pool's spill/refill. Each cell is then
+   judged twice — the UAF detector must stay silent, and the waste-bound
+   watchdog must report the scheme's declared bound held (EBR's reference
+   bound is advisory: its violations are expected and logged, not
+   fatal). *)
+
+module Fault = Mp_util.Fault
+module Watchdog = Mp_harness.Watchdog
 
 let structures : (string * ((module Smr_core.Smr_intf.S) -> (module Dstruct.Set_intf.SET))) list =
   [
@@ -18,9 +33,10 @@ let schemes : (string * (module Smr_core.Smr_intf.S)) list =
     ("ibr", (module Smr_schemes.Ibr));
   ]
 
-let round (module SET : Dstruct.Set_intf.SET) ~seed =
-  let threads = 4 and ops = 20_000 in
-  let range = if seed mod 2 = 0 then 256 else 64 in
+let threads = 4
+let ops = 20_000
+
+let prefill (type a) (module SET : Dstruct.Set_intf.SET with type t = a) ~range : a =
   let config = Smr_core.Config.default ~threads in
   let t =
     SET.create ~threads ~capacity:((range * 8) + (ops * threads) + 1024) ~check_access:true
@@ -30,6 +46,12 @@ let round (module SET : Dstruct.Set_intf.SET) ~seed =
   for k = 0 to (range / 2) - 1 do
     ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
   done;
+  SET.flush s0;
+  t
+
+let round (module SET : Dstruct.Set_intf.SET) ~seed =
+  let range = if seed mod 2 = 0 then 256 else 64 in
+  let t = prefill (module SET) ~range in
   let domains =
     Array.init threads (fun tid ->
         Domain.spawn (fun () ->
@@ -51,19 +73,127 @@ let round (module SET : Dstruct.Set_intf.SET) ~seed =
   SET.check t;
   if SET.violations t <> 0 then failwith (SET.name ^ ": use-after-free detected")
 
-let () =
-  let minutes = try float_of_string Sys.argv.(1) with _ -> 5.0 in
-  let t_end = Unix.gettimeofday () +. (minutes *. 60.0) in
-  let seed = ref 0 in
-  while Unix.gettimeofday () < t_end do
-    incr seed;
-    List.iter
-      (fun (ds_name, make) ->
-        List.iter
-          (fun (s_name, s) ->
-            round (make s) ~seed:(!seed * 7919);
-            Printf.printf "%s(%s) round %d ok\n%!" ds_name s_name !seed)
-          schemes)
-      structures
+(* One fault round: prefill, arm the plan, churn, and while the workers
+   run sample the wasted counter into the watchdog. Crashed workers skip
+   their flush — their announcements stay published, which is the
+   scenario. *)
+let fault_round (module SET : Dstruct.Set_intf.SET) ~scheme ~properties ~seed =
+  let range = if seed mod 2 = 0 then 256 else 64 in
+  let t = prefill (module SET) ~range in
+  let config = Smr_core.Config.default ~threads in
+  let plan = Fault.random_plan ~seed ~threads in
+  let wd =
+    (* live ceiling: up to [range] keys, ×2 for the BST's routers *)
+    Watchdog.create
+      (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range))
+  in
+  Fault.arm ~threads plan;
+  let finished = Atomic.make 0 in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed ~tid in
+            (try
+               for _ = 1 to ops do
+                 let k = Mp_util.Rng.below rng range in
+                 match Mp_util.Rng.below rng 4 with
+                 | 0 -> ignore (SET.insert s ~key:k ~value:k : bool)
+                 | 1 -> ignore (SET.remove s k : bool)
+                 | _ -> ignore (SET.contains s k : bool)
+               done;
+               SET.flush s
+             with Fault.Crashed _ -> ());
+            Atomic.incr finished))
+  in
+  while Atomic.get finished < threads do
+    Unix.sleepf 0.002;
+    Watchdog.observe wd ~wasted:(SET.smr_stats t).Smr_core.Smr_intf.wasted
   done;
-  print_endline "SOAK CLEAN"
+  Array.iter Domain.join domains;
+  let crashed = Fault.crashed_tids () in
+  Fault.disarm ();
+  let pinning = SET.pinning_tids t in
+  SET.check t;
+  if SET.violations t <> 0 then
+    failwith (Printf.sprintf "%s: use-after-free under %s" SET.name (Fault.plan_to_string plan));
+  let v = Watchdog.verdict wd in
+  if not (Watchdog.ok v) then
+    failwith
+      (Printf.sprintf "%s: waste bound broken under %s: %s" SET.name (Fault.plan_to_string plan)
+         (Watchdog.to_string v));
+  (plan, v, crashed, pinning)
+
+let fmt_tids tids = "[" ^ String.concat "," (List.map string_of_int tids) ^ "]"
+
+let () =
+  let minutes = ref 5.0 in
+  let fault_seed = ref None in
+  let rounds = ref 10 in
+  let json_file = ref None in
+  let rec parse = function
+    | "--faults" :: s :: rest ->
+      fault_seed := Some (int_of_string s);
+      parse rest
+    | "--rounds" :: n :: rest ->
+      rounds := int_of_string n;
+      parse rest
+    | "--json" :: f :: rest ->
+      json_file := Some f;
+      parse rest
+    | m :: rest ->
+      (try minutes := float_of_string m with _ -> ());
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !fault_seed with
+  | None ->
+    let t_end = Unix.gettimeofday () +. (!minutes *. 60.0) in
+    let seed = ref 0 in
+    while Unix.gettimeofday () < t_end do
+      incr seed;
+      List.iter
+        (fun (ds_name, make) ->
+          List.iter
+            (fun (s_name, s) ->
+              round (make s) ~seed:(!seed * 7919);
+              Printf.printf "%s(%s) round %d ok\n%!" ds_name s_name !seed)
+            schemes)
+        structures
+    done;
+    print_endline "SOAK CLEAN"
+  | Some base_seed ->
+    let json = ref [] in
+    for r = 1 to !rounds do
+      List.iter
+        (fun (ds_name, make) ->
+          List.iter
+            (fun (s_name, scheme) ->
+              let (module S : Smr_core.Smr_intf.S) = scheme in
+              (* Derive a distinct deterministic seed per (round, cell) so a
+                 failure is reproducible from the base seed alone. *)
+              let seed = (base_seed * 1_000_003) + (r * 7919) + Hashtbl.hash (ds_name, s_name) in
+              let plan, v, crashed, pinning =
+                fault_round (make scheme) ~scheme:s_name ~properties:S.properties ~seed
+              in
+              Printf.printf "%s(%s) round %d %s  crashed=%s pinning=%s  %s\n%!" ds_name s_name r
+                (Fault.plan_to_string plan) (fmt_tids crashed) (fmt_tids pinning)
+                (Watchdog.to_string v);
+              json :=
+                Printf.sprintf
+                  "{\"round\":%d,\"ds\":\"%s\",\"scheme\":\"%s\",\"seed\":%d,\"crashed\":%s,\"pinning\":%s,%s}"
+                  r ds_name s_name seed (fmt_tids crashed) (fmt_tids pinning)
+                  (Watchdog.json_fields (Some v))
+                :: !json)
+            schemes)
+        structures
+    done;
+    (match !json_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc ("[\n  " ^ String.concat ",\n  " (List.rev !json) ^ "\n]\n");
+      close_out oc;
+      Printf.printf "[wrote %d verdicts to %s]\n%!" (List.length !json) path);
+    print_endline "FAULT SOAK CLEAN"

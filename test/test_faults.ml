@@ -1,0 +1,179 @@
+(* Fault-injection robustness (paper §4.4), with the dead thread the
+   theorems actually quantify over: a domain is crashed by the fault
+   layer *inside* the protect/validate window, so its reservation (slot,
+   era, interval, epoch announcement or margin) stays published forever.
+   The surviving thread churns; per scheme the waste must match the
+   declared class — MP/HP hold their predetermined bound, HE/IBR hold
+   the robust size-at-crash bound, EBR blows through the reference
+   envelope and keeps growing.
+
+   A QCheck property then checks the safety side: no random fault plan
+   (stalls, yield storms, crashes at any injection point) may ever
+   produce a use-after-free with the pool's access checker armed. *)
+
+module Config = Smr_core.Config
+module Fault = Mp_util.Fault
+module Watchdog = Mp_harness.Watchdog
+
+type probe = {
+  wasted_after_1 : int;
+  wasted_after_2 : int;
+  churn : int;
+  bound : Watchdog.spec;
+  pinning : int list;
+}
+
+(* tid 1 is crashed mid-protect after a handful of reads; tid 0 then
+   churns insert+remove over a rotating window in two phases. *)
+let run_crashed_churn ~scheme ~properties (module SET : Dstruct.Set_intf.SET) =
+  let threads = 2 in
+  let churn = 8_000 in
+  let config = Config.default ~threads in
+  let capacity = 4096 + (4 * churn) in
+  let t = SET.create ~threads ~capacity ~check_access:true config in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to 63 do
+    ignore (SET.insert s0 ~key:(k * 1000) ~value:k : bool)
+  done;
+  SET.flush s0;
+  (* live ceiling: 64 prefill keys + the 400-key churn window *)
+  let bound = Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:600 in
+  Fault.arm ~threads
+    (Fault.plan ~label:"crash-mid-protect"
+       [ Fault.crash_event ~tid:1 ~point:Fault.Protect_validate ~after_hits:5 ]);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let victim =
+    Domain.spawn (fun () ->
+        let s1 = SET.session t ~tid:1 in
+        try
+          for i = 0 to 999 do
+            ignore (SET.contains s1 (i * 500) : bool)
+          done;
+          false
+        with Fault.Crashed _ -> true)
+  in
+  let crashed = Domain.join victim in
+  Alcotest.(check bool) "victim crashed mid-protect" true crashed;
+  Alcotest.(check bool) "fault layer recorded the crash" true (Fault.crashed ~tid:1);
+  let phase () =
+    for i = 0 to churn - 1 do
+      let k = 100 + (i mod 400) in
+      ignore (SET.insert s0 ~key:k ~value:i : bool);
+      ignore (SET.remove s0 k : bool)
+    done;
+    SET.flush s0;
+    (SET.smr_stats t).Smr_core.Smr_intf.wasted
+  in
+  let wasted_after_1 = phase () in
+  let wasted_after_2 = phase () in
+  Alcotest.(check int) "no use-after-free" 0 (SET.violations t);
+  { wasted_after_1; wasted_after_2; churn; bound; pinning = SET.pinning_tids t }
+
+let list_of (module S : Smr_core.Smr_intf.S) : (module Dstruct.Set_intf.SET) =
+  (module Dstruct.Michael_list.Make (S))
+
+let probe_scheme (module S : Smr_core.Smr_intf.S) =
+  run_crashed_churn ~scheme:S.name ~properties:S.properties (list_of (module S))
+
+(* MP and HP: the predetermined bound holds no matter how long the dead
+   thread's reservation stays published or how hard the survivor churns. *)
+let bounded_scheme (module S : Smr_core.Smr_intf.S) ~expect_pinned () =
+  let p = probe_scheme (module S) in
+  let check_phase label w =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s within bound (%d <= %d: %s)" S.name label w p.bound.Watchdog.bound
+         p.bound.Watchdog.desc)
+      true
+      (w <= p.bound.Watchdog.bound)
+  in
+  check_phase "phase 1" p.wasted_after_1;
+  check_phase "phase 2" p.wasted_after_2;
+  if expect_pinned then
+    Alcotest.(check (list int)) (S.name ^ " dead thread still pins a reservation") [ 1 ] p.pinning
+
+(* EBR: the dead thread's epoch announcement pins every later
+   retirement; waste tracks churn and breaks the reference envelope —
+   the watchdog flags this advisory, and here we assert it happens. *)
+let ebr_unbounded () =
+  let p = probe_scheme (module Smr_schemes.Ebr) in
+  Alcotest.(check bool) "EBR reference bound is advisory" true p.bound.Watchdog.advisory;
+  Alcotest.(check bool)
+    (Printf.sprintf "EBR waste breaks the reference envelope (%d > %d)" p.wasted_after_2
+       p.bound.Watchdog.bound)
+    true
+    (p.wasted_after_2 > p.bound.Watchdog.bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "EBR waste grows with churn (%d -> %d)" p.wasted_after_1 p.wasted_after_2)
+    true
+    (p.wasted_after_2 > p.wasted_after_1 + (p.churn / 2));
+  Alcotest.(check (list int)) "dead thread still pins an epoch" [ 1 ] p.pinning
+
+(* -- property: no fault plan may cause a use-after-free ------------------- *)
+
+let uaf_free_under_plan ~seed =
+  let threads = 3 and ops = 3_000 and range = 64 in
+  let module SET = Dstruct.Michael_list.Make (Mp.Margin_ptr) in
+  let config = Config.default ~threads in
+  let t =
+    SET.create ~threads ~capacity:((range * 8) + (ops * threads) + 1024) ~check_access:true
+      config
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to (range / 2) - 1 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  SET.flush s0;
+  Fault.arm ~threads (Fault.random_plan ~seed ~threads);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let s = SET.session t ~tid in
+            let rng = Mp_util.Rng.split ~seed ~tid in
+            try
+              for _ = 1 to ops do
+                let k = Mp_util.Rng.below rng range in
+                match Mp_util.Rng.below rng 4 with
+                | 0 -> ignore (SET.insert s ~key:k ~value:k : bool)
+                | 1 -> ignore (SET.remove s k : bool)
+                | _ -> ignore (SET.contains s k : bool)
+              done;
+              SET.flush s
+            with Fault.Crashed _ -> ()))
+  in
+  Array.iter Domain.join domains;
+  SET.check t;
+  SET.violations t = 0
+
+let qcheck_no_uaf =
+  QCheck.Test.make ~count:8 ~name:"random fault plans never cause use-after-free"
+    QCheck.(map (fun n -> abs n + 1) small_int)
+    (fun seed -> uaf_free_under_plan ~seed)
+
+(* -- the disarmed layer really is off ------------------------------------- *)
+
+let disarmed_is_inert () =
+  Alcotest.(check bool) "not armed" false (Fault.armed ());
+  (* a hit with no plan armed must be a no-op, not a crash or a count *)
+  Fault.hit ~tid:0 Fault.Protect_validate;
+  Alcotest.(check int) "no hits recorded" 0 (Fault.hit_count ~tid:0 Fault.Protect_validate)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "crashed-thread waste bounds",
+        [
+          Alcotest.test_case "MP bounded under a dead thread" `Slow
+            (bounded_scheme (module Mp.Margin_ptr) ~expect_pinned:false);
+          Alcotest.test_case "HP bounded under a dead thread" `Slow
+            (bounded_scheme (module Smr_schemes.Hp) ~expect_pinned:true);
+          Alcotest.test_case "HE robust under a dead thread" `Slow
+            (bounded_scheme (module Smr_schemes.He) ~expect_pinned:true);
+          Alcotest.test_case "IBR robust under a dead thread" `Slow
+            (bounded_scheme (module Smr_schemes.Ibr) ~expect_pinned:true);
+          Alcotest.test_case "EBR unbounded under a dead thread" `Slow ebr_unbounded;
+        ] );
+      ( "safety under random plans",
+        [ QCheck_alcotest.to_alcotest ~long:true qcheck_no_uaf ] );
+      ("disarmed", [ Alcotest.test_case "injection points are inert" `Quick disarmed_is_inert ]);
+    ]

@@ -52,6 +52,7 @@ module Unsafe_immediate : Smr_core.Smr_intf.S = struct
   let handle_of th id = Mempool.Core.handle th.shared.pool id
   let flush _ = ()
   let stats t = Counters.stats t.s.counters
+  let pinning_tids _ = []
 end
 
 let churn_violations (module SET : Dstruct.Set_intf.SET) ~threads ~ops ~range =
