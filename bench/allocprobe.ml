@@ -1,0 +1,46 @@
+(* Temporary probe: single-threaded read-only contains loop per
+   (structure x scheme), reporting ns/op and minor-GC words/op. Used to
+   capture pre/post numbers for EXPERIMENTS.md. *)
+
+module Config = Smr_core.Config
+module Instances = Mp_harness.Instances
+module Rng = Mp_util.Rng
+
+let cell ds scheme ~size ~ops =
+  let (module SET : Dstruct.Set_intf.SET) =
+    Instances.make (Instances.ds_of_name ds) (Instances.scheme_of_name scheme)
+  in
+  let config = Config.default ~threads:1 in
+  let t = SET.create ~threads:1 ~capacity:(4 * size + 65536) ~check_access:false config in
+  let s = SET.session t ~tid:0 in
+  let range = 2 * size in
+  let rng = Rng.create 0xC0FFEE in
+  let inserted = ref 0 in
+  while !inserted < size do
+    let k = Rng.below rng range in
+    if SET.insert s ~key:k ~value:k then incr inserted
+  done;
+  SET.flush s;
+  (* warm *)
+  for _ = 1 to ops / 10 do
+    ignore (SET.contains s (Rng.below rng range) : bool)
+  done;
+  let st0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    ignore (SET.contains s (Rng.below rng range) : bool)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let st1 = Gc.quick_stat () in
+  Printf.printf "%-10s %-5s ops=%d ns/op=%.1f words/op=%.2f minor_gcs=%d\n%!" ds scheme ops
+    (dt *. 1e9 /. float_of_int ops)
+    (dw /. float_of_int ops)
+    (st1.Gc.minor_collections - st0.Gc.minor_collections)
+
+let () =
+  List.iter
+    (fun (ds, size, ops) ->
+      List.iter (fun scheme -> cell ds scheme ~size ~ops) [ "mp"; "hp"; "ebr"; "none" ])
+    [ ("list", 256, 300_000); ("skiplist", 4096, 500_000); ("bst", 4096, 500_000) ]

@@ -9,7 +9,9 @@
                                               # also dump results as JSON
                                               # (or MP_BENCH_JSON=out.json)
 
-   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall crash micro pipe *)
+   Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall crash
+   micro pipe alloc ablation-index ablation-epoch ext-zipf ext-hash
+   ext-queue latency *)
 
 module Config = Smr_core.Config
 module Workload = Mp_harness.Workload
@@ -25,6 +27,10 @@ let full = Sys.getenv_opt "MP_BENCH_FULL" <> None
    with its experiment/structure/scheme, and dumped as a JSON array at
    exit so the perf trajectory is diffable across commits. *)
 let json_path = ref (Sys.getenv_opt "MP_BENCH_JSON")
+
+(* --warmup SECS: per-run warmup window (real workload, excluded from
+   every reported metric — ops, GC words, fences, wasted samples). *)
+let warmup = ref 0.5
 let json_results : (string * string * string * Runner.result) list ref = ref []
 let current_experiment = ref ""
 
@@ -66,12 +72,16 @@ let spec ?margin ~threads ~init_size ~mix () =
   let config =
     match margin with Some m -> Config.with_margin config m | None -> config
   in
-  { (Runner.default ~threads ~init_size ~mix ~config) with Runner.duration_s }
+  { (Runner.default ~threads ~init_size ~mix ~config) with
+    Runner.duration_s;
+    warmup_s = !warmup;
+  }
 
 let ds_name = function
   | Instances.List_ds -> "list"
   | Instances.Skiplist_ds -> "skiplist"
   | Instances.Bst_ds -> "bst"
+  | Instances.Hash_ds -> "hash"
 
 let run_ds ?margin ds ~threads ~init_size ~mix scheme_name =
   note ~ds:(ds_name ds) ~scheme:scheme_name
@@ -226,6 +236,7 @@ let fig7a () =
             {
               (Runner.default ~threads ~init_size:list_size ~mix:Workload.read_only ~config) with
               Runner.duration_s;
+              warmup_s = !warmup;
               init = Workload.Ascending_init;
               key_range = list_size;
             }
@@ -257,6 +268,7 @@ let fig7bc () =
           {
             (Runner.default ~threads ~init_size:tree_size ~mix:Workload.write_dominated ~config) with
             Runner.duration_s;
+            warmup_s = !warmup;
           }
         in
         let r = note ~ds:"bst" ~scheme:"mp" (Runner.run (Instances.make Instances.Bst_ds Instances.mp) s) in
@@ -303,6 +315,7 @@ let stall () =
           {
             (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
             Runner.duration_s = duration_s *. 2.0;
+            warmup_s = !warmup;
             faults =
               Some
                 (Mp_util.Fault.plan ~label:"bench-stall"
@@ -349,6 +362,7 @@ let crash () =
           {
             (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
             Runner.duration_s = duration_s *. 2.0;
+            warmup_s = !warmup;
             faults =
               Some
                 (Mp_util.Fault.plan ~label:"bench-crash"
@@ -456,6 +470,13 @@ let run_pipe ~pairs ~transfer ~duration =
   let stop = Atomic.make false in
   let barrier = Atomic.make 0 in
   let ops = Array.make (Mp_util.Padding.spaced_length threads) 0 in
+  (* Self-allocation accounting: instead of merely *claiming* the
+     recycling rings keep the pipe's own allocation out of the
+     measurement, each domain brackets its run with the same
+     [Mp_util.Gcstat] samples the runner uses, and the residual shows up
+     in the shared [alloc_words_per_op] telemetry field. *)
+  let gc_before = Array.make threads Mp_util.Gcstat.zero in
+  let gc_after = Array.make threads Mp_util.Gcstat.zero in
   let rings =
     Array.init pairs (fun _ -> Array.init ring_cap (fun _ -> Atomic.make [||]))
   in
@@ -483,6 +504,7 @@ let run_pipe ~pairs ~transfer ~duration =
     let tid = 2 * pair in
     let ring = rings.(pair) and back = returns.(pair) in
     wait_start ();
+    gc_before.(tid) <- Mp_util.Gcstat.sample ();
     let produced = ref 0 and w = ref 0 and rb = ref 0 in
     let batch = ref (Array.make batch_len 0) and filled = ref 0 in
     let spins = ref 0 in
@@ -522,12 +544,14 @@ let run_pipe ~pairs ~transfer ~duration =
     for i = 0 to !filled - 1 do
       Mempool.Core.free pool ~tid !batch.(i)
     done;
+    gc_after.(tid) <- Mp_util.Gcstat.sample ();
     ops.(Mp_util.Padding.spaced_index tid) <- !produced
   in
   let consumer pair () =
     let tid = (2 * pair) + 1 in
     let ring = rings.(pair) and back = returns.(pair) in
     wait_start ();
+    gc_before.(tid) <- Mp_util.Gcstat.sample ();
     let freed = ref 0 and r = ref 0 and wb = ref 0 in
     let spins = ref 0 in
     let drain_slot slot =
@@ -559,6 +583,7 @@ let run_pipe ~pairs ~transfer ~duration =
     while drain_slot ring.(!r land (ring_cap - 1)) do
       ()
     done;
+    gc_after.(tid) <- Mp_util.Gcstat.sample ();
     ops.(Mp_util.Padding.spaced_index tid) <- !freed
   in
   let domains =
@@ -573,11 +598,20 @@ let run_pipe ~pairs ~transfer ~duration =
   Array.iter Domain.join domains;
   let total_ops = Array.fold_left ( + ) 0 ops in
   let throughput = float_of_int total_ops /. elapsed in
+  let alloc_words = ref 0.0 and promoted = ref 0.0 and minor_gcs = ref 0 in
+  for tid = 0 to threads - 1 do
+    let before = gc_before.(tid) and after = gc_after.(tid) in
+    alloc_words := !alloc_words +. Mp_util.Gcstat.alloc_words ~before ~after;
+    promoted := !promoted +. Mp_util.Gcstat.promoted_words ~before ~after;
+    minor_gcs := !minor_gcs + Mp_util.Gcstat.minor_collections ~before ~after
+  done;
   if Mempool.Core.live_count pool <> 0 then
     failwith "pipe: slots leaked across the transfer path";
-  (total_ops, throughput)
+  (total_ops, throughput, !alloc_words, !promoted, !minor_gcs)
 
-let pipe_result ~pairs ~total_ops ~throughput : Runner.result =
+let pipe_result ~pairs ~total_ops ~throughput ~alloc_words ~promoted ~minor_gcs :
+    Runner.result =
+  let per_op x = if total_ops = 0 then 0.0 else x /. float_of_int total_ops in
   {
     Runner.spec_threads = 2 * pairs;
     mix_name = "alloc_free_pipe";
@@ -598,6 +632,9 @@ let pipe_result ~pairs ~total_ops ~throughput : Runner.result =
     watchdog = None;
     final_size = 0;
     latency = None;
+    alloc_words_per_op = per_op alloc_words;
+    promoted_words_per_op = per_op promoted;
+    minor_gcs;
   }
 
 let pipe () =
@@ -608,28 +645,67 @@ let pipe () =
           (* Scheduler noise on an oversubscribed host is the dominant
              variance source; give the pipe a slightly longer window than
              the quick-scale default. *)
-          let total_ops, throughput =
+          let total_ops, throughput, alloc_words, promoted, minor_gcs =
             run_pipe ~pairs ~transfer ~duration:(Float.max duration_s 0.7)
           in
-          ignore
-            (note ~ds:"mempool" ~scheme (pipe_result ~pairs ~total_ops ~throughput)
-              : Runner.result);
-          throughput
+          let r =
+            note ~ds:"mempool" ~scheme
+              (pipe_result ~pairs ~total_ops ~throughput ~alloc_words ~promoted ~minor_gcs)
+          in
+          (r.Runner.throughput, r.Runner.alloc_words_per_op)
         in
-        let chained = measure Mempool.Chained "chained" in
-        let per_slot = measure Mempool.Per_slot "per_slot" in
+        let chained, chained_alloc = measure Mempool.Chained "chained" in
+        let per_slot, _ = measure Mempool.Per_slot "per_slot" in
         [
           string_of_int (2 * pairs);
           Report.fmt_throughput chained;
           Report.fmt_throughput per_slot;
           Printf.sprintf "%.2fx" (chained /. per_slot);
+          Report.fmt_words_per_op chained_alloc;
         ])
       [ 1; 2; 4 ]
   in
   Report.table
     ~title:
       "Pipe: alloc/free producer-consumer pairs through the global free list (allocs+frees/s)"
-    ~header:[ "threads"; "chained"; "per-slot"; "speedup" ]
+    ~header:[ "threads"; "chained"; "per-slot"; "speedup"; "self words/op" ]
+    rows
+
+(* -- Alloc: read-path allocation telemetry ------------------------------- *)
+
+(* The zero-allocation read path, measured end to end: single-threaded
+   read-only runs per structure × scheme, reporting the runner's
+   per-domain GC deltas. The leaky list is the acceptance gate (< 1
+   word/op in the release profile); the rest of the table localizes any
+   regression to a structure or a scheme wrapper. *)
+let alloc_telemetry () =
+  let threads = 1 in
+  let rows =
+    List.concat_map
+      (fun (name, ds, init_size, gaps) ->
+        List.map
+          (fun sname ->
+            let margin = margin_for ~init_size ~gaps in
+            let r = run_ds ~margin ds ~threads ~init_size ~mix:Workload.read_only sname in
+            [
+              name;
+              sname;
+              fmt_result r;
+              Report.fmt_words_per_op r.Runner.alloc_words_per_op;
+              Report.fmt_words_per_op r.Runner.promoted_words_per_op;
+              string_of_int r.Runner.minor_gcs;
+            ])
+          ("none" :: figure_schemes))
+      [
+        ("list", Instances.List_ds, list_size, 2);
+        ("skiplist", Instances.Skiplist_ds, tree_size, 128);
+        ("bst", Instances.Bst_ds, tree_size, 128);
+        ("hash", Instances.Hash_ds, tree_size, 128);
+      ]
+  in
+  Report.table
+    ~title:"Alloc: GC words per read-only operation (1 thread; 0.00 = allocation-free)"
+    ~header:[ "structure"; "scheme"; "throughput"; "words/op"; "promoted/op"; "minor GCs" ]
     rows
 
 (* -- Extension: index-assignment policy ablation (paper §4.1 future work) *)
@@ -654,6 +730,7 @@ let ablation_index () =
               {
                 (Runner.default ~threads ~init_size:list_size ~mix:Workload.read_only ~config) with
                 Runner.duration_s;
+                warmup_s = !warmup;
                 init;
                 key_range = (match init with Workload.Ascending_init -> list_size | _ -> 2 * list_size);
               }
@@ -684,6 +761,7 @@ let ablation_epoch () =
           {
             (Runner.default ~threads ~init_size:list_size ~mix:Workload.write_dominated ~config) with
             Runner.duration_s;
+            warmup_s = !warmup;
             stall = Some { Runner.stall_tid = 0; every_ops = 100; pause_s = 0.02 };
           }
         in
@@ -727,6 +805,7 @@ let ext_zipf () =
                    ~config)
                 with
                 Runner.duration_s;
+                warmup_s = !warmup;
                 zipf_alpha = alpha;
               }
             in
@@ -873,6 +952,7 @@ let latency () =
           {
             (Runner.default ~threads ~init_size:tree_size ~mix:Workload.read_dominated ~config) with
             Runner.duration_s = duration_s *. 2.0;
+            warmup_s = !warmup;
             record_latency = true;
           }
         in
@@ -910,6 +990,7 @@ let experiments =
     ("crash", crash);
     ("micro", micro);
     ("pipe", pipe);
+    ("alloc", alloc_telemetry);
     ("ablation-index", ablation_index);
     ("ablation-epoch", ablation_epoch);
     ("ext-zipf", ext_zipf);
@@ -919,15 +1000,21 @@ let experiments =
   ]
 
 let () =
-  (* Pull "--json FILE" out of argv; what remains selects experiments. *)
-  let rec strip_json = function
+  (* Pull "--json FILE" / "--warmup SECS" out of argv; what remains
+     selects experiments. *)
+  let rec strip_opts = function
     | "--json" :: file :: rest ->
       json_path := Some file;
-      strip_json rest
-    | arg :: rest -> arg :: strip_json rest
+      strip_opts rest
+    | "--warmup" :: secs :: rest ->
+      (match float_of_string_opt secs with
+      | Some w when w >= 0.0 -> warmup := w
+      | _ -> Printf.eprintf "ignoring bad --warmup %S\n" secs);
+      strip_opts rest
+    | arg :: rest -> arg :: strip_opts rest
     | [] -> []
   in
-  let args = strip_json (List.tl (Array.to_list Sys.argv)) in
+  let args = strip_opts (List.tl (Array.to_list Sys.argv)) in
   let requested =
     match args with
     | [] | [ "all" ] -> List.map fst experiments

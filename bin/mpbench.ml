@@ -12,8 +12,8 @@ module Workload = Mp_harness.Workload
 module Runner = Mp_harness.Runner
 module Instances = Mp_harness.Instances
 
-let run ds scheme threads size duration workload margin_log2 stall_ms seed check latency verbose
-    json =
+let run ds scheme threads size duration warmup workload margin_log2 stall_ms seed check
+    latency verbose json =
   let mix =
     match workload with
     | "read" -> Workload.read_dominated
@@ -26,6 +26,7 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
     {
       (Runner.default ~threads ~init_size:size ~mix ~config) with
       Runner.duration_s = duration;
+      warmup_s = warmup;
       seed;
       check_access = check;
       record_latency = latency;
@@ -46,8 +47,9 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
   in
   let (module SET : Dstruct.Set_intf.SET) = set in
   if verbose then
-    Printf.printf "running %s: threads=%d size=%d duration=%.2fs mix=%s margin=2^%d\n%!"
-      SET.name threads size duration mix.Workload.name margin_log2;
+    Printf.printf
+      "running %s: threads=%d size=%d duration=%.2fs warmup=%.2fs mix=%s margin=2^%d\n%!"
+      SET.name threads size duration warmup mix.Workload.name margin_log2;
   let r = Runner.run set spec in
   Printf.printf "structure        : %s\n" SET.name;
   Printf.printf "threads          : %d\n" r.Runner.spec_threads;
@@ -60,6 +62,8 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
     r.Runner.fences r.Runner.traversed;
   Printf.printf "scan passes      : %d (%.4fs reclaiming)\n" r.Runner.scan_passes
     r.Runner.scan_time_s;
+  Printf.printf "alloc words / op : %.2f (%.2f promoted, %d minor GCs)\n"
+    r.Runner.alloc_words_per_op r.Runner.promoted_words_per_op r.Runner.minor_gcs;
   Printf.printf "final size       : %d\n" r.Runner.final_size;
   (match r.Runner.latency with
   | None -> ()
@@ -82,7 +86,7 @@ let run ds scheme threads size duration workload margin_log2 stall_ms seed check
   if check && r.Runner.violations > 0 then exit 2
 
 let ds_arg =
-  Arg.(value & opt string "bst" & info [ "ds" ] ~docv:"STRUCT" ~doc:"list, skiplist, bst or dta")
+  Arg.(value & opt string "bst" & info [ "ds" ] ~docv:"STRUCT" ~doc:"list, skiplist, bst, hash or dta")
 
 let scheme_arg =
   Arg.(
@@ -92,6 +96,14 @@ let scheme_arg =
 let threads_arg = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"concurrent domains")
 let size_arg = Arg.(value & opt int 16384 & info [ "size"; "s" ] ~doc:"initial keys (S)")
 let duration_arg = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"seconds")
+
+let warmup_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "warmup" ]
+        ~doc:
+          "seconds of real workload to run before the measured window; warmup operations \
+           are excluded from throughput, latency and allocation telemetry")
 
 let workload_arg =
   Arg.(value & opt string "read" & info [ "workload"; "w" ] ~doc:"read, write or readonly")
@@ -126,8 +138,9 @@ let json_arg =
 let cmd =
   let term =
     Term.(
-      const run $ ds_arg $ scheme_arg $ threads_arg $ size_arg $ duration_arg $ workload_arg
-      $ margin_arg $ stall_arg $ seed_arg $ check_arg $ latency_arg $ verbose_arg $ json_arg)
+      const run $ ds_arg $ scheme_arg $ threads_arg $ size_arg $ duration_arg $ warmup_arg
+      $ workload_arg $ margin_arg $ stall_arg $ seed_arg $ check_arg $ latency_arg
+      $ verbose_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "mpbench" ~doc:"benchmark one SMR scheme on one concurrent search structure")

@@ -282,7 +282,19 @@ let read th ~refno link =
      has not moved. Two compares and one shared load — the fence-free read
      that gives MP its edge over HP. The mirror arrays are sized by the
      validated config and [refno] is a structure-internal constant, so the
-     unchecked accesses are in bounds. *)
+     unchecked accesses are in bounds.
+
+     The epoch re-check must remain an SC [Atomic.get] — it is NOT a
+     candidate for [Mp_util.Relaxed]. Thm 4.2's argument for trusting
+     the coverage mirror needs the SC total order: if this load returns
+     [local_epoch], it is ordered before any later advance, hence before
+     the birth-stamp of any node born in a newer epoch, hence before the
+     link write that made such a node reachable — contradicting the link
+     read above having returned it. A stale (relaxed) epoch read would
+     let a stalled-and-resumed thread vouch for a node the reclaimer's
+     epoch filter already considers unprotected. The coverage bounds
+     themselves are plain thread-local arrays (own-slot mirrors), which
+     is the fenceless idiom taken to its conclusion. *)
   let idx16 = Handle.idx16 w0 in
   if
     idx16 >= Array.unsafe_get th.cover_lo refno

@@ -41,6 +41,13 @@ type t = {
   epoch : Epoch.t;
   counters : Counters.t;
   anchors : int Atomic.t array; (* anchored node id per thread, -1 = none *)
+  recovered : bool Atomic.t array;
+      (* set by a reclaimer that froze this thread's window; the victim
+         checks it at every anchor refresh and restarts its operation.
+         Closes the escape race: without it a victim that refreshes its
+         anchor concurrently with the freeze can traverse past the frozen
+         window while the reclaimer already exempted it from the epoch
+         bound — a use-after-free. *)
   anchor_step : int;
   stall_epochs : int; (* epochs of pinning before recovery freezes *)
   empty_freq : int;
@@ -52,6 +59,14 @@ type t = {
   threads : int;
 }
 
+(** Reusable per-session seek cursor: [seek] writes its outcome here
+    instead of allocating a result record per call (see michael_list). *)
+type cursor = {
+  mutable prev_next : int Atomic.t;
+  mutable curr_w : Handle.t;
+  mutable curr_key : int;
+}
+
 type session = {
   t : t;
   tid : int;
@@ -59,6 +74,10 @@ type session = {
   mutable retire_count : int;
   mutable alloc_count : int;
   mutable hops : int;
+  cur : cursor;
+  mutable trav : int;
+      (* nodes visited since the last flush: batched into the striped
+         counter once per operation instead of one atomic RMW per hop *)
 }
 
 exception Op_frozen
@@ -87,6 +106,7 @@ let create ~threads ~capacity ?(check_access = false) ?(anchor_step = 100)
     epoch = Epoch.create ~threads;
     counters = Counters.create ~threads;
     anchors = Array.init threads (fun _ -> Atomic.make no_anchor);
+    recovered = Array.init threads (fun _ -> Atomic.make false);
     anchor_step;
     stall_epochs;
     empty_freq = config.Config.empty_freq;
@@ -99,7 +119,16 @@ let create ~threads ~capacity ?(check_access = false) ?(anchor_step = 100)
   }
 
 let session t ~tid =
-  { t; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0; hops = 0 }
+  { t; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0; hops = 0;
+    cur = { prev_next = Atomic.make Handle.null; curr_w = Handle.null; curr_key = 0 };
+    trav = 0 }
+
+(** One atomic RMW per operation instead of one per traversed node. *)
+let flush_trav s =
+  if s.trav > 0 then begin
+    Sc.add s.t.traversed ~tid:s.tid s.trav;
+    s.trav <- 0
+  end
 
 (* -- protection ---------------------------------------------------------- *)
 
@@ -123,12 +152,22 @@ let read_link _s link =
 (** Refresh the anchor every [anchor_step] hops — DTA's low-overhead
     instead of per-dereference protection. One fence per step, not per node. *)
 let hop s curr =
-  Sc.incr s.t.traversed ~tid:s.tid;
+  s.trav <- s.trav + 1;
   s.hops <- s.hops + 1;
   if s.hops >= s.t.anchor_step then begin
     s.hops <- 0;
     Atomic.set s.t.anchors.(s.tid) curr;
-    Counters.on_fence s.t.counters ~tid:s.tid
+    Counters.on_fence s.t.counters ~tid:s.tid;
+    (* Recovery handshake (Dekker-style, both sides SC): we write the
+       anchor then read the flag; a reclaimer freezing our window writes
+       the flag then reads the anchor. So either we observe the flag here
+       and restart, or the reclaimer observed the refreshed anchor and its
+       frozen window covers everything we can touch before the next
+       refresh — in both cases no traversal escapes the window. *)
+    if Atomic.get s.t.recovered.(s.tid) then begin
+      Atomic.set s.t.recovered.(s.tid) false;
+      raise_notrace Op_frozen
+    end
   end
 
 (* -- reclamation --------------------------------------------------------- *)
@@ -138,6 +177,9 @@ let hop s curr =
    window so other threads keep making progress. *)
 let freeze_window s ~victim_tid =
   let t = s.t in
+  (* Flag first, anchor second — the mirror image of the victim's anchor
+     refresh in [hop]; see the handshake comment there. *)
+  Atomic.set t.recovered.(victim_tid) true;
   let anchor_id = Atomic.get t.anchors.(victim_tid) in
   (* The head sentinel's link must stay mutable (every operation starts
      there); when the victim is anchored at the head, the window starts at
@@ -288,106 +330,153 @@ let alloc s ~key ~value =
 
 (* -- list operations (Michael's algorithm under anchor protection) ------- *)
 
-type seek_result = {
-  prev_next : int Atomic.t;
-  curr_w : Handle.t;
-  curr_key : int;
-}
-
-let seek s k =
+(* Traverse towards [k]; on return [s.cur] holds the first node with
+   key >= [k] and the link pointing at it. Top-level mutual recursion and
+   a per-session cursor: a seek allocates nothing (see michael_list). *)
+let rec seek_advance s k prev_next curr_w =
   let t = s.t in
-  let rec advance prev_next curr_w =
-    hop s (Handle.id curr_w);
-    let curr = Handle.id curr_w in
-    let curr_node = node t curr in
-    let next_w = read_link s curr_node.next in
-    if read_link s prev_next <> curr_w then restart ()
-    else if Handle.mark next_w land deleted <> 0 then begin
-      let succ_w = Handle.with_mark next_w 0 in
-      if Atomic.compare_and_set prev_next curr_w succ_w then begin
-        retire s curr;
-        advance prev_next succ_w
-      end
-      else restart ()
+  hop s (Handle.id curr_w);
+  let curr = Handle.id curr_w in
+  let curr_node = node t curr in
+  let next_w = read_link s curr_node.next in
+  if read_link s prev_next <> curr_w then seek s k
+  else if Handle.mark next_w land deleted <> 0 then begin
+    let succ_w = Handle.with_mark next_w 0 in
+    if Atomic.compare_and_set prev_next curr_w succ_w then begin
+      retire s curr;
+      seek_advance s k prev_next succ_w
     end
+    else seek s k
+  end
+  else begin
+    let ckey = curr_node.key in
+    if ckey < k then seek_advance s k curr_node.next next_w
     else begin
-      let ckey = curr_node.key in
-      if ckey < k then advance curr_node.next next_w
-      else { prev_next; curr_w; curr_key = ckey }
+      let c = s.cur in
+      c.prev_next <- prev_next;
+      c.curr_w <- curr_w;
+      c.curr_key <- ckey
     end
-  and restart () =
-    s.hops <- 0;
-    Atomic.set t.anchors.(s.tid) t.head;
-    let prev_next = (node t t.head).next in
-    advance prev_next (read_link s prev_next)
-  in
-  restart ()
+  end
 
-(** Run [f] with operation brackets; a freeze hit restarts the operation
-    after re-announcing (so the recovered thread stops pinning epochs). *)
-let rec with_op s f =
+and seek s k =
+  let t = s.t in
+  s.hops <- 0;
+  Atomic.set t.anchors.(s.tid) t.head;
+  let prev_next = (node t t.head).next in
+  seek_advance s k prev_next (read_link s prev_next)
+
+(* Operation bodies are top-level recursive functions and the freeze
+   restart is a [match ... with exception] around a direct call — no
+   [with_op] closure is allocated per operation. [flush_trav] runs on
+   both the normal and the frozen exit, so no visit counts are lost. *)
+
+let rec insert_body s key value =
+  seek s key;
+  let r = s.cur in
+  if r.curr_key = key then false
+  else begin
+    let id = alloc s ~key ~value in
+    Atomic.set (Mempool.unsafe_get s.t.pool id).next r.curr_w;
+    if Atomic.compare_and_set r.prev_next r.curr_w (Mempool.handle s.t.pool id) then true
+    else begin
+      Mempool.free s.t.pool ~tid:s.tid id;
+      insert_body s key value
+    end
+  end
+
+let rec insert s ~key ~value =
+  assert (key > min_int && key < max_int);
   start_op s;
-  match f () with
+  match insert_body s key value with
   | result ->
+    flush_trav s;
     end_op s;
     result
   | exception Op_frozen ->
+    flush_trav s;
     end_op s;
-    with_op s f
+    insert s ~key ~value
 
-let insert s ~key ~value =
-  assert (key > min_int && key < max_int);
-  with_op s (fun () ->
-      let rec loop () =
-        let r = seek s key in
-        if r.curr_key = key then false
-        else begin
-          let id = alloc s ~key ~value in
-          Atomic.set (Mempool.unsafe_get s.t.pool id).next r.curr_w;
-          if Atomic.compare_and_set r.prev_next r.curr_w (Mempool.handle s.t.pool id) then true
-          else begin
-            Mempool.free s.t.pool ~tid:s.tid id;
-            loop ()
-          end
-        end
-      in
-      loop ())
+let rec remove_body s key =
+  seek s key;
+  if s.cur.curr_key <> key then false
+  else begin
+    (* Copy out of the cursor before the splice-failure re-seek below can
+       overwrite it. *)
+    let prev_next = s.cur.prev_next and curr_w = s.cur.curr_w in
+    let curr = Handle.id curr_w in
+    let curr_node = node s.t curr in
+    let next_w = read_link s curr_node.next in
+    if Handle.mark next_w land deleted <> 0 then remove_body s key
+    else if Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
+    then begin
+      if Atomic.compare_and_set prev_next curr_w (Handle.with_mark next_w 0) then
+        retire s curr
+      else seek s key;
+      true
+    end
+    else remove_body s key
+  end
 
-let remove s key =
-  with_op s (fun () ->
-      let rec loop () =
-        let r = seek s key in
-        if r.curr_key <> key then false
-        else begin
-          let curr = Handle.id r.curr_w in
-          let curr_node = node s.t curr in
-          let next_w = read_link s curr_node.next in
-          if Handle.mark next_w land deleted <> 0 then loop ()
-          else if
-            Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
-          then begin
-            if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
-              retire s curr
-            else ignore (seek s key : seek_result);
-            true
-          end
-          else loop ()
-        end
-      in
-      loop ())
+let rec remove s key =
+  start_op s;
+  match remove_body s key with
+  | result ->
+    flush_trav s;
+    end_op s;
+    result
+  | exception Op_frozen ->
+    flush_trav s;
+    end_op s;
+    remove s key
 
-let contains s key = with_op s (fun () -> (seek s key).curr_key = key)
+let rec contains s key =
+  start_op s;
+  match
+    seek s key;
+    s.cur.curr_key = key
+  with
+  | result ->
+    flush_trav s;
+    end_op s;
+    result
+  | exception Op_frozen ->
+    flush_trav s;
+    end_op s;
+    contains s key
 
-let contains_paused s key ~pause =
-  with_op s (fun () ->
-      ignore (read_link s (node s.t s.t.head).next : Handle.t);
-      pause ();
-      (seek s key).curr_key = key)
+let rec contains_paused s key ~pause =
+  start_op s;
+  match
+    ignore (read_link s (node s.t s.t.head).next : Handle.t);
+    pause ();
+    seek s key;
+    s.cur.curr_key = key
+  with
+  | result ->
+    flush_trav s;
+    end_op s;
+    result
+  | exception Op_frozen ->
+    flush_trav s;
+    end_op s;
+    contains_paused s key ~pause
 
-let find s key =
-  with_op s (fun () ->
-      let r = seek s key in
-      if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None)
+let rec find s key =
+  start_op s;
+  match
+    seek s key;
+    if s.cur.curr_key = key then Some (node s.t (Handle.id s.cur.curr_w)).value else None
+  with
+  | result ->
+    flush_trav s;
+    end_op s;
+    result
+  | exception Op_frozen ->
+    flush_trav s;
+    end_op s;
+    find s key
 
 (* -- inspection ----------------------------------------------------------- *)
 
@@ -418,7 +507,9 @@ let smr_stats t = Counters.stats t.counters
 let frozen_nodes t = Sc.sum t.frozen_count
 let violations t = Mempool.violations t.pool
 let live_nodes t = Mempool.live_count t.pool
-let flush s = empty s
+let flush s =
+  flush_trav s;
+  empty s
 
 (** Introspection for tests. *)
 module Debug = struct

@@ -35,10 +35,22 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     threads : int;
   }
 
+  (** Reusable per-session seek cursor (see Michael_list.cursor): filled
+      by [seek] in place of a per-call result record. *)
+  type cursor = {
+    mutable prev : int;
+    mutable prev_next : int Atomic.t;
+    mutable curr_w : Handle.t;
+    mutable curr_key : int;
+    mutable free_ref : int;
+  }
+
   type session = {
     t : t;
     th : S.thread;
     tid : int;
+    cur : cursor;
+    mutable trav : int; (* batched visit count, flushed once per op *)
   }
 
   let name = "hash-table(" ^ S.name ^ ")"
@@ -70,56 +82,71 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     in
     { pool; smr; heads; tail; buckets; traversed = Sc.create ~threads; threads }
 
-  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+  let session t ~tid =
+    {
+      t;
+      th = S.thread t.smr ~tid;
+      tid;
+      cur =
+        { prev = 0; prev_next = Atomic.make Handle.null; curr_w = Handle.null;
+          curr_key = 0; free_ref = 0 };
+      trav = 0;
+    }
+
+  let flush_trav s =
+    if s.trav > 0 then begin
+      Sc.add s.t.traversed ~tid:s.tid s.trav;
+      s.trav <- 0
+    end
 
   let bucket t k =
     (* Fibonacci multiplicative hashing; buckets is a power of two. *)
     let h = k * 0x2545F4914F6CDD1D in
     (h lsr 32) land (t.buckets - 1)
 
-  type seek_result = {
-    prev : int;
-    prev_next : int Atomic.t;
-    curr_w : Handle.t;
-    curr_key : int;
-    free_ref : int;
-  }
-
-  (* Identical protocol to Michael_list.seek, rooted at the key's bucket. *)
-  let seek s k =
+  (* Identical protocol to Michael_list.seek, rooted at the key's bucket;
+     top-level recursion + session cursor keep it allocation-free. *)
+  let rec seek_advance s k ~rp ~rc ~rn prev prev_next curr_w =
     let t = s.t in
-    let rec advance ~rp ~rc ~rn prev prev_next curr_w =
-      Sc.incr t.traversed ~tid:s.tid;
-      let curr = Handle.id curr_w in
-      let curr_node = node t curr in
-      let next_w = S.read s.th ~refno:rn curr_node.next in
-      if Atomic.get prev_next <> curr_w then restart ()
-      else if Handle.mark next_w land deleted <> 0 then begin
-        let succ_w = Handle.with_mark next_w 0 in
-        if Atomic.compare_and_set prev_next curr_w succ_w then begin
-          S.retire s.th curr;
-          advance ~rp ~rc:rn ~rn:rc prev prev_next succ_w
-        end
-        else restart ()
+    s.trav <- s.trav + 1;
+    let curr = Handle.id curr_w in
+    let curr_node = node t curr in
+    let next_w = S.read s.th ~refno:rn curr_node.next in
+    if Atomic.get prev_next <> curr_w then seek s k
+    else if Handle.mark next_w land deleted <> 0 then begin
+      let succ_w = Handle.with_mark next_w 0 in
+      if Atomic.compare_and_set prev_next curr_w succ_w then begin
+        S.retire s.th curr;
+        seek_advance s k ~rp ~rc:rn ~rn:rc prev prev_next succ_w
       end
+      else seek s k
+    end
+    else begin
+      let ckey = curr_node.key in
+      if ckey < k then seek_advance s k ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
       else begin
-        let ckey = curr_node.key in
-        if ckey < k then advance ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
-        else { prev; prev_next; curr_w; curr_key = ckey; free_ref = rn }
+        let c = s.cur in
+        c.prev <- prev;
+        c.prev_next <- prev_next;
+        c.curr_w <- curr_w;
+        c.curr_key <- ckey;
+        c.free_ref <- rn
       end
-    and restart () =
-      let head = t.heads.(bucket t k) in
-      let prev_next = (node t head).next in
-      let curr_w = S.read s.th ~refno:1 prev_next in
-      advance ~rp:0 ~rc:1 ~rn:2 head prev_next curr_w
-    in
-    restart ()
+    end
+
+  and seek s k =
+    let t = s.t in
+    let head = t.heads.(bucket t k) in
+    let prev_next = (node t head).next in
+    let curr_w = S.read s.th ~refno:1 prev_next in
+    seek_advance s k ~rp:0 ~rc:1 ~rn:2 head prev_next curr_w
 
   let insert s ~key ~value =
     assert (key > min_int && key < max_int);
     S.start_op s.th;
     let rec loop () =
-      let r = seek s key in
+      seek s key;
+      let r = s.cur in
       if r.curr_key = key then false
       else begin
         S.update_lower_bound s.th r.prev;
@@ -137,51 +164,62 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       end
     in
     let result = loop () in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let remove s key =
     S.start_op s.th;
     let rec loop () =
-      let r = seek s key in
-      if r.curr_key <> key then false
+      seek s key;
+      if s.cur.curr_key <> key then false
       else begin
-        let curr = Handle.id r.curr_w in
+        (* Copy out of the cursor before the splice-failure re-seek. *)
+        let prev_next = s.cur.prev_next and curr_w = s.cur.curr_w in
+        let curr = Handle.id curr_w in
         let curr_node = node s.t curr in
-        let next_w = S.read s.th ~refno:r.free_ref curr_node.next in
+        let next_w = S.read s.th ~refno:s.cur.free_ref curr_node.next in
         if Handle.mark next_w land deleted <> 0 then loop ()
         else if Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
         then begin
-          if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
+          if Atomic.compare_and_set prev_next curr_w (Handle.with_mark next_w 0) then
             S.retire s.th curr
-          else ignore (seek s key : seek_result);
+          else seek s key;
           true
         end
         else loop ()
       end
     in
     let result = loop () in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let contains s key =
     S.start_op s.th;
-    let r = seek s key in
+    seek s key;
+    let result = s.cur.curr_key = key in
+    flush_trav s;
     S.end_op s.th;
-    r.curr_key = key
+    result
 
   let contains_paused s key ~pause =
     S.start_op s.th;
     ignore (S.read s.th ~refno:1 (node s.t s.t.heads.(bucket s.t key)).next : Handle.t);
     pause ();
-    let r = seek s key in
+    seek s key;
+    let result = s.cur.curr_key = key in
+    flush_trav s;
     S.end_op s.th;
-    r.curr_key = key
+    result
 
   let find s key =
     S.start_op s.th;
-    let r = seek s key in
-    let result = if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None in
+    seek s key;
+    let result =
+      if s.cur.curr_key = key then Some (node s.t (Handle.id s.cur.curr_w)).value else None
+    in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -222,6 +260,9 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let traversed t = Sc.sum t.traversed
   let smr_stats t = S.stats t.smr
   let violations t = Mempool.violations t.pool
+  let pinning_tids t = S.pinning_tids t.smr
   let live_nodes t = Mempool.live_count t.pool
-  let flush s = S.flush s.th
+  let flush s =
+    flush_trav s;
+    S.flush s.th
 end

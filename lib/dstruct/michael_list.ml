@@ -34,10 +34,27 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     threads : int;
   }
 
+  (** Reusable per-session seek cursor: [seek] writes its outcome here
+      instead of allocating a result record per call, keeping the
+      traversal hot path minor-GC-free. Single-threaded by construction
+      (a session is owned by one thread) and always fully overwritten
+      before being read. *)
+  type cursor = {
+    mutable prev : int; (* predecessor node id *)
+    mutable prev_next : int Atomic.t; (* link field of the predecessor *)
+    mutable curr_w : Handle.t; (* unmarked handle of the node with key >= target *)
+    mutable curr_key : int;
+    mutable free_ref : int; (* slot not protecting prev or curr, for further reads *)
+  }
+
   type session = {
     t : t;
     th : S.thread;
     tid : int;
+    cur : cursor;
+    mutable trav : int;
+        (* nodes visited since the last flush: batched into the striped
+           counter once per operation instead of one atomic RMW per node *)
   }
 
   let name = "michael-list(" ^ S.name ^ ")"
@@ -63,58 +80,80 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     Atomic.set hn.next (S.handle_of th0 tail);
     { pool; smr; head; tail; traversed = Sc.create ~threads; threads }
 
-  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+  let session t ~tid =
+    {
+      t;
+      th = S.thread t.smr ~tid;
+      tid;
+      cur =
+        { prev = 0; prev_next = Atomic.make Handle.null; curr_w = Handle.null;
+          curr_key = 0; free_ref = 0 };
+      trav = 0;
+    }
 
-  type seek_result = {
-    prev : int; (* predecessor node id *)
-    prev_next : int Atomic.t; (* link field of the predecessor *)
-    curr_w : Handle.t; (* unmarked handle of the node with key >= target *)
-    curr_key : int;
-    free_ref : int; (* slot not protecting prev or curr, for further reads *)
-  }
+  (** Flush the session's batched visit count into the striped counter —
+      one atomic RMW per operation instead of one per traversed node.
+      Called at every operation end (alongside [S.end_op]) and from
+      [flush], so no counts are lost when the session goes quiet. *)
+  let flush_trav s =
+    if s.trav > 0 then begin
+      Sc.add s.t.traversed ~tid:s.tid s.trav;
+      s.trav <- 0
+    end
 
-  (** Traverse towards [k]; on return, [curr_w] is the first node with
-      key >= [k] and [prev_next] the link pointing at it. Marked nodes met
-      on the way are spliced out and retired. The final (prev, curr) pair
-      is exactly the search interval of Listing 7 — insert reports it to
-      the SMR scheme in one shot instead of per traversed node (the last
-      update wins either way, and only [alloc] consumes the bounds). *)
-  let seek s k =
+  (** Traverse towards [k]; on return, [s.cur.curr_w] is the first node
+      with key >= [k] and [s.cur.prev_next] the link pointing at it.
+      Marked nodes met on the way are spliced out and retired. The final
+      (prev, curr) pair is exactly the search interval of Listing 7 —
+      insert reports it to the SMR scheme in one shot instead of per
+      traversed node (the last update wins either way, and only [alloc]
+      consumes the bounds).
+
+      Top-level mutual recursion (not local closures) and a per-session
+      cursor (not a result record): a seek allocates nothing.
+      rp protects prev, rc protects curr, rn is scratch for next. *)
+  let rec seek_advance s k ~rp ~rc ~rn prev prev_next curr_w =
     let t = s.t in
-    (* rp protects prev, rc protects curr, rn is scratch for next. *)
-    let rec advance ~rp ~rc ~rn prev prev_next curr_w =
-      Sc.incr t.traversed ~tid:s.tid;
-      let curr = Handle.id curr_w in
-      let curr_node = node t curr in
-      let next_w = S.read s.th ~refno:rn curr_node.next in
-      if Atomic.get prev_next <> curr_w then restart ()
-      else if Handle.mark next_w land deleted <> 0 then begin
-        (* curr is logically deleted: splice it out, then keep going from
-           its successor (already protected by rn). *)
-        let succ_w = Handle.with_mark next_w 0 in
-        if Atomic.compare_and_set prev_next curr_w succ_w then begin
-          S.retire s.th curr;
-          advance ~rp ~rc:rn ~rn:rc prev prev_next succ_w
-        end
-        else restart ()
+    s.trav <- s.trav + 1;
+    let curr = Handle.id curr_w in
+    let curr_node = node t curr in
+    let next_w = S.read s.th ~refno:rn curr_node.next in
+    if Atomic.get prev_next <> curr_w then seek s k
+    else if Handle.mark next_w land deleted <> 0 then begin
+      (* curr is logically deleted: splice it out, then keep going from
+         its successor (already protected by rn). *)
+      let succ_w = Handle.with_mark next_w 0 in
+      if Atomic.compare_and_set prev_next curr_w succ_w then begin
+        S.retire s.th curr;
+        seek_advance s k ~rp ~rc:rn ~rn:rc prev prev_next succ_w
       end
+      else seek s k
+    end
+    else begin
+      let ckey = curr_node.key in
+      if ckey < k then seek_advance s k ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
       else begin
-        let ckey = curr_node.key in
-        if ckey < k then advance ~rp:rc ~rc:rn ~rn:rp curr curr_node.next next_w
-        else { prev; prev_next; curr_w; curr_key = ckey; free_ref = rn }
+        let c = s.cur in
+        c.prev <- prev;
+        c.prev_next <- prev_next;
+        c.curr_w <- curr_w;
+        c.curr_key <- ckey;
+        c.free_ref <- rn
       end
-    and restart () =
-      let prev_next = (node t t.head).next in
-      let curr_w = S.read s.th ~refno:1 prev_next in
-      advance ~rp:0 ~rc:1 ~rn:2 t.head prev_next curr_w
-    in
-    restart ()
+    end
+
+  and seek s k =
+    let t = s.t in
+    let prev_next = (node t t.head).next in
+    let curr_w = S.read s.th ~refno:1 prev_next in
+    seek_advance s k ~rp:0 ~rc:1 ~rn:2 t.head prev_next curr_w
 
   let insert s ~key ~value =
     assert (key > min_int && key < max_int);
     S.start_op s.th;
     let rec loop () =
-      let r = seek s key in
+      seek s key;
+      let r = s.cur in
       if r.curr_key = key then false
       else begin
         S.update_lower_bound s.th r.prev;
@@ -123,6 +162,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
         let n = Mempool.unsafe_get s.t.pool id in
         n.key <- key;
         n.value <- value;
+        (* [alloc] may seek-free scan but never seeks: the cursor read
+           below still holds this iteration's outcome. *)
         Atomic.set n.next r.curr_w;
         if Atomic.compare_and_set r.prev_next r.curr_w (S.handle_of s.th id) then true
         else begin
@@ -133,40 +174,47 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       end
     in
     let result = loop () in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let remove s key =
     S.start_op s.th;
     let rec loop () =
-      let r = seek s key in
-      if r.curr_key <> key then false
+      seek s key;
+      if s.cur.curr_key <> key then false
       else begin
-        let curr = Handle.id r.curr_w in
+        (* Copy out of the cursor before the splice-failure re-seek below
+           can overwrite it. *)
+        let prev_next = s.cur.prev_next and curr_w = s.cur.curr_w in
+        let curr = Handle.id curr_w in
         let curr_node = node s.t curr in
-        let next_w = S.read s.th ~refno:r.free_ref curr_node.next in
+        let next_w = S.read s.th ~refno:s.cur.free_ref curr_node.next in
         if Handle.mark next_w land deleted <> 0 then loop ()
         else if Atomic.compare_and_set curr_node.next next_w (Handle.with_mark next_w deleted)
         then begin
           (* Logically deleted by us; try to splice, else leave it to the
              next traversal's helping. *)
-          if Atomic.compare_and_set r.prev_next r.curr_w (Handle.with_mark next_w 0) then
+          if Atomic.compare_and_set prev_next curr_w (Handle.with_mark next_w 0) then
             S.retire s.th curr
-          else ignore (seek s key);
+          else seek s key;
           true
         end
         else loop ()
       end
     in
     let result = loop () in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let contains s key =
     S.start_op s.th;
-    let r = seek s key in
+    seek s key;
+    let result = s.cur.curr_key = key in
+    flush_trav s;
     S.end_op s.th;
-    r.curr_key = key
+    result
 
   let contains_paused s key ~pause =
     S.start_op s.th;
@@ -174,14 +222,19 @@ module Make (S : Smr_core.Smr_intf.S) = struct
        finish the operation normally. *)
     ignore (S.read s.th ~refno:1 (node s.t s.t.head).next : Handle.t);
     pause ();
-    let r = seek s key in
+    seek s key;
+    let result = s.cur.curr_key = key in
+    flush_trav s;
     S.end_op s.th;
-    r.curr_key = key
+    result
 
   let find s key =
     S.start_op s.th;
-    let r = seek s key in
-    let result = if r.curr_key = key then Some (node s.t (Handle.id r.curr_w)).value else None in
+    seek s key;
+    let result =
+      if s.cur.curr_key = key then Some (node s.t (Handle.id s.cur.curr_w)).value else None
+    in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -218,7 +271,9 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let violations t = Mempool.violations t.pool
   let pinning_tids t = S.pinning_tids t.smr
   let live_nodes t = Mempool.live_count t.pool
-  let flush s = S.flush s.th
+  let flush s =
+    flush_trav s;
+    S.flush s.th
 
   (** Introspection for tests (sequential-only). *)
   module Debug = struct

@@ -59,6 +59,26 @@ module Make (S : Smr_core.Smr_intf.S) = struct
 
   let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
 
+  (* Top-level retry loops (not per-call closures): an enqueue/dequeue
+     allocates nothing beyond what its API requires. *)
+  let rec enqueue_loop s new_w =
+    let t = s.t in
+    let tail_w = S.read s.th ~refno:0 t.tail in
+    let tail_node = node t (Handle.id tail_w) in
+    let next_w = S.read s.th ~refno:1 tail_node.next in
+    if Atomic.get t.tail = tail_w then
+      if Handle.is_null next_w then begin
+        if Atomic.compare_and_set tail_node.next next_w new_w then
+          ignore (Atomic.compare_and_set t.tail tail_w new_w : bool)
+        else enqueue_loop s new_w
+      end
+      else begin
+        (* help swing the lagging tail, then retry *)
+        ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
+        enqueue_loop s new_w
+      end
+    else enqueue_loop s new_w
+
   let enqueue s v =
     S.start_op s.th;
     let t = s.t in
@@ -66,58 +86,42 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     let n = Mempool.unsafe_get t.pool id in
     n.value <- v;
     Atomic.set n.next Handle.null;
-    let new_w = S.handle_of s.th id in
-    let rec loop () =
-      let tail_w = S.read s.th ~refno:0 t.tail in
-      let tail_node = node t (Handle.id tail_w) in
-      let next_w = S.read s.th ~refno:1 tail_node.next in
-      if Atomic.get t.tail = tail_w then
-        if Handle.is_null next_w then begin
-          if Atomic.compare_and_set tail_node.next next_w new_w then
-            ignore (Atomic.compare_and_set t.tail tail_w new_w : bool)
-          else loop ()
-        end
-        else begin
-          (* help swing the lagging tail, then retry *)
-          ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
-          loop ()
-        end
-      else loop ()
-    in
-    loop ();
+    enqueue_loop s (S.handle_of s.th id);
     Sc.incr t.enqueues ~tid:s.tid;
     S.end_op s.th
 
+  (* Returns the dequeued value, or min_int for "empty" — the boxing into
+     an option happens once in [dequeue], not per retry. *)
+  let rec dequeue_loop s =
+    let t = s.t in
+    let head_w = S.read s.th ~refno:0 t.head in
+    let tail_w = S.read s.th ~refno:1 t.tail in
+    let head_node = node t (Handle.id head_w) in
+    let next_w = S.read s.th ~refno:2 head_node.next in
+    if Atomic.get t.head = head_w then
+      if Handle.id head_w = Handle.id tail_w then
+        if Handle.is_null next_w then min_int
+        else begin
+          ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
+          dequeue_loop s
+        end
+      else begin
+        (* read the value before the CAS publishes the dummy slot *)
+        let v = (node t (Handle.id next_w)).value in
+        if Atomic.compare_and_set t.head head_w next_w then begin
+          S.retire s.th (Handle.id head_w);
+          Sc.incr t.dequeues ~tid:s.tid;
+          v
+        end
+        else dequeue_loop s
+      end
+    else dequeue_loop s
+
   let dequeue s =
     S.start_op s.th;
-    let t = s.t in
-    let rec loop () =
-      let head_w = S.read s.th ~refno:0 t.head in
-      let tail_w = S.read s.th ~refno:1 t.tail in
-      let head_node = node t (Handle.id head_w) in
-      let next_w = S.read s.th ~refno:2 head_node.next in
-      if Atomic.get t.head = head_w then
-        if Handle.id head_w = Handle.id tail_w then
-          if Handle.is_null next_w then None
-          else begin
-            ignore (Atomic.compare_and_set t.tail tail_w next_w : bool);
-            loop ()
-          end
-        else begin
-          (* read the value before the CAS publishes the dummy slot *)
-          let v = (node t (Handle.id next_w)).value in
-          if Atomic.compare_and_set t.head head_w next_w then begin
-            S.retire s.th (Handle.id head_w);
-            Sc.incr t.dequeues ~tid:s.tid;
-            Some v
-          end
-          else loop ()
-        end
-      else loop ()
-    in
-    let result = loop () in
+    let v = dequeue_loop s in
     S.end_op s.th;
-    result
+    if v = min_int then None else Some v
 
   let is_empty s =
     S.start_op s.th;

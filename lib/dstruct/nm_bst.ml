@@ -50,10 +50,27 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     threads : int;
   }
 
+  (** Reusable per-session seek record: [seek] writes its outcome here
+      instead of allocating a record per call (the walk threads its state
+      through top-level recursion, so a whole descent allocates nothing).
+      Owned by the session's single thread and fully overwritten by every
+      seek. *)
+  type seek_record = {
+    mutable ancestor : int;
+    mutable successor : int;
+    mutable parent : int;
+    mutable leaf : int;
+    mutable leaf_w : Handle.t; (* unmarked handle of [leaf] *)
+    mutable bound_lo : int; (* last node routed right from (-1 = none); protected *)
+    mutable bound_hi : int; (* last node routed left from (-1 = none); protected *)
+  }
+
   type session = {
     t : t;
     th : S.thread;
     tid : int;
+    sr : seek_record;
+    mutable trav : int; (* batched visit count, flushed once per op *)
   }
 
   let name = "nm-bst(" ^ S.name ^ ")"
@@ -96,26 +113,39 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     Atomic.set rn.right (S.handle_of th0 inf2);
     { pool; smr; root; s_node; inf0; traversed = Sc.create ~threads; threads }
 
-  let session t ~tid = { t; th = S.thread t.smr ~tid; tid }
+  let session t ~tid =
+    {
+      t;
+      th = S.thread t.smr ~tid;
+      tid;
+      sr =
+        { ancestor = 0; successor = 0; parent = 0; leaf = 0; leaf_w = Handle.null;
+          bound_lo = -1; bound_hi = -1 };
+      trav = 0;
+    }
+
+  let flush_trav s =
+    if s.trav > 0 then begin
+      Sc.add s.t.traversed ~tid:s.tid s.trav;
+      s.trav <- 0
+    end
 
   (** Edge of [n] on the side a search for [k] descends. *)
   let child_field n k = if k < n.key then n.left else n.right
 
   let sibling_field n k = if k < n.key then n.right else n.left
 
-  type seek_record = {
-    ancestor : int;
-    successor : int;
-    parent : int;
-    leaf : int;
-    leaf_w : Handle.t; (* unmarked handle of [leaf] *)
-    bound_lo : int; (* last node routed right from (-1 = none); protected *)
-    bound_hi : int; (* last node routed left from (-1 = none); protected *)
-  }
+  (* Roles are slot numbers; [pick_scan] finds a slot free of any role
+     (top-level so no closure is built per seek step). *)
+  let rec pick_scan used i = if used land (1 lsl i) = 0 then i else pick_scan used (i + 1)
+
+  let[@inline] pick ~ra ~rs ~rp ~rl =
+    pick_scan ((1 lsl ra) lor (1 lsl rs) lor (1 lsl rp) lor (1 lsl rl)) 0
 
   (** Listing 9: descend from S, remembering the deepest untagged edge
       (ancestor → successor) and the final parent → leaf pair, and report
-      the shrinking search interval to the SMR scheme.
+      the shrinking search interval to the SMR scheme. The outcome lands
+      in [s.sr] (per-session, reused) instead of a fresh record.
 
       A removal retires a whole frozen chain with one CAS on the deepest
       untagged edge above it, and frozen edges never change — so the
@@ -123,71 +153,69 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       detect that a node reached through a frozen edge has been reclaimed.
       Seek therefore re-validates the current ancestor → successor edge
       after protecting each node and before touching its payload: any
-      chain containing the node must have swung exactly that edge. *)
-  let seek s k =
+      chain containing the node must have swung exactly that edge.
+
+      Entry invariant of [seek_walk]: [into_leaf_field]/[into_leaf_w] are
+      the edge into [leaf] (atomic and the word as read); [current_w] was
+      read from [current_field], the edge from [leaf] toward [k]. *)
+  let rec seek s k =
     let t = s.t in
     let sn = node t t.s_node in
-    (* Roles are slot numbers; [pick] finds a slot free of any role. *)
-    let pick ~ra ~rs ~rp ~rl =
-      let used = (1 lsl ra) lor (1 lsl rs) lor (1 lsl rp) lor (1 lsl rl) in
-      let rec scan i = if used land (1 lsl i) = 0 then i else scan (i + 1) in
-      scan 0
-    in
-    (* Entry invariant of [walk]: [into_leaf_field]/[into_leaf_w] are the
-       edge into [leaf] (atomic and the word as read); [current_w] was read
-       from [current_field], the edge from [leaf] toward [k]. *)
-    let rec restart () =
-      let into_leaf_w = S.read s.th ~refno:3 sn.left in
-      let leaf = Handle.id into_leaf_w in
-      let current_field = (node t leaf).left in
-      let current_w = S.read s.th ~refno:4 current_field in
-      walk ~ra:0 ~rs:1 ~rp:2 ~rl:3 ~rc:4 ~ancestor:t.root ~successor:t.s_node ~parent:t.s_node
-        ~leaf ~into_leaf_field:sn.left ~into_leaf_w ~ancestor_field:(node t t.root).left
-        ~current_field ~bound_lo:(-1) ~bound_hi:(-1) current_w
-    and walk ~ra ~rs ~rp ~rl ~rc ~ancestor ~successor ~parent ~leaf ~into_leaf_field
-        ~into_leaf_w ~ancestor_field ~current_field ~bound_lo ~bound_hi current_w =
-      if Handle.is_null current_w then
-        {
-          ancestor;
-          successor;
-          parent;
-          leaf;
-          leaf_w = Handle.with_mark into_leaf_w 0;
-          bound_lo;
-          bound_hi;
-        }
+    let into_leaf_w = S.read s.th ~refno:3 sn.left in
+    let leaf = Handle.id into_leaf_w in
+    let current_field = (node t leaf).left in
+    let current_w = S.read s.th ~refno:4 current_field in
+    seek_walk s k ~ra:0 ~rs:1 ~rp:2 ~rl:3 ~rc:4 ~ancestor:t.root ~successor:t.s_node
+      ~parent:t.s_node ~leaf ~into_leaf_field:sn.left ~into_leaf_w
+      ~ancestor_field:(node t t.root).left ~current_field ~bound_lo:(-1) ~bound_hi:(-1)
+      current_w
+
+  and seek_walk s k ~ra ~rs ~rp ~rl ~rc ~ancestor ~successor ~parent ~leaf ~into_leaf_field
+      ~into_leaf_w ~ancestor_field ~current_field ~bound_lo ~bound_hi current_w =
+    let t = s.t in
+    if Handle.is_null current_w then begin
+      let sr = s.sr in
+      sr.ancestor <- ancestor;
+      sr.successor <- successor;
+      sr.parent <- parent;
+      sr.leaf <- leaf;
+      sr.leaf_w <- Handle.with_mark into_leaf_w 0;
+      sr.bound_lo <- bound_lo;
+      sr.bound_hi <- bound_hi
+    end
+    else begin
+      s.trav <- s.trav + 1;
+      (* Scalar conditional rebinding (not an if-of-tuples, which would
+         allocate a tuple per visited node). *)
+      let untagged = Handle.mark into_leaf_w land tag = 0 in
+      let ra = if untagged then rp else ra in
+      let rs = if untagged then rl else rs in
+      let ancestor = if untagged then parent else ancestor in
+      let successor = if untagged then leaf else successor in
+      let ancestor_field = if untagged then into_leaf_field else ancestor_field in
+      let rp = rl and parent = leaf in
+      let rl = rc and leaf = Handle.id current_w in
+      (* The node is reclaimable only through a swing of the deepest
+         untagged edge above it. That is [ancestor_field] as long as the
+         edge is still untagged: a tag on it means the edge has been
+         frozen into a chain that a *higher* untagged edge will swing, so
+         only [id unchanged AND still untagged] proves nothing below
+         [successor] has been retired yet. *)
+      let av = Atomic.get ancestor_field in
+      if Handle.id av <> successor || Handle.mark av land tag <> 0 then seek s k
       else begin
-        Sc.incr t.traversed ~tid:s.tid;
-        let untagged = Handle.mark into_leaf_w land tag = 0 in
-        let ra, rs, ancestor, successor, ancestor_field =
-          if untagged then (rp, rl, parent, leaf, into_leaf_field)
-          else (ra, rs, ancestor, successor, ancestor_field)
-        in
-        let rp = rl and parent = leaf in
-        let rl = rc and leaf = Handle.id current_w in
-        (* The node is reclaimable only through a swing of the deepest
-           untagged edge above it. That is [ancestor_field] as long as the
-           edge is still untagged: a tag on it means the edge has been
-           frozen into a chain that a *higher* untagged edge will swing, so
-           only [id unchanged AND still untagged] proves nothing below
-           [successor] has been retired yet. *)
-        let av = Atomic.get ancestor_field in
-        if Handle.id av <> successor || Handle.mark av land tag <> 0 then restart ()
-        else begin
-          let leaf_node = node t leaf in
-          let next_field, bound_lo, bound_hi =
-            if k < leaf_node.key then (leaf_node.left, bound_lo, leaf)
-            else (leaf_node.right, leaf, bound_hi)
-          in
-          let rc = pick ~ra ~rs ~rp ~rl in
-          let next_w = S.read s.th ~refno:rc next_field in
-          walk ~ra ~rs ~rp ~rl ~rc ~ancestor ~successor ~parent ~leaf
-            ~into_leaf_field:current_field ~into_leaf_w:current_w ~ancestor_field
-            ~current_field:next_field ~bound_lo ~bound_hi next_w
-        end
+        let leaf_node = node t leaf in
+        let goes_left = k < leaf_node.key in
+        let next_field = if goes_left then leaf_node.left else leaf_node.right in
+        let bound_lo = if goes_left then bound_lo else leaf in
+        let bound_hi = if goes_left then leaf else bound_hi in
+        let rc = pick ~ra ~rs ~rp ~rl in
+        let next_w = S.read s.th ~refno:rc next_field in
+        seek_walk s k ~ra ~rs ~rp ~rl ~rc ~ancestor ~successor ~parent ~leaf
+          ~into_leaf_field:current_field ~into_leaf_w:current_w ~ancestor_field
+          ~current_field:next_field ~bound_lo ~bound_hi next_w
       end
-    in
-    restart ()
+    end
 
   (** Retire the chain unlinked by a successful cleanup CAS: the internal
       nodes from [successor] down to [parent] (each frozen, carrying a
@@ -270,7 +298,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     S.start_op s.th;
     let t = s.t in
     let rec loop () =
-      let sr = seek s key in
+      seek s key;
+      let sr = s.sr in
       let leaf_n = node t sr.leaf in
       if leaf_n.key = key then false
       else begin
@@ -323,6 +352,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       end
     in
     let result = loop () in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -332,7 +362,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     let t = s.t in
     (* Injection mode: flag the parent → leaf edge to claim the removal. *)
     let rec injection () =
-      let sr = seek s key in
+      seek s key;
+      let sr = s.sr in
       let leaf_n = node t sr.leaf in
       if leaf_n.key <> key then false
       else begin
@@ -355,7 +386,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
        means our flagged victim is already gone (flags are permanent while
        linked), i.e. some helper completed our removal. *)
     and cleanup_mode victim =
-      let sr = seek s key in
+      seek s key;
+      let sr = s.sr in
       if sr.leaf <> victim then true
       else
         match cleanup s key sr with
@@ -363,13 +395,15 @@ module Make (S : Smr_core.Smr_intf.S) = struct
         | Lost -> cleanup_mode victim
     in
     let result = injection () in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let contains s key =
     S.start_op s.th;
-    let sr = seek s key in
-    let result = (node s.t sr.leaf).key = key in
+    seek s key;
+    let result = (node s.t s.sr.leaf).key = key in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -377,16 +411,18 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     S.start_op s.th;
     ignore (S.read s.th ~refno:3 (node s.t s.t.s_node).left : Handle.t);
     pause ();
-    let sr = seek s key in
-    let result = (node s.t sr.leaf).key = key in
+    seek s key;
+    let result = (node s.t s.sr.leaf).key = key in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let find s key =
     S.start_op s.th;
-    let sr = seek s key in
-    let leaf_n = node s.t sr.leaf in
+    seek s key;
+    let leaf_n = node s.t s.sr.leaf in
     let result = if leaf_n.key = key then Some leaf_n.value else None in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -433,5 +469,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let violations t = Mempool.violations t.pool
   let pinning_tids t = S.pinning_tids t.smr
   let live_nodes t = Mempool.live_count t.pool
-  let flush s = S.flush s.th
+  let flush s =
+    flush_trav s;
+    S.flush s.th
 end

@@ -55,6 +55,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     rng : Mp_util.Rng.t;
     preds : int array; (* node ids *)
     succs : Handle.t array; (* unmarked handles *)
+    mutable trav : int; (* batched visit count, flushed once per op *)
   }
 
   let name = "skiplist(" ^ S.name ^ ")"
@@ -101,7 +102,14 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       rng = Mp_util.Rng.split ~seed:0x5EED ~tid;
       preds = Array.make t.max_level t.head;
       succs = Array.make t.max_level Handle.null;
+      trav = 0;
     }
+
+  let flush_trav s =
+    if s.trav > 0 then begin
+      Sc.add s.t.traversed ~tid:s.tid s.trav;
+      s.trav <- 0
+    end
 
   let random_height s =
     let rec flip h = if h < s.t.max_level && Mp_util.Rng.bool s.rng then flip (h + 1) else h in
@@ -109,49 +117,49 @@ module Make (S : Smr_core.Smr_intf.S) = struct
 
   exception Retry
 
+  (* [find]'s descent, as top-level mutual recursion so a pass allocates
+     nothing (local closures would cost a block per call). *)
+  let rec find_level_down s k level pred =
+    if level < 0 then s.succs.(0)
+    else begin
+      let rp = 3 * level and rc = (3 * level) + 1 and rn = (3 * level) + 2 in
+      let pred_link = (node s.t pred).next.(level) in
+      let curr_w = S.read s.th ~refno:rc pred_link in
+      find_walk s k ~rp ~rc ~rn level pred pred_link curr_w
+    end
+
+  and find_walk s k ~rp ~rc ~rn level pred pred_link curr_w =
+    s.trav <- s.trav + 1;
+    let t = s.t in
+    (* pred's link word carries pred's own deletion mark. *)
+    if Handle.mark curr_w land deleted <> 0 then raise_notrace Retry;
+    let curr = Handle.id curr_w in
+    let curr_node = node t curr in
+    let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
+    if Handle.mark succ_w land deleted <> 0 then begin
+      (* curr is deleted at this level: splice it out. *)
+      let clean = Handle.with_mark succ_w 0 in
+      if Atomic.compare_and_set pred_link curr_w clean then
+        find_walk s k ~rp ~rc:rn ~rn:rc level pred pred_link clean
+      else raise_notrace Retry
+    end
+    else begin
+      let ckey = curr_node.key in
+      if ckey < k then find_walk s k ~rp:rc ~rc:rn ~rn:rp level curr curr_node.next.(level) succ_w
+      else begin
+        s.preds.(level) <- pred;
+        s.succs.(level) <- curr_w;
+        find_level_down s k (level - 1) pred
+      end
+    end
+
   (** Populate [s.preds]/[s.succs] with the per-level insertion points for
       [k], splicing out every marked node encountered. Returns the handle
       of the level-0 successor (whose key is >= [k], or the tail). *)
-  let find s k =
-    let t = s.t in
-    let rec attempt () =
-      try
-        let rec level_down level pred =
-          if level < 0 then s.succs.(0)
-          else begin
-            let rp = 3 * level and rc = (3 * level) + 1 and rn = (3 * level) + 2 in
-            let pred_link = (node t pred).next.(level) in
-            let curr_w = S.read s.th ~refno:rc pred_link in
-            walk ~rp ~rc ~rn level pred pred_link curr_w
-          end
-        and walk ~rp ~rc ~rn level pred pred_link curr_w =
-          Sc.incr t.traversed ~tid:s.tid;
-          (* pred's link word carries pred's own deletion mark. *)
-          if Handle.mark curr_w land deleted <> 0 then raise_notrace Retry;
-          let curr = Handle.id curr_w in
-          let curr_node = node t curr in
-          let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
-          if Handle.mark succ_w land deleted <> 0 then begin
-            (* curr is deleted at this level: splice it out. *)
-            let clean = Handle.with_mark succ_w 0 in
-            if Atomic.compare_and_set pred_link curr_w clean then
-              walk ~rp ~rc:rn ~rn:rc level pred pred_link clean
-            else raise_notrace Retry
-          end
-          else begin
-            let ckey = curr_node.key in
-            if ckey < k then walk ~rp:rc ~rc:rn ~rn:rp level curr curr_node.next.(level) succ_w
-            else begin
-              s.preds.(level) <- pred;
-              s.succs.(level) <- curr_w;
-              level_down (level - 1) pred
-            end
-          end
-        in
-        level_down (t.max_level - 1) t.head
-      with Retry -> attempt ()
-    in
-    attempt ()
+  let rec find s k =
+    match find_level_down s k (s.t.max_level - 1) s.t.head with
+    | w -> w
+    | exception Retry -> find s k
 
   let key_of s w = (node s.t (Handle.id w)).key
 
@@ -161,33 +169,34 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       into index-adjacent territory. Restarts when it meets a deleted
       node instead of helping — following a marked node's frozen links
       would evade pointer-based validation. *)
-  let search s k =
+  let rec search s k =
     let t = s.t in
-    let rec restart () =
-      let pred = t.head in
-      let curr_w = S.read s.th ~refno:1 (node t pred).next.(t.max_level - 1) in
-      walk ~rp:0 ~rc:1 ~rn:2 (t.max_level - 1) pred curr_w
-    and walk ~rp ~rc ~rn level pred curr_w =
-      Sc.incr t.traversed ~tid:s.tid;
-      if Handle.mark curr_w land deleted <> 0 then restart ()
+    let pred = t.head in
+    let curr_w = S.read s.th ~refno:1 (node t pred).next.(t.max_level - 1) in
+    search_walk s k ~rp:0 ~rc:1 ~rn:2 (t.max_level - 1) pred curr_w
+
+  and search_walk s k ~rp ~rc ~rn level pred curr_w =
+    s.trav <- s.trav + 1;
+    let t = s.t in
+    if Handle.mark curr_w land deleted <> 0 then search s k
+    else begin
+      let curr = Handle.id curr_w in
+      let curr_node = node t curr in
+      if curr_node.key < k then begin
+        let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
+        if Handle.mark succ_w land deleted <> 0 then search s k
+        else search_walk s k ~rp:rc ~rc:rn ~rn:rp level curr succ_w
+      end
       else begin
-        let curr = Handle.id curr_w in
-        let curr_node = node t curr in
-        if curr_node.key < k then begin
-          let succ_w = S.read s.th ~refno:rn curr_node.next.(level) in
-          if Handle.mark succ_w land deleted <> 0 then restart ()
-          else walk ~rp:rc ~rc:rn ~rn:rp level curr succ_w
-        end
+        (* Found/absent is reported through the handle itself ([Handle.null]
+           = absent) rather than an option — keeps the read path boxing-free. *)
+        if level = 0 then if curr_node.key = k then curr_w else Handle.null
         else begin
-          if level = 0 then if curr_node.key = k then Some curr_w else None
-          else begin
-            let down_w = S.read s.th ~refno:rn (node t pred).next.(level - 1) in
-            walk ~rp ~rc:rn ~rn:rc (level - 1) pred down_w
-          end
+          let down_w = S.read s.th ~refno:rn (node t pred).next.(level - 1) in
+          search_walk s k ~rp ~rc:rn ~rn:rc (level - 1) pred down_w
         end
       end
-    in
-    restart ()
+    end
 
   (* The post-handshake pass: once linking has ceased and every level is
      marked, a single [find] leaves the node unlinked everywhere, making
@@ -271,6 +280,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       end
     in
     let result = attempt () in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -308,12 +318,14 @@ module Make (S : Smr_core.Smr_intf.S) = struct
         else false
       end
     in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let contains s key =
     S.start_op s.th;
-    let result = search s key <> None in
+    let result = not (Handle.is_null (search s key)) in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -321,17 +333,16 @@ module Make (S : Smr_core.Smr_intf.S) = struct
     S.start_op s.th;
     ignore (S.read s.th ~refno:1 (node s.t s.t.head).next.(0) : Handle.t);
     pause ();
-    let result = search s key <> None in
+    let result = not (Handle.is_null (search s key)) in
+    flush_trav s;
     S.end_op s.th;
     result
 
   let find_value s key =
     S.start_op s.th;
-    let result =
-      match search s key with
-      | Some w -> Some (node s.t (Handle.id w)).value
-      | None -> None
-    in
+    let w = search s key in
+    let result = if Handle.is_null w then None else Some (node s.t (Handle.id w)).value in
+    flush_trav s;
     S.end_op s.th;
     result
 
@@ -420,5 +431,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let violations t = Mempool.violations t.pool
   let pinning_tids t = S.pinning_tids t.smr
   let live_nodes t = Mempool.live_count t.pool
-  let flush s = S.flush s.th
+  let flush s =
+    flush_trav s;
+    S.flush s.th
 end

@@ -56,32 +56,32 @@ let make ?(inc = 0) ~id ~idx16 ~mark () : t =
   lor (idx16 lsl (mark_bits + id_bits))
   lor (id lsl mark_bits) lor mark
 
-let id (h : t) = (h lsr mark_bits) land id_mask
-let idx16 (h : t) = (h lsr (mark_bits + id_bits)) land idx16_mask
-let mark (h : t) = h land mark_mask
-let inc (h : t) = (h lsr (mark_bits + id_bits + idx_bits)) land inc_mask
+let[@inline] id (h : t) = (h lsr mark_bits) land id_mask
+let[@inline] idx16 (h : t) = (h lsr (mark_bits + id_bits)) land idx16_mask
+let[@inline] mark (h : t) = h land mark_mask
+let[@inline] inc (h : t) = (h lsr (mark_bits + id_bits + idx_bits)) land inc_mask
 
-let is_null (h : t) = id h = null_id
+let[@inline] is_null (h : t) = id h = null_id
 
 (** [with_mark h m] is [h] with its mark bits replaced by [m]. *)
-let with_mark (h : t) m : t =
+let[@inline] with_mark (h : t) m : t =
   assert (m >= 0 && m <= mark_mask);
   (h land lnot mark_mask) lor m
 
 (** [unmarked h] clears the mark bits (canonical handle for comparisons). *)
-let unmarked (h : t) : t = h land lnot mark_mask
+let[@inline] unmarked (h : t) : t = h land lnot mark_mask
 
 (** Bounds of the index range a handle's idx16 may stand for: packing keeps
     only the top 16 bits of a 32-bit index, so observing idx16 = [i] means
     the true index lies in [[i lsl 16, (i lsl 16) + 0xFFFF]]. *)
-let idx_lower_bound (h : t) = idx16 h lsl precision
-let idx_upper_bound (h : t) = (idx16 h lsl precision) lor ((1 lsl precision) - 1)
+let[@inline] idx_lower_bound (h : t) = idx16 h lsl precision
+let[@inline] idx_upper_bound (h : t) = (idx16 h lsl precision) lor ((1 lsl precision) - 1)
 
 (** idx16 under which a full 32-bit index is packed. *)
-let idx16_of_index index = (index lsr precision) land idx16_mask
+let[@inline] idx16_of_index index = (index lsr precision) land idx16_mask
 
 let pp fmt (h : t) =
   if is_null h then Format.fprintf fmt "null/%d" (mark h)
   else Format.fprintf fmt "#%d[idx16=%#x,mark=%d]" (id h) (idx16 h) (mark h)
 
-let equal (a : t) (b : t) = a = b
+let[@inline] equal (a : t) (b : t) = a = b

@@ -22,9 +22,10 @@ let scheme_of_name name =
       (Printf.sprintf "unknown scheme %S (expected one of: %s)" name
          (String.concat ", " (List.map fst schemes)))
 
-type ds = List_ds | Skiplist_ds | Bst_ds
+type ds = List_ds | Skiplist_ds | Bst_ds | Hash_ds
 
-let all_ds = [ ("list", List_ds); ("skiplist", Skiplist_ds); ("bst", Bst_ds) ]
+let all_ds =
+  [ ("list", List_ds); ("skiplist", Skiplist_ds); ("bst", Bst_ds); ("hash", Hash_ds) ]
 
 let ds_of_name name =
   match List.assoc_opt name all_ds with
@@ -39,3 +40,13 @@ let make ds ((module S : Smr_core.Smr_intf.S) : scheme) : (module Dstruct.Set_in
   | List_ds -> (module Dstruct.Michael_list.Make (S))
   | Skiplist_ds -> (module Dstruct.Skiplist.Make (S))
   | Bst_ds -> (module Dstruct.Nm_bst.Make (S))
+  | Hash_ds ->
+    (* The table's extra [?buckets] argument keeps it outside SET; pin the
+       default bucket count to fit the interface. *)
+    (module struct
+      module H = Dstruct.Hash_table.Make (S)
+      include H
+
+      let create ~threads ~capacity ?check_access config =
+        H.create ~threads ~capacity ?check_access config
+    end)

@@ -15,7 +15,7 @@ val schemes : (string * scheme) list
 (** Raises [Invalid_argument] for unknown names. *)
 val scheme_of_name : string -> scheme
 
-type ds = List_ds | Skiplist_ds | Bst_ds
+type ds = List_ds | Skiplist_ds | Bst_ds | Hash_ds
 
 val all_ds : (string * ds) list
 val ds_of_name : string -> ds

@@ -55,3 +55,8 @@ let fmt_throughput ops_per_s =
 
 let fmt_float f = Printf.sprintf "%.2f" f
 let fmt_int = string_of_int
+
+(** Allocation-telemetry column: GC-visible words per operation. Two
+    decimals resolve the "~0 on the zero-allocation read path" claim
+    without drowning the table when a path does allocate. *)
+let fmt_words_per_op w = Printf.sprintf "%.2f" w

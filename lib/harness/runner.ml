@@ -19,6 +19,10 @@ type stall_spec = {
 type spec = {
   threads : int;
   duration_s : float;
+  warmup_s : float;
+      (** run the workload this long before the measured window opens:
+          ops, GC and SMR counters from the warmup are excluded from every
+          reported metric. 0 disables (the unit-test default). *)
   init_size : int;  (** S: keys inserted before the measurement *)
   key_range : int;  (** operations draw keys from [0, key_range) *)
   capacity : int;  (** pool slots; must absorb leaks for leaky schemes *)
@@ -48,6 +52,7 @@ let default ~threads ~init_size ~mix ~config =
   {
     threads;
     duration_s = 0.5;
+    warmup_s = 0.0;
     init_size;
     key_range = 2 * init_size;
     capacity = 0 (* resolved in [run] *);
@@ -89,6 +94,12 @@ type result = {
   watchdog : Watchdog.verdict option;
   final_size : int;
   latency : Mp_util.Histogram.t option;  (** merged across threads when recorded *)
+  alloc_words_per_op : float;
+      (** GC-visible words allocated per measured operation, summed over
+          surviving workers (each domain samples its own [Gc.quick_stat]).
+          The zero-allocation read path shows up here as ~0. *)
+  promoted_words_per_op : float;  (** survivors of the minor GC, per op *)
+  minor_gcs : int;  (** minor collections across workers in the window *)
 }
 
 let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
@@ -120,16 +131,23 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     done);
   SET.flush s0;
   (* -- measured window ---------------------------------------------------- *)
-  let stats0 = SET.smr_stats t in
-  let traversed0 = SET.traversed t in
+  (* Run phases: 0 = warmup (working, not counted), 1 = measuring,
+     2 = stop. Workers latch their op count and a per-domain GC sample at
+     the 0->1 transition, so warmup ops and allocations never pollute the
+     reported metrics. *)
+  let phase = Atomic.make 0 in
   let barrier = Atomic.make 0 in
-  let stop = Atomic.make false in
   let oom = Atomic.make false in
   (* Spaced indexing (Mp_util.Padding): per-thread op counts a cache line
      apart, so final writes and any future mid-run reads never contend. *)
   let ops = Array.make (Mp_util.Padding.spaced_length spec.threads) 0 in
   let stalls = Array.make (Mp_util.Padding.spaced_length spec.threads) 0 in
   let crashed_flags = Array.make spec.threads false in
+  (* Per-domain GC samples bracketing the measured window. [Gc.quick_stat]
+     is per-domain in OCaml 5, so each worker must sample its own; written
+     once per worker after the window, read after the join. *)
+  let gc_before = Array.make spec.threads Mp_util.Gcstat.zero in
+  let gc_after = Array.make spec.threads Mp_util.Gcstat.zero in
   let histograms = Array.init spec.threads (fun _ -> Mp_util.Histogram.create ()) in
   (* 1-in-N latency sampling: N rounded up to a power of two so the
      sample test is a mask, not a division. *)
@@ -169,35 +187,57 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
       | () -> if attempts > 0 then Mp_util.Backoff.reset backoff
       | exception Mempool.Exhausted ->
         incr my_stalls;
-        if attempts >= spec.alloc_retry || Atomic.get stop then begin
+        if attempts >= spec.alloc_retry || Atomic.get phase >= 2 then begin
           Atomic.set oom true;
           raise Mempool.Exhausted
         end;
         Mp_util.Backoff.once backoff;
         exec_retry k (attempts + 1)
     in
-    (try
-       while not (Atomic.get stop) do
-         let k = Mp_util.Keygen.next keygen rng in
-         let sampled = spec.record_latency && !count land sample_mask = 0 in
-         let t0 = if sampled then Unix.gettimeofday () else 0.0 in
-         (match spec.stall with
-         | Some st when tid = st.stall_tid && !count mod st.every_ops = st.every_ops - 1 ->
-           ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf st.pause_s) : bool)
-         | _ -> exec_retry k 0);
-         if sampled then Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
-         incr count
-       done;
-       SET.flush s
-     with
-    | Mempool.Exhausted -> ()
-    | Mp_util.Fault.Crashed _ ->
-      (* The fault plan killed this thread mid-operation. Its published
-         reservations stay in place — that is the scenario — so no flush,
-         no cleanup; just mark it dead for the report. *)
-      crashed_flags.(tid) <- true);
+    let measured0 = ref 0 in
+    let gc0 = ref Mp_util.Gcstat.zero in
+    let measuring = ref false in
+    let finished =
+      try
+        while
+          (let ph = Atomic.get phase in
+           if ph >= 1 && not !measuring then begin
+             (* Warmup just ended: everything before this instant is
+                discarded from the op count and the GC deltas. *)
+             measuring := true;
+             measured0 := !count;
+             gc0 := Mp_util.Gcstat.sample ()
+           end;
+           ph < 2)
+        do
+          let k = Mp_util.Keygen.next keygen rng in
+          let sampled = spec.record_latency && !measuring && !count land sample_mask = 0 in
+          let t0 = if sampled then Unix.gettimeofday () else 0.0 in
+          (match spec.stall with
+          | Some st when tid = st.stall_tid && !count mod st.every_ops = st.every_ops - 1 ->
+            ignore (SET.contains_paused s k ~pause:(fun () -> Unix.sleepf st.pause_s) : bool)
+          | _ -> exec_retry k 0);
+          if sampled then Mp_util.Histogram.record hist (Unix.gettimeofday () -. t0);
+          incr count
+        done;
+        true
+      with
+      | Mempool.Exhausted -> false
+      | Mp_util.Fault.Crashed _ ->
+        (* The fault plan killed this thread mid-operation. Its published
+           reservations stay in place — that is the scenario — so no flush,
+           no cleanup; just mark it dead for the report. *)
+        crashed_flags.(tid) <- true;
+        false
+    in
+    (* Close the GC window before [flush]: reclamation-pass allocations
+       happen outside the measured window and must not count. *)
+    gc_after.(tid) <- Mp_util.Gcstat.sample ();
+    gc_before.(tid) <- !gc0;
+    (if finished then
+       try SET.flush s with Mp_util.Fault.Crashed _ -> crashed_flags.(tid) <- true);
     stalls.(Mp_util.Padding.spaced_index tid) <- !my_stalls;
-    ops.(Mp_util.Padding.spaced_index tid) <- !count
+    ops.(Mp_util.Padding.spaced_index tid) <- (if !measuring then !count - !measured0 else 0)
   in
   (* Arm faults only now: populate above ran on tid 0 and must not crash. *)
   (match spec.faults with
@@ -205,6 +245,14 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
   | None -> ());
   let wd = Option.map Watchdog.create spec.watchdog in
   let domains = Array.init spec.threads (fun tid -> Domain.spawn (worker tid)) in
+  (* Warmup: workers run the real workload against the real structure but
+     phase 0 keeps everything out of the books. Baseline SMR/traversal
+     counters are captured at the phase flip, so warmup fences and visits
+     are excluded along with warmup ops. *)
+  if spec.warmup_s > 0.0 then Unix.sleepf spec.warmup_s;
+  let stats0 = SET.smr_stats t in
+  let traversed0 = SET.traversed t in
+  Atomic.set phase 1;
   (* Main thread samples wasted memory while the clock runs. *)
   let t_start = Unix.gettimeofday () in
   let wasted_sum = ref 0.0 and wasted_samples = ref 0 and wasted_max = ref 0 in
@@ -216,7 +264,7 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     if w > !wasted_max then wasted_max := w;
     Option.iter (fun wd -> Watchdog.observe wd ~wasted:w) wd
   done;
-  Atomic.set stop true;
+  Atomic.set phase 2;
   (* Throughput denominator: the measured window ends when the stop flag
      is raised, not after Domain.join — join/teardown time is not time the
      workers spent producing the counted operations. *)
@@ -243,6 +291,17 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
   let alloc_stalls = Array.fold_left ( + ) 0 stalls in
   let fences = stats1.Smr_core.Smr_intf.fences - stats0.Smr_core.Smr_intf.fences in
   let traversed = traversed1 - traversed0 in
+  (* Sum per-domain GC deltas over the threads whose ops were counted. *)
+  let alloc_words = ref 0.0 and promoted = ref 0.0 and minor_gcs = ref 0 in
+  for tid = 0 to spec.threads - 1 do
+    if not crashed_flags.(tid) then begin
+      let before = gc_before.(tid) and after = gc_after.(tid) in
+      alloc_words := !alloc_words +. Mp_util.Gcstat.alloc_words ~before ~after;
+      promoted := !promoted +. Mp_util.Gcstat.promoted_words ~before ~after;
+      minor_gcs := !minor_gcs + Mp_util.Gcstat.minor_collections ~before ~after
+    end
+  done;
+  let per_op x = if total_ops = 0 then 0.0 else x /. float_of_int total_ops in
   {
     spec_threads = spec.threads;
     mix_name = spec.mix.Workload.name;
@@ -271,6 +330,9 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
          Some merged
        end
        else None);
+    alloc_words_per_op = per_op !alloc_words;
+    promoted_words_per_op = per_op !promoted;
+    minor_gcs = !minor_gcs;
   }
 
 (* -- machine-readable results --------------------------------------------- *)
@@ -310,7 +372,7 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
   in
   let json_int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
     r.wasted_max r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
@@ -318,6 +380,7 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
     (json_int_list r.pinning_tids)
     (Watchdog.json_fields r.watchdog)
     r.final_size lat_p50 lat_p99 lat_max
+    (json_float r.alloc_words_per_op) (json_float r.promoted_words_per_op) r.minor_gcs
 
 (** Serialize a batch of labelled results as a JSON array. *)
 let results_to_json entries =

@@ -327,21 +327,21 @@ module Core = struct
 
   (* -- metadata accessors ------------------------------------------------ *)
 
-  let state t id = t.state.(id)
-  let is_free t id = t.state.(id) = state_free
+  let[@inline] state t id = t.state.(id)
+  let[@inline] is_free t id = t.state.(id) = state_free
 
   let mark_retired t id =
     assert (t.state.(id) = state_live);
     record_history id "retire";
     t.state.(id) <- state_retired
 
-  let index t id = t.index.(id)
+  let[@inline] index t id = t.index.(id)
   let set_index t id v = t.index.(id) <- v
-  let birth t id = t.birth.(id)
+  let[@inline] birth t id = t.birth.(id)
   let set_birth t id v = t.birth.(id) <- v
-  let death t id = t.death.(id)
+  let[@inline] death t id = t.death.(id)
   let set_death t id v = t.death.(id) <- v
-  let incarnation t id = t.incarnation.(id)
+  let[@inline] incarnation t id = t.incarnation.(id)
 
   (** Canonical (unmarked) handle for slot [id], embedding the top 16 bits
       of its MP index. *)
@@ -350,7 +350,7 @@ module Core = struct
       ~mark:0 ()
 
   (** Record a use-after-free access to slot [id] if it is free. *)
-  let note_access t id =
+  let[@inline] note_access t id =
     if t.check_access && t.state.(id) = state_free then begin
       Atomic.incr t.violations;
       if !trap_on_violation then begin
@@ -400,11 +400,11 @@ let capacity t = t.core.Core.capacity
 (** Payload of slot [id]. With [check_access], accessing a free slot is
     recorded as a use-after-free violation (the access still returns the
     stale payload, as real hardware would). *)
-let get t id =
+let[@inline] get t id =
   Core.note_access t.core id;
   t.payload.(id)
 
-let unsafe_get t id = t.payload.(id)
+let[@inline] unsafe_get t id = t.payload.(id)
 
 let alloc t ~tid = Core.alloc t.core ~tid
 let alloc_opt t ~tid = Core.alloc_opt t.core ~tid

@@ -110,7 +110,11 @@ let rec read_loop th slot link prev_era =
     read is fence-free — the common case that makes HE fast. *)
 let read th ~refno link =
   let slot = Reservation.slot th.shared.res ~tid:th.tid ~refno in
-  read_loop th slot link (Atomic.get slot)
+  (* Own-slot mirror (Relaxed): seeding the loop with the era this
+     thread last published in this slot — it is the slot's only writer,
+     so the plain read is exact by program order. The validation re-read
+     of the clock inside [read_loop] stays SC. *)
+  read_loop th slot link (Mp_util.Relaxed.get slot)
 
 let unprotect th ~refno = Reservation.clear th.shared.res ~tid:th.tid ~refno
 let update_lower_bound (_ : thread) (_ : int) = ()

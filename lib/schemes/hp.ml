@@ -89,7 +89,12 @@ let rec read_loop th slot link =
   if Handle.is_null w then w
   else begin
     let id = Handle.id w in
-    if Atomic.get slot = id then w
+    (* Own-slot mirror (Relaxed): this thread is the only writer of its
+       hazard slot, so a plain read of its own last write is exact by
+       program order — the SC barrier bought nothing. A (hypothetically)
+       stale read could only take the else-branch and re-publish, which
+       is always safe. *)
+    if Mp_util.Relaxed.get slot = id then w
     else begin
       Atomic.set slot id;
       Counters.on_fence th.shared.counters ~tid:th.tid;

@@ -110,8 +110,14 @@ let read th ~refno:(_ : int) link =
   if not (Handle.is_null w) then begin
     let birth = Mempool.Core.birth s.pool (Handle.id w) in
     let up = Reservation.slot s.upper ~tid:th.tid ~refno:0 in
-    if Atomic.get up < birth then begin
-      Atomic.set up (max birth (Epoch.current s.epoch));
+    (* Own-slot mirror (Relaxed): only this thread writes its upper
+       endpoint, so the plain read of its own last write is exact. The
+       epoch poll below is heuristic (monotonic clock, stale = smaller)
+       and is clamped by [max] against [birth], which came from an SC
+       link read — the published endpoint is >= birth either way, which
+       is all the interval-conflict filter needs. *)
+    if Mp_util.Relaxed.get up < birth then begin
+      Atomic.set up (max birth (Epoch.current_relaxed s.epoch));
       Counters.on_fence s.counters ~tid:th.tid;
       (* Stretched endpoint visible, target not yet dereferenced. *)
       Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate

@@ -16,7 +16,15 @@ type t = {
 let create ~threads =
   { global = Atomic.make 1; announce = Array.init threads (fun _ -> Atomic.make inactive) }
 
-let current t = Atomic.get t.global
+let[@inline] current t = Atomic.get t.global
+
+(** Fenceless read of the clock, for {e heuristic} consumers only. The
+    clock is monotonic, so a stale read returns a smaller value — fine
+    wherever the caller only uses the epoch as a lower-bound hint and
+    clamps it against an SC-read bound (IBR's endpoint stretch). Reads
+    that a safety argument depends on (validation loops, the epoch
+    filter, MP's fast-path re-check) must use {!current}. *)
+let[@inline] current_relaxed t = Mp_util.Relaxed.get t.global
 
 (** Advance the global epoch by one (racing advances may skip values;
     monotonicity is all that matters). *)
@@ -29,7 +37,7 @@ let announce t ~tid =
   Atomic.set t.announce.(tid) e;
   e
 
-let announced t ~tid = Atomic.get t.announce.(tid)
+let[@inline] announced t ~tid = Atomic.get t.announce.(tid)
 
 (** Mark thread [tid] idle. *)
 let retire_announcement t ~tid = Atomic.set t.announce.(tid) inactive

@@ -10,6 +10,12 @@ val inactive : int
 
 val create : threads:int -> t
 val current : t -> int
+
+(** Fenceless read of the clock, for heuristic consumers only: the clock
+    is monotonic, so a stale read is merely a smaller value. Use only
+    where the result is clamped against an SC-read bound (IBR's endpoint
+    stretch); safety-bearing reads must use {!current}. *)
+val current_relaxed : t -> int
 val advance : t -> unit
 
 (** Announce the current epoch for [tid] (includes the publication

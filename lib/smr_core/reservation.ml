@@ -44,12 +44,12 @@ let capacity t = t.threads * t.slots
 
 (* Hot read paths hoist the slot atomic once per protection loop instead
    of re-indexing the table on every iteration. *)
-let slot t ~tid ~refno = t.table.(tid).(refno)
-let get t ~tid ~refno = Atomic.get t.table.(tid).(refno)
+let[@inline] slot t ~tid ~refno = t.table.(tid).(refno)
+let[@inline] get t ~tid ~refno = Atomic.get t.table.(tid).(refno)
 
 (** Plain slot write, no fence counted (for multi-slot updates that the
     scheme accounts as one fence). *)
-let set t ~tid ~refno v = Atomic.set t.table.(tid).(refno) v
+let[@inline] set t ~tid ~refno v = Atomic.set t.table.(tid).(refno) v
 
 (** Publish an announcement: one slot write, one publication fence. The
     fault point fires {e after} the write, inside the window where the

@@ -1,0 +1,38 @@
+(** GC/allocation sampling around a measured window.
+
+    In OCaml 5, [Gc.quick_stat] reports the *calling domain's* counters
+    (no stop-the-world, no heap scan), so each benchmark worker samples
+    its own allocation before and after its timed loop and the deltas are
+    summed across workers. Both the harness runner and bench/main's
+    hand-rolled loops (the pipe benchmark) go through this module, so the
+    "how much did the measurement loop itself allocate" accounting cannot
+    drift between them. *)
+
+type sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+}
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+  }
+
+(** Words allocated between the two samples: minor allocations plus
+    direct-to-major allocations, minus promotions (which [major_words]
+    double-counts). *)
+let alloc_words ~before ~after =
+  after.minor_words -. before.minor_words
+  +. (after.major_words -. before.major_words)
+  -. (after.promoted_words -. before.promoted_words)
+
+let promoted_words ~before ~after = after.promoted_words -. before.promoted_words
+let minor_collections ~before ~after = after.minor_collections - before.minor_collections
+
+let zero = { minor_words = 0.0; promoted_words = 0.0; major_words = 0.0; minor_collections = 0 }

@@ -1,0 +1,23 @@
+(** Per-domain GC/allocation sampling around a measured window (see
+    gcstat.ml). Shared by the harness runner and bench/main so the two
+    measurement loops account for self-allocation identically. *)
+
+type sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+}
+
+(** Sample the calling domain's GC counters ([Gc.quick_stat]). *)
+val sample : unit -> sample
+
+(** Words allocated between [before] and [after] (minor + direct major,
+    promotions not double-counted). *)
+val alloc_words : before:sample -> after:sample -> float
+
+val promoted_words : before:sample -> after:sample -> float
+val minor_collections : before:sample -> after:sample -> int
+
+(** All-zero sample, for initializing slots before workers report. *)
+val zero : sample

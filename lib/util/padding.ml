@@ -34,10 +34,10 @@ let line_words = line_bytes / word_bytes
 let stride = line_words
 
 (** Physical length of a spaced array holding [n] stripes. *)
-let spaced_length n = n * stride
+let[@inline] spaced_length n = n * stride
 
 (** Physical index of stripe [i] in a spaced array. *)
-let spaced_index i = i * stride
+let[@inline] spaced_index i = i * stride
 
 (** [atomic_int_array n] allocates [n] zero-initialized atomic cells for
     spaced indexing: use [(arr).(spaced_index i)]. The interleaved dummy

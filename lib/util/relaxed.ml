@@ -1,0 +1,44 @@
+(** Fenceless (relaxed) reads of [Atomic.t] locations.
+
+    OCaml's [Atomic.get] is a sequentially-consistent load: on x86 it
+    compiles to a plain load (SC fences live on the store side), but on
+    ARM/POWER it carries acquire semantics, and on every backend it is a
+    compiler barrier that blocks load reordering and hoisting out of
+    loops. For hot-path loads that are re-validated or whose staleness is
+    provably harmless, that strength is wasted.
+
+    OCaml 5.1's stdlib has no [Atomic.fenceless_get] (multicore-magic
+    ships one); we reproduce its implementation. An ['a Atomic.t] is a
+    single mutable-field heap block with the same layout as ['a ref], so
+    casting and dereferencing performs a plain (non-atomic) load of the
+    same field. Under the OCaml memory model (PLDI'18, "Bounding data
+    races in space and time") a racy plain read of a mutable field is not
+    undefined behaviour — it returns *some* value previously written to
+    the field (possibly stale), never an out-of-thin-air value, and heap
+    safety is preserved.
+
+    Because the only guarantee is "some previously written value", every
+    use site must argue why a stale value is acceptable. The two patterns
+    used in this codebase (documented again at each use):
+
+    - {b Own-slot mirror}: the reading thread is the only writer of the
+      location (e.g. a thread's own reservation slot). Program order makes
+      a same-thread plain read exact, so the relaxed load is equivalent to
+      the SC load and simply skips the barrier.
+    - {b Monotonic heuristic polling}: the location is a monotonically
+      advancing counter (e.g. the epoch clock) and the reader only uses it
+      for a heuristic whose correctness does not depend on freshness —
+      e.g. stretching a reservation endpoint that is immediately
+      [max]-clamped against an SC-read bound.
+
+    Loads that form the *synchronization edge* of a protocol — link-word
+    reads, the MP fast path's epoch re-validation, announcement scans in
+    reclaimers — must stay [Atomic.get]; see DESIGN.md "Hot-path
+    discipline" for the line between the two. *)
+
+(* Layout cast: 'a Atomic.t and 'a ref are both single-mutable-field
+   blocks in every OCaml 5.x runtime to date; CI pins 5.1/5.2. The
+   two-domain handshake test in test_util.ml exercises this at runtime,
+   so a representation change would fail loudly, not corrupt memory
+   silently (the cast would still read field 0 of the block). *)
+let get (type a) (atomic : a Atomic.t) : a = !(Obj.magic atomic : a ref) [@@inline]

@@ -1,0 +1,7 @@
+(** Fenceless (relaxed) read of an [Atomic.t]. Returns some previously
+    written value — possibly stale. Legal only where the caller can argue
+    staleness away: own-slot mirrors (single-writer locations read by
+    their writer) and monotonic heuristic polling. Synchronizing loads
+    must remain [Atomic.get]; see relaxed.ml and DESIGN.md "Hot-path
+    discipline". *)
+val get : 'a Atomic.t -> 'a [@@inline]

@@ -1,27 +1,41 @@
-(** SplitMix64 pseudo-random number generator.
+(** SplitMix-style pseudo-random number generator on native ints.
 
     Each thread of a benchmark owns an independent generator seeded from a
     master seed and the thread id, so runs are reproducible and there is no
-    shared RNG state to contend on. *)
+    shared RNG state to contend on.
 
-type t = { mutable state : int64 }
+    The state is an unboxed OCaml [int] (63 bits) mixed SplitMix-fashion
+    (add an odd gamma, then xor-shift-multiply avalanche, with the
+    multiplies wrapping mod 2^63). An [int64] state would box on every
+    step in non-flambda builds — ~6 GC words per draw — which is exactly
+    the allocation the zero-allocation read path's telemetry would then
+    misattribute to the structures under test. The int variant draws
+    nothing from the GC. *)
 
-let create seed = { state = Int64.of_int seed }
+type t = { mutable state : int }
+
+(* Odd 61-bit gamma (golden-ratio-derived, as in SplitMix64 but truncated
+   to fit a native int literal). *)
+let gamma = 0x1E3779B97F4A7C15
+
+(* Odd avalanche multipliers (SplitMix64's, truncated to native int). *)
+let mult1 = 0x3F58476D1CE4E5B9
+let mult2 = 0x14D049BB133111EB
+
+let create seed = { state = seed }
 
 (** Derive a stream for thread [tid] from a master [seed]; streams are
     decorrelated by the golden-gamma increment. *)
-let split ~seed ~tid =
-  { state = Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (tid + 1))) }
-
-let next_int64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let split ~seed ~tid = { state = seed + (gamma * (tid + 1)) }
 
 (** [next_int t] is a uniformly distributed non-negative OCaml int. *)
-let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+let next_int t =
+  let s = t.state + gamma in
+  t.state <- s;
+  let z = (s lxor (s lsr 30)) * mult1 in
+  let z = (z lxor (z lsr 27)) * mult2 in
+  let z = z lxor (z lsr 31) in
+  z land max_int
 
 (** [below t n] is uniform in [0, n). Requires [n > 0]. *)
 let below t n =
@@ -29,7 +43,7 @@ let below t n =
   next_int t mod n
 
 (** [float t] is uniform in [0, 1). *)
-let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+let float t = Stdlib.float_of_int (next_int t) *. 0x1p-62
 
 (** [bool t] is a fair coin flip. *)
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = next_int t land 1 = 1

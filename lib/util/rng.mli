@@ -1,4 +1,5 @@
-(** SplitMix64 PRNG: fast, seedable, one independent stream per thread. *)
+(** SplitMix-style PRNG on native ints: fast, seedable, allocation-free,
+    one independent stream per thread. *)
 
 type t
 
@@ -6,8 +7,6 @@ val create : int -> t
 
 (** Decorrelated stream for thread [tid] derived from a master [seed]. *)
 val split : seed:int -> tid:int -> t
-
-val next_int64 : t -> int64
 
 (** Uniform non-negative OCaml int. *)
 val next_int : t -> int

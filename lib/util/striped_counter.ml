@@ -17,10 +17,10 @@ type t = {
 
 let create ~threads = { threads; cells = Padding.atomic_int_array threads }
 
-let cell t tid = Array.unsafe_get t.cells (Padding.spaced_index tid)
-let incr t ~tid = ignore (Atomic.fetch_and_add (cell t tid) 1 : int)
-let add t ~tid n = ignore (Atomic.fetch_and_add (cell t tid) n : int)
-let get t ~tid = Atomic.get (cell t tid)
+let[@inline] cell t tid = Array.unsafe_get t.cells (Padding.spaced_index tid)
+let[@inline] incr t ~tid = ignore (Atomic.fetch_and_add (cell t tid) 1 : int)
+let[@inline] add t ~tid n = ignore (Atomic.fetch_and_add (cell t tid) n : int)
+let[@inline] get t ~tid = Atomic.get (cell t tid)
 
 let sum t =
   let acc = ref 0 in

@@ -119,6 +119,42 @@ let stats_empty () =
   Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Stats.mean [||]);
   Alcotest.(check (float 1e-9)) "stddev of singleton" 0.0 (Stats.stddev [| 5.0 |])
 
+(* -- Relaxed (fenceless) atomic reads ----------------------------------- *)
+
+(* Two-domain handshake: the writer publishes data with plain writes and
+   raises a flag with an SC [Atomic.set]; the reader polls the flag with
+   the fenceless [Mp_util.Relaxed.get]. The relaxed load must still
+   observe the flagged write eventually (OCaml atomics are coherent:
+   fenceless drops the SC fence, not visibility), and once it does, an SC
+   read of the payload must see everything written before the flag. *)
+let relaxed_handshake () =
+  for round = 1 to 50 do
+    let payload = Atomic.make 0 in
+    let flag = Atomic.make false in
+    let writer =
+      Domain.spawn (fun () ->
+          Atomic.set payload round;
+          Atomic.set flag true)
+    in
+    let budget = ref 100_000_000 in
+    while not (Mp_util.Relaxed.get flag) && !budget > 0 do
+      decr budget;
+      Domain.cpu_relax ()
+    done;
+    if !budget = 0 then Alcotest.fail "relaxed read never observed the SC flag write";
+    Alcotest.(check int) "payload visible after flag" round (Atomic.get payload);
+    Domain.join writer
+  done
+
+(* Relaxed reads of a location the reader itself wrote (the own-slot
+   mirror pattern used by the schemes) are exact by program order. *)
+let relaxed_own_writes () =
+  let slot = Atomic.make (-1) in
+  for i = 0 to 1_000 do
+    Atomic.set slot i;
+    Alcotest.(check int) "own write mirrored" i (Mp_util.Relaxed.get slot)
+  done
+
 let qcheck_percentile_sorted =
   QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
@@ -148,6 +184,11 @@ let () =
           Alcotest.test_case "striped basics" `Quick striped_counter;
           Alcotest.test_case "striped parallel" `Quick striped_counter_parallel;
           Alcotest.test_case "backoff" `Quick backoff_grows_and_resets;
+        ] );
+      ( "relaxed",
+        [
+          Alcotest.test_case "two-domain handshake" `Quick relaxed_handshake;
+          Alcotest.test_case "own-slot mirror" `Quick relaxed_own_writes;
         ] );
       ( "stats",
         Alcotest.test_case "basics" `Quick stats_basics
