@@ -11,7 +11,7 @@
 
    Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall crash
    micro pipe alloc ablation-index ablation-epoch ext-zipf ext-hash
-   ext-queue latency *)
+   ext-queue latency service *)
 
 module Config = Smr_core.Config
 module Workload = Mp_harness.Workload
@@ -335,6 +335,7 @@ let stall () =
           fmt_result r;
           Printf.sprintf "%.0f" r.Runner.wasted_avg;
           string_of_int r.Runner.wasted_max;
+          string_of_int r.Runner.wasted_peak;
           fmt_verdict r;
         ])
       [ "mp"; "hp"; "ibr"; "he"; "ebr" ]
@@ -342,7 +343,7 @@ let stall () =
   Report.table
     ~title:
       "Stall injection: list write-dominated, tid 0 sleeping inside the protect/validate window"
-    ~header:[ "scheme"; "throughput"; "wasted avg"; "wasted max"; "watchdog" ]
+    ~header:[ "scheme"; "throughput"; "wasted avg"; "wasted max"; "wasted peak"; "watchdog" ]
     rows
 
 (* -- Crash experiment: the dead-thread scenario of §4.4 ------------------- *)
@@ -381,6 +382,7 @@ let crash () =
           sname;
           fmt_result r;
           string_of_int r.Runner.wasted_max;
+          string_of_int r.Runner.wasted_peak;
           String.concat "," (List.map string_of_int r.Runner.crashed);
           String.concat "," (List.map string_of_int r.Runner.pinning_tids);
           fmt_verdict r;
@@ -390,7 +392,7 @@ let crash () =
   Report.table
     ~title:
       "Crash injection: list write-dominated, tid 0 dies inside the protect/validate window"
-    ~header:[ "scheme"; "throughput"; "wasted max"; "crashed"; "pinning"; "watchdog" ]
+    ~header:[ "scheme"; "throughput"; "wasted max"; "wasted peak"; "crashed"; "pinning"; "watchdog" ]
     rows
 
 (* -- Bechamel micro-benchmarks: per-operation latency --------------------- *)
@@ -619,6 +621,7 @@ let pipe_result ~pairs ~total_ops ~throughput ~alloc_words ~promoted ~minor_gcs 
     throughput;
     wasted_avg = 0.0;
     wasted_max = 0;
+    wasted_peak = 0;
     fences = 0;
     traversed = 0;
     fences_per_node = 0.0;
@@ -974,6 +977,189 @@ let latency () =
     ~header:[ "scheme"; "p50"; "p90"; "p99"; "p99.9" ]
     rows
 
+(* -- Extension: sharded request service with batched SMR ------------------- *)
+
+(* --shards N restricts the shard sweep (the CI smoke job runs 2). *)
+let service_shards : int option ref = ref None
+
+(* One service run: an [Instances] structure sharded across N domains,
+   driven by the closed- or open-loop load generator. The numbers are
+   folded into a Runner.result so the service rows share the JSON schema
+   (and the latency/waste fields) with every other experiment; fields
+   the service cannot measure per-domain (GC words) report 0. *)
+let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~insert_pct
+    ~init_size =
+  let module Service = Mp_service.Service in
+  let module Loadgen = Mp_service.Loadgen in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Instances.make ds (Instances.scheme_of_name sname)
+  in
+  let config = Config.default ~threads:shards in
+  let capacity = (init_size * 4) + (shards * 65536) in
+  let set = SET.create ~threads:shards ~capacity config in
+  let s0 = SET.session set ~tid:0 in
+  let rng = Mp_util.Rng.create 7 in
+  let inserted = ref 0 in
+  while !inserted < init_size do
+    if SET.insert s0 ~key:(Mp_util.Rng.below rng (2 * init_size)) ~value:1 then incr inserted
+  done;
+  SET.flush s0;
+  let stats0 = SET.smr_stats set in
+  let traversed0 = SET.traversed set in
+  let svc = Service.create (module SET) set ~shards ~batch ~ring_capacity:1024 in
+  Service.start svc;
+  (* The loadgen's ~2 ms tick doubles as the wasted-memory sampler. *)
+  let wasted_sum = ref 0.0 and wasted_samples = ref 0 and wasted_max = ref 0 in
+  let tick () =
+    let w = (SET.smr_stats set).Smr_core.Smr_intf.wasted in
+    wasted_sum := !wasted_sum +. float_of_int w;
+    incr wasted_samples;
+    if w > !wasted_max then wasted_max := w
+  in
+  let lg =
+    Loadgen.run ~tick svc
+      {
+        Loadgen.clients = 2;
+        duration_s = Float.max duration_s 0.5;
+        warmup_s = Float.min !warmup 0.2;
+        read_pct;
+        insert_pct;
+        mget;
+        key_range = 2 * init_size;
+        zipf_alpha = zipf;
+        seed = 0xC0FFEE;
+        mode;
+      }
+  in
+  Service.stop svc;
+  let st = Service.stats svc in
+  let stats1 = SET.smr_stats set in
+  let traversed = SET.traversed set - traversed0 in
+  let fences = stats1.Smr_core.Smr_intf.fences - stats0.Smr_core.Smr_intf.fences in
+  let r =
+    {
+      Runner.spec_threads = shards;
+      mix_name =
+        Printf.sprintf "svc_%s_%dr%di%s_B%d"
+          (match mode with Loadgen.Closed _ -> "closed" | Loadgen.Open _ -> "open")
+          read_pct insert_pct
+          (if mget > 1 then Printf.sprintf "_m%d" mget else "")
+          batch;
+      total_ops = lg.Loadgen.completed;
+      throughput = lg.Loadgen.throughput;
+      wasted_avg =
+        (if !wasted_samples = 0 then 0.0
+         else !wasted_sum /. float_of_int !wasted_samples);
+      wasted_max = !wasted_max;
+      wasted_peak = stats1.Smr_core.Smr_intf.wasted_peak;
+      fences;
+      traversed;
+      fences_per_node =
+        (if traversed = 0 then 0.0 else float_of_int fences /. float_of_int traversed);
+      scan_passes =
+        stats1.Smr_core.Smr_intf.scan_passes - stats0.Smr_core.Smr_intf.scan_passes;
+      scan_time_s =
+        stats1.Smr_core.Smr_intf.scan_time_s -. stats0.Smr_core.Smr_intf.scan_time_s;
+      violations = SET.violations set;
+      oom = st.Service.oom > 0;
+      alloc_stalls = lg.Loadgen.drops;
+      crashed = [];
+      pinning_tids = SET.pinning_tids set;
+      watchdog = None;
+      final_size = SET.size set;
+      latency = Some lg.Loadgen.latency;
+      alloc_words_per_op = 0.0;
+      promoted_words_per_op = 0.0;
+      minor_gcs = 0;
+    }
+  in
+  (note ~ds:(ds_name ds) ~scheme:sname r, st)
+
+let service () =
+  (* Read-heavy service mix; the batched-vs-unbatched comparison the
+     amortization claim is about, per scheme and shard count. *)
+  let read_pct = 98 and insert_pct = 1 in
+  (* A small hot set (short bucket chains) keeps the per-request
+     structure work cheap, so the SMR protocol — the thing batching
+     amortizes — is the measured fraction of each request. Low churn
+     keeps the global epoch mostly still, so an MP batch window stays
+     on its announced epoch instead of falling back to hazards. *)
+  let init_size = if full then 1_024 else 512 in
+  let shard_counts = match !service_shards with Some n -> [ n ] | None -> [ 2; 8 ] in
+  let batched_b = 32 in
+  let rows =
+    List.concat_map
+      (fun sname ->
+        List.map
+          (fun shards ->
+            let run batch =
+              (* Deep pipeline keeps the shards' rings full so shard-side
+                 protocol cost — the thing batching amortizes — is the
+                 bottleneck rather than client pacing. Zipf keys are the
+                 service-shaped skew that lets persisted announcements pay
+                 off: within a batch window the hot nodes' hazards/margins
+                 stay published, so repeated reads hit the own-slot mirror
+                 and skip the fence; at B=1 every request tears them down
+                 and republishes. *)
+              run_service Instances.Hash_ds sname ~shards ~batch
+                ~zipf:0.99 ~mget:16
+                ~mode:(Mp_service.Loadgen.Closed { pipeline = 128 })
+                ~read_pct ~insert_pct ~init_size
+            in
+            let r1, _ = run 1 in
+            let rb, stb = run batched_b in
+            let pct h q = string_of_int (Mp_util.Histogram.percentile_ns h q) in
+            let lat = Option.get rb.Runner.latency in
+            [
+              sname;
+              string_of_int shards;
+              fmt_result r1;
+              fmt_result rb;
+              Printf.sprintf "%.2fx" (rb.Runner.throughput /. r1.Runner.throughput);
+              Printf.sprintf "%.1f"
+                (if stb.Mp_service.Service.batches = 0 then 0.0
+                 else
+                   float_of_int stb.Mp_service.Service.ops
+                   /. float_of_int stb.Mp_service.Service.batches);
+              pct lat 50.0;
+              pct lat 99.0;
+              pct lat 99.9;
+              string_of_int rb.Runner.wasted_peak;
+            ])
+          shard_counts)
+      [ "mp"; "hp"; "ibr"; "ebr" ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Service: sharded request layer, hash read-heavy Zipf(0.99) mget=16 (S=%d, closed loop, B=%d vs 1)"
+         init_size batched_b)
+    ~header:
+      [ "scheme"; "shards"; "B=1"; "B=32"; "speedup"; "avg batch";
+        "p50"; "p99"; "p99.9"; "wasted peak" ]
+    rows;
+  (* One open-loop (Poisson) row: latency measured from scheduled arrival
+     (coordinated-omission corrected), drops reported instead of hidden. *)
+  let shards = match !service_shards with Some n -> n | None -> 2 in
+  let r, _ =
+    run_service Instances.Hash_ds "mp" ~shards ~batch:batched_b ~mget:16
+      ~mode:(Mp_service.Loadgen.Open { rate = 50_000.0; window = 64 })
+      ~read_pct ~insert_pct ~init_size
+  in
+  let lat = Option.get r.Runner.latency in
+  let pct q = string_of_int (Mp_util.Histogram.percentile_ns lat q) in
+  Report.table
+    ~title:"Service: open-loop (Poisson, 50K/s per client) — coordinated-omission corrected"
+    ~header:[ "scheme"; "shards"; "completed/s"; "drops"; "p50"; "p99"; "p99.9" ]
+    [
+      [
+        "mp"; string_of_int shards;
+        Report.fmt_throughput r.Runner.throughput;
+        string_of_int r.Runner.alloc_stalls;
+        pct 50.0; pct 99.0; pct 99.9;
+      ];
+    ]
+
 (* -- driver ---------------------------------------------------------------- *)
 
 let experiments =
@@ -997,6 +1183,7 @@ let experiments =
     ("ext-hash", ext_hash);
     ("ext-queue", ext_queue);
     ("latency", latency);
+    ("service", service);
   ]
 
 let () =
@@ -1010,6 +1197,11 @@ let () =
       (match float_of_string_opt secs with
       | Some w when w >= 0.0 -> warmup := w
       | _ -> Printf.eprintf "ignoring bad --warmup %S\n" secs);
+      strip_opts rest
+    | "--shards" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> service_shards := Some n
+      | _ -> Printf.eprintf "ignoring bad --shards %S\n" n);
       strip_opts rest
     | arg :: rest -> arg :: strip_opts rest
     | [] -> []

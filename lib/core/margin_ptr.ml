@@ -57,6 +57,10 @@ type thread = {
   mutable upper_bound : int; (* -1 = not reported this operation *)
   mutable local_epoch : int;
   mutable use_hp_mode : bool; (* epoch moved mid-operation: protect with HPs *)
+  mutable in_batch : bool;
+      (* batch window: margins, hazards and the epoch announcement
+         persist across the ops of the batch; end-of-op teardown is
+         deferred to [batch_exit] *)
   (* Thread-local mirrors of this thread's own slots. Only the owner
      writes its slots, so the mirrors are exact; the read fast path tests
      them with plain loads instead of re-deriving coverage from the
@@ -122,6 +126,7 @@ let create ~pool ~threads (config : Config.t) =
           upper_bound = 0;
           local_epoch = Epoch.inactive;
           use_hp_mode = false;
+          in_batch = false;
           cover_lo = Array.make config.slots 1;
           cover_hi = Array.make config.slots 0;
           hp_mirror = Array.make config.slots no_hazard;
@@ -144,17 +149,22 @@ let tid th = th.tid
    still get an in-between index, which the pseudocode's 0 would place
    *below* the predecessor. An unset endpoint therefore defaults to its
    extreme (0 / max_index) only when the other one was reported. *)
-let start_op th =
+let announce th =
   th.local_epoch <- Epoch.announce th.shared.epoch ~tid:th.tid;
   Counters.on_fence th.shared.counters ~tid:th.tid;
   (* Epoch announced; a crash here freezes the announcement the scan's
      epoch filter pairs with this thread's margins. *)
-  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate;
+  Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
+
+let start_op th =
+  if not th.in_batch then announce th;
+  (* The search-interval bounds reset every operation even inside a
+     batch — each request derives its own insertion index. *)
   th.lower_bound <- -1;
   th.upper_bound <- -1;
-  th.use_hp_mode <- false
+  if not th.in_batch then th.use_hp_mode <- false
 
-let end_op th =
+let teardown th =
   let s = th.shared in
   for refno = 0 to s.n_slots - 1 do
     if th.cover_lo.(refno) <= th.cover_hi.(refno) then begin
@@ -172,6 +182,28 @@ let end_op th =
   Counters.on_fence s.counters ~tid:th.tid;
   Epoch.retire_announcement s.epoch ~tid:th.tid;
   th.local_epoch <- Epoch.inactive
+
+let end_op th = if not th.in_batch then teardown th
+
+(* Batch window: one epoch announcement and one teardown for the whole
+   batch; margins, their coverage mirrors and fallback hazards persist
+   across the batch's operations, so a read whose index range is already
+   covered stays on the fence-free fast path op after op. Safety is the
+   per-operation argument unchanged: the batch behaves like one long
+   operation (Theorem 4.2 quantifies over operations of any length). If
+   the global epoch advances mid-batch, [local_epoch] goes stale and
+   every subsequent protection in the batch takes the HP fallback —
+   slower, never unsafe; the next batch re-announces. *)
+let batch_enter th =
+  th.in_batch <- true;
+  announce th;
+  th.lower_bound <- -1;
+  th.upper_bound <- -1;
+  th.use_hp_mode <- false
+
+let batch_exit th =
+  th.in_batch <- false;
+  teardown th
 
 (* -- index creation (Listing 5 + alloc of Listing 10) -------------------- *)
 

@@ -78,6 +78,8 @@ type session = {
   mutable trav : int;
       (* nodes visited since the last flush: batched into the striped
          counter once per operation instead of one atomic RMW per hop *)
+  mutable in_batch : bool;
+      (* batch window: one epoch announcement across several ops *)
 }
 
 exception Op_frozen
@@ -121,7 +123,7 @@ let create ~threads ~capacity ?(check_access = false) ?(anchor_step = 100)
 let session t ~tid =
   { t; tid; retired = Retired.create (); retire_count = 0; alloc_count = 0; hops = 0;
     cur = { prev_next = Atomic.make Handle.null; curr_w = Handle.null; curr_key = 0 };
-    trav = 0 }
+    trav = 0; in_batch = false }
 
 (** One atomic RMW per operation instead of one per traversed node. *)
 let flush_trav s =
@@ -132,13 +134,31 @@ let flush_trav s =
 
 (* -- protection ---------------------------------------------------------- *)
 
+(* Inside a batch window the epoch announcement spans the whole batch;
+   the anchor and hop counter still reset per operation (and per frozen
+   restart) because the recovery protocol reasons about the current
+   traversal, not the announcement. *)
 let start_op s =
-  ignore (Epoch.announce s.t.epoch ~tid:s.tid : int);
-  Counters.on_fence s.t.counters ~tid:s.tid;
+  if not s.in_batch then begin
+    ignore (Epoch.announce s.t.epoch ~tid:s.tid : int);
+    Counters.on_fence s.t.counters ~tid:s.tid
+  end;
   s.hops <- 0;
   Atomic.set s.t.anchors.(s.tid) s.t.head
 
 let end_op s =
+  if not s.in_batch then begin
+    Atomic.set s.t.anchors.(s.tid) no_anchor;
+    Epoch.retire_announcement s.t.epoch ~tid:s.tid
+  end
+
+let batch_enter s =
+  s.in_batch <- true;
+  ignore (Epoch.announce s.t.epoch ~tid:s.tid : int);
+  Counters.on_fence s.t.counters ~tid:s.tid
+
+let batch_exit s =
+  s.in_batch <- false;
   Atomic.set s.t.anchors.(s.tid) no_anchor;
   Epoch.retire_announcement s.t.epoch ~tid:s.tid
 
@@ -538,6 +558,8 @@ module As_set : Set_intf.SET = struct
     create ~threads ~capacity ?check_access config
 
   let session = session
+  let batch_enter = batch_enter
+  let batch_exit = batch_exit
   let insert = insert
   let remove = remove
   let contains = contains

@@ -93,6 +93,9 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       trav = 0;
     }
 
+  let batch_enter s = S.batch_enter s.th
+  let batch_exit s = S.batch_exit s.th
+
   let flush_trav s =
     if s.trav > 0 then begin
       Sc.add s.t.traversed ~tid:s.tid s.trav;

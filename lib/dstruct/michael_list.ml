@@ -91,6 +91,9 @@ module Make (S : Smr_core.Smr_intf.S) = struct
       trav = 0;
     }
 
+  let batch_enter s = S.batch_enter s.th
+  let batch_exit s = S.batch_exit s.th
+
   (** Flush the session's batched visit count into the striped counter —
       one atomic RMW per operation instead of one per traversed node.
       Called at every operation end (alongside [S.end_op]) and from

@@ -27,6 +27,17 @@ module type SET = sig
 
   val contains : session -> int -> bool
 
+  (** Open a batch window on the session's SMR thread (see
+      {!Smr_core.Smr_intf.S.batch_enter}): the per-operation SMR entry
+      and exit costs of the operations until {!batch_exit} are paid once
+      for the whole batch, and every handle any of them protects stays
+      protected until the window closes. Service shards use this to
+      amortize the protocol over B requests. Must not nest; the session
+      must not be shared across domains (as usual). *)
+  val batch_enter : session -> unit
+
+  val batch_exit : session -> unit
+
   (** [contains] that invokes [pause] once mid-traversal while holding SMR
       protection — the deterministic stall injector for the wasted-memory
       experiments. *)

@@ -76,7 +76,13 @@ type result = {
   total_ops : int;
   throughput : float;  (** operations per second *)
   wasted_avg : float;  (** mean retired-but-unreclaimed nodes over samples *)
-  wasted_max : int;
+  wasted_max : int;  (** largest wasted value any 2 ms sampler tick saw *)
+  wasted_peak : int;
+      (** the scheme's own high-water mark, maintained on the retire path
+          itself ({!Smr_core.Smr_intf.stats.wasted_peak}) — unlike
+          [wasted_max] it cannot miss a crest between sampler ticks. A
+          high-water mark cannot be windowed, so this covers the whole
+          run including populate and warmup. *)
   fences : int;  (** publication fences during the measured window *)
   traversed : int;  (** nodes visited during the measured window *)
   fences_per_node : float;
@@ -310,6 +316,7 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     wasted_avg =
       (if !wasted_samples = 0 then 0.0 else !wasted_sum /. float_of_int !wasted_samples);
     wasted_max = !wasted_max;
+    wasted_peak = stats1.Smr_core.Smr_intf.wasted_peak;
     fences;
     traversed;
     fences_per_node =
@@ -362,31 +369,39 @@ let json_float f =
     label where in the suite the numbers came from). Latency percentiles
     are 0 when the run did not record latency. *)
 let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
-  let lat_p50, lat_p99, lat_max =
+  let lat_p50, lat_p99, lat_p999, lat_max =
     match r.latency with
-    | None -> (0, 0, 0)
+    | None -> (0, 0, 0, 0)
     | Some h ->
       ( Mp_util.Histogram.percentile_ns h 50.0,
         Mp_util.Histogram.percentile_ns h 99.0,
+        Mp_util.Histogram.percentile_ns h 99.9,
         Mp_util.Histogram.max_ns h )
   in
   let json_int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"wasted_peak\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
-    r.wasted_max r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
+    r.wasted_max r.wasted_peak r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
     (json_float r.scan_time_s) r.violations r.oom r.alloc_stalls (json_int_list r.crashed)
     (json_int_list r.pinning_tids)
     (Watchdog.json_fields r.watchdog)
-    r.final_size lat_p50 lat_p99 lat_max
+    r.final_size lat_p50 lat_p99 lat_p999 lat_max
     (json_float r.alloc_words_per_op) (json_float r.promoted_words_per_op) r.minor_gcs
 
-(** Serialize a batch of labelled results as a JSON array. *)
+(** Version of the JSON layout emitted by {!results_to_json} (and the
+    soak harness, which mirrors it). 2 = the versioned envelope itself
+    plus [wasted_peak] and [lat_p999_ns]; 1 = the bare result array of
+    earlier revisions. Bump on any field removal or meaning change;
+    additions are compatible within a version. *)
+let schema_version = 2
+
+(** Serialize a batch of labelled results as a versioned envelope:
+    [{"schema_version":N,"results":[...]}]. *)
 let results_to_json entries =
-  "[\n  "
-  ^ String.concat ",\n  "
-      (List.map
-         (fun (experiment, ds, scheme, r) -> result_to_json ~experiment ~ds ~scheme r)
-         entries)
-  ^ "\n]\n"
+  Printf.sprintf "{\"schema_version\":%d,\"results\":[\n  %s\n]}\n" schema_version
+    (String.concat ",\n  "
+       (List.map
+          (fun (experiment, ds, scheme, r) -> result_to_json ~experiment ~ds ~scheme r)
+          entries))

@@ -78,6 +78,10 @@ module Core = struct
     violations : int Atomic.t;
     allocs : Mp_util.Striped_counter.t;
     frees : Mp_util.Striped_counter.t;
+    live_peak : Mp_util.Striped_counter.t;
+        (* per-thread high-water mark of (allocs - frees); the summed
+           peak is a conservative upper bound on the true peak live
+           count (see [live_peak] below) *)
   }
 
   let id_plus1_mask = (1 lsl 33) - 1
@@ -195,6 +199,7 @@ module Core = struct
         violations = Atomic.make 0;
         allocs = Mp_util.Striped_counter.create ~threads;
         frees = Mp_util.Striped_counter.create ~threads;
+        live_peak = Mp_util.Striped_counter.create ~threads;
       }
     in
     (* Seed each local free list with its fair share; everything else goes
@@ -273,6 +278,14 @@ module Core = struct
     t.state.(id) <- state_live;
     t.index.(id) <- 0;
     Mp_util.Striped_counter.incr t.allocs ~tid;
+    (* Live count can only rise on an alloc, so this is the one place
+       the high-water mark needs lifting. The per-tid difference may go
+       negative (slots are freed by the retiring thread, not always the
+       allocating one); the peak stripe floors at 0 and the sum of
+       stripe peaks still dominates every instantaneous global live
+       count — the right direction for a capacity ceiling. *)
+    Mp_util.Striped_counter.max_to t.live_peak ~tid
+      (Mp_util.Striped_counter.get t.allocs ~tid - Mp_util.Striped_counter.get t.frees ~tid);
     id
 
   (** Pop a free slot for thread [tid]; refills a whole chain from the
@@ -372,6 +385,11 @@ module Core = struct
      addends are atomic sums). *)
   let live_count t = alloc_count t - free_count t
 
+  (** High-water mark of the live count, maintained on the alloc path so
+      peaks between sampler ticks are visible. Summed over per-thread
+      peaks: never under the true peak. *)
+  let live_peak t = Mp_util.Striped_counter.sum t.live_peak
+
   (* -- testing hooks ----------------------------------------------------- *)
 
   let debug_top_word t = Atomic.get t.global_top
@@ -412,3 +430,4 @@ let free t ~tid id = Core.free t.core ~tid id
 let handle t id = Core.handle t.core id
 let violations t = Core.violations t.core
 let live_count t = Core.live_count t.core
+let live_peak t = Core.live_peak t.core

@@ -87,6 +87,12 @@ module Core : sig
 
   val violations : t -> int
   val live_count : t -> int
+
+  (** High-water mark of {!live_count}, maintained on the alloc path so
+      peaks between sampler ticks are visible. Summed over per-thread
+      peaks — a conservative (never-under) bound on the true peak. *)
+  val live_peak : t -> int
+
   val alloc_count : t -> int
   val free_count : t -> int
 
@@ -141,3 +147,6 @@ val free : 'a t -> tid:int -> int -> unit
 val handle : 'a t -> int -> Handle.t
 val violations : 'a t -> int
 val live_count : 'a t -> int
+
+(** See {!Core.live_peak}. *)
+val live_peak : 'a t -> int

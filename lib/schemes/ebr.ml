@@ -26,6 +26,8 @@ type thread = {
   tid : int;
   rsv : Reclaimer.t;
   mutable alloc_count : int;
+  mutable in_batch : bool;
+      (* batch window: keep one epoch announcement across several ops *)
 }
 
 type t = {
@@ -59,21 +61,35 @@ let create ~pool ~threads (config : Config.t) =
   let threshold = Reclaimer.scan_threshold ~empty_freq:config.empty_freq ~slots:0 ~threads in
   let per_thread =
     Array.init threads (fun tid ->
-        { shared = s; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold; alloc_count = 0 })
+        { shared = s; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
+          alloc_count = 0; in_batch = false })
   in
   { s; per_thread }
 
 let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 
-let start_op th =
+let announce th =
   ignore (Epoch.announce th.shared.epoch ~tid:th.tid);
   Counters.on_fence th.shared.counters ~tid:th.tid;
   (* EBR's only reservation is the epoch announcement; a crash here vetoes
      every future advance — the unbounded-waste scenario of §4.4. *)
   Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
 
-let end_op th = Epoch.retire_announcement th.shared.epoch ~tid:th.tid
+let start_op th = if not th.in_batch then announce th
+let end_op th = if not th.in_batch then Epoch.retire_announcement th.shared.epoch ~tid:th.tid
+
+(* Batch window: one epoch announcement held across the whole batch.
+   The announcement vetoes epoch advances for the batch's duration, so
+   the window over which a batch pins memory widens with B — EBR is
+   Unbounded either way, the advisory envelope just sees longer "ops". *)
+let batch_enter th =
+  th.in_batch <- true;
+  announce th
+
+let batch_exit th =
+  th.in_batch <- false;
+  Epoch.retire_announcement th.shared.epoch ~tid:th.tid
 
 (* Fraser's advance rule: bump the global epoch only when every thread is
    either idle or has announced the current epoch. A stalled thread that

@@ -80,6 +80,12 @@ let tid th = th.tid
 let start_op (_ : thread) = ()
 let end_op th = Reservation.clear_all th.shared.res ~tid:th.tid
 
+(* Batch window: published eras persist across the batch (the kernel
+   defers clear_all), so while the era clock is quiet every read in the
+   batch after the first is fence-free. *)
+let batch_enter th = Reservation.batch_enter th.shared.res ~tid:th.tid
+let batch_exit th = Reservation.batch_exit th.shared.res ~tid:th.tid
+
 let alloc th =
   th.alloc_count <- th.alloc_count + 1;
   if th.alloc_count mod th.shared.epoch_freq = 0 then Epoch.advance th.shared.epoch;

@@ -76,6 +76,12 @@ let start_op (_ : thread) = ()
    single fence, as the paper's optimized HP does. *)
 let end_op th = Reservation.clear_all th.shared.res ~tid:th.tid
 
+(* Batch window: the kernel defers [end_op]'s clear_all to batch_exit,
+   so hazards persist across the batch — repeated reads of the same hot
+   node hit the own-slot mirror and skip the publish fence entirely. *)
+let batch_enter th = Reservation.batch_enter th.shared.res ~tid:th.tid
+let batch_exit th = Reservation.batch_exit th.shared.res ~tid:th.tid
+
 let alloc th = Mempool.Core.alloc th.shared.pool ~tid:th.tid
 
 let alloc_with_index th ~index =

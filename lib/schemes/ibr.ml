@@ -29,6 +29,8 @@ type thread = {
   snap_lo : Reservation.snapshot;
   snap_hi : Reservation.snapshot;
   mutable alloc_count : int;
+  mutable in_batch : bool;
+      (* batch window: keep one interval published across several ops *)
 }
 
 type t = { s : shared; per_thread : thread array }
@@ -64,7 +66,7 @@ let create ~pool ~threads (config : Config.t) =
     Array.init threads (fun tid ->
         { shared = s; tid; rsv = Reclaimer.create ~pool ~counters ~tid ~threshold;
           snap_lo = Reservation.snapshot_create (); snap_hi = Reservation.snapshot_create ();
-          alloc_count = 0 })
+          alloc_count = 0; in_batch = false })
   in
   { s; per_thread }
 
@@ -73,7 +75,7 @@ let tid th = th.tid
 
 (* Both endpoint writes publish under the one fence counted per
    operation start, as in the original. *)
-let start_op th =
+let publish_interval th =
   let s = th.shared in
   let e = Epoch.current s.epoch in
   Reservation.set s.lower ~tid:th.tid ~refno:0 e;
@@ -82,7 +84,27 @@ let start_op th =
   (* Interval published; a crash here pins [e, e] forever. *)
   Mp_util.Fault.hit ~tid:th.tid Mp_util.Fault.Protect_validate
 
+let start_op th = if not th.in_batch then publish_interval th
+
 let end_op th =
+  if not th.in_batch then begin
+    let s = th.shared in
+    Reservation.clear s.lower ~tid:th.tid ~refno:0;
+    Reservation.clear s.upper ~tid:th.tid ~refno:0
+  end
+
+(* Batch window: one interval published for the whole batch. The lower
+   endpoint stays at the batch-start epoch (in-batch [start_op] must NOT
+   re-publish it — that would drop protection of nodes whose birth
+   precedes the new epoch) and the upper endpoint keeps stretching
+   through [read], so the batch behaves exactly like one long operation:
+   the robust bound already quantifies over operation length. *)
+let batch_enter th =
+  th.in_batch <- true;
+  publish_interval th
+
+let batch_exit th =
+  th.in_batch <- false;
   let s = th.shared in
   Reservation.clear s.lower ~tid:th.tid ~refno:0;
   Reservation.clear s.upper ~tid:th.tid ~refno:0

@@ -34,6 +34,10 @@ let thread t ~tid = t.per_thread.(tid)
 let tid th = th.tid
 let start_op (_ : thread) = ()
 let end_op (_ : thread) = ()
+
+(* No protocol to amortize: batch windows are free no-ops. *)
+let batch_enter (_ : thread) = ()
+let batch_exit (_ : thread) = ()
 let alloc th = Mempool.Core.alloc th.pool ~tid:th.tid
 
 let alloc_with_index th ~index =

@@ -1,0 +1,277 @@
+(** Client-side load generator for {!Service}.
+
+    Two arrival models:
+
+    - {b Closed loop}: each client keeps a fixed pipeline of P requests
+      outstanding — classic benchmark load, throughput-seeking. End-to-
+      end latency is measured from submission.
+    - {b Open loop}: arrivals follow a Poisson process at a fixed rate
+      per client, independent of completions (bounded by [window]
+      outstanding; arrivals that cannot be submitted are counted as
+      {!result.drops}, never silently skipped). Latency is measured
+      from the {e scheduled} arrival time, so a stalled service shows
+      up as queueing delay instead of being hidden by back-pressure
+      (the coordinated-omission correction).
+
+    Every client records end-to-end latency into its own
+    {!Mp_util.Histogram} (log-bucket, allocation-free) and the run
+    merges them: p50/p99/p99.9/max come from one shared-shape
+    histogram, the same one the harness runner uses.
+
+    Completions are polled oldest-first per client (tickets on one ring
+    complete in FIFO order; across shards this is head-of-line
+    conservative — a measured artifact of the bounded client, not of
+    the service). *)
+
+module Histogram = Mp_util.Histogram
+module Rng = Mp_util.Rng
+module Keygen = Mp_util.Keygen
+
+type mode =
+  | Closed of { pipeline : int }
+  | Open of { rate : float; window : int }
+      (** [rate]: mean arrivals per second {e per client}. *)
+
+type spec = {
+  clients : int;
+  duration_s : float;
+  warmup_s : float; (* completions before this are executed, not recorded *)
+  read_pct : int;
+  insert_pct : int; (* remainder = removes *)
+  mget : int;
+      (* reads are submitted as one [op_mget] of this many consecutive
+         keys (1 = plain [op_contains]); [completed] counts the gets *)
+  key_range : int;
+  zipf_alpha : float option;
+  seed : int;
+  mode : mode;
+}
+
+type result = {
+  completed : int; (* successful replies inside the measured window *)
+  rejected : int; (* reply_rejected (crashed shard) in the window *)
+  oom : int; (* reply_oom in the window *)
+  drops : int; (* open loop: arrivals that could not be submitted *)
+  elapsed_s : float; (* the measured window (duration - warmup) *)
+  throughput : float; (* completed / elapsed_s *)
+  latency : Histogram.t; (* merged across clients *)
+}
+
+let[@inline] pause spins =
+  if !spins < 64 then begin
+    incr spins;
+    Domain.cpu_relax ()
+  end
+  else Unix.sleepf 0.0001
+
+(* Per-client outcome tallies, merged after the join. *)
+type tally = {
+  hist : Histogram.t;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable oom : int;
+  mutable drops : int;
+}
+
+(* [completed] counts SET operations: a multi-get reply
+   ([>= reply_mget_base]) completes [mget] gets at once. Latency is one
+   sample per request either way — it is a request round-trip time. *)
+let[@inline] record tally ~mget ~t_measure ~t0 ~now reply =
+  if now >= t_measure then begin
+    if reply = Service.reply_rejected then tally.rejected <- tally.rejected + 1
+    else if reply = Service.reply_oom then tally.oom <- tally.oom + 1
+    else begin
+      tally.completed <-
+        tally.completed + (if reply >= Service.reply_mget_base then mget else 1);
+      Histogram.record tally.hist (now -. t0)
+    end
+  end
+
+(* A client's outstanding tickets: a ring of (ticket, shard, t0) triples
+   in parallel arrays, drained oldest-first. *)
+type window = {
+  tickets : int array;
+  shard_of : int array;
+  t0 : float array;
+  cap : int;
+  mutable head : int;
+  mutable count : int;
+}
+
+let window_create cap =
+  { tickets = Array.make cap 0; shard_of = Array.make cap 0; t0 = Array.make cap 0.0;
+    cap; head = 0; count = 0 }
+
+let[@inline] window_push w ~ticket ~shard ~t0 =
+  let i = (w.head + w.count) mod w.cap in
+  w.tickets.(i) <- ticket;
+  w.shard_of.(i) <- shard;
+  w.t0.(i) <- t0;
+  w.count <- w.count + 1
+
+(* Poll the oldest outstanding request; true if it completed. *)
+let[@inline] window_poll_oldest service w tally ~mget ~t_measure =
+  let i = w.head in
+  let r = Service.poll service ~shard:w.shard_of.(i) ~ticket:w.tickets.(i) in
+  if r < 0 then false
+  else begin
+    record tally ~mget ~t_measure ~t0:w.t0.(i) ~now:(Unix.gettimeofday ()) r;
+    w.head <- (w.head + 1) mod w.cap;
+    w.count <- w.count - 1;
+    true
+  end
+
+(* Reads become one [op_mget] of [spec.mget] consecutive keys when the
+   spec asks for multi-gets; writes are always single-key. *)
+let[@inline] pick_op spec rng =
+  let roll = Rng.below rng 100 in
+  if roll < spec.read_pct then
+    if spec.mget > 1 then Service.op_mget else Service.op_contains
+  else if roll < spec.read_pct + spec.insert_pct then Service.op_insert
+  else Service.op_remove
+
+(* Drain whatever is still outstanding when the clock runs out (the
+   service is still serving; clients stop first, shards after). *)
+let drain_all service w tally ~mget ~t_measure =
+  let spins = ref 0 in
+  while w.count > 0 do
+    if window_poll_oldest service w tally ~mget ~t_measure then spins := 0
+    else pause spins
+  done
+
+let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tally =
+  let rng = Rng.split ~seed:spec.seed ~tid:idx in
+  let keys =
+    match spec.zipf_alpha with
+    | Some alpha -> Keygen.zipf ~range:spec.key_range ~alpha
+    | None -> Keygen.uniform ~range:spec.key_range
+  in
+  ignore t_start;
+  let mget = max 1 spec.mget in
+  let w = window_create pipeline in
+  let spins = ref 0 in
+  while Unix.gettimeofday () < t_stop do
+    (* Fill the pipeline as far as the rings allow. *)
+    let blocked = ref false in
+    while w.count < pipeline && not !blocked do
+      let op = pick_op spec rng in
+      let key = Keygen.next keys rng in
+      let shard = Service.shard_of_key service key in
+      let value = if op = Service.op_mget then mget else key in
+      let ticket = Service.try_submit service ~shard ~op ~key ~value in
+      if ticket < 0 then blocked := true
+      else window_push w ~ticket ~shard ~t0:(Unix.gettimeofday ())
+    done;
+    (* Reap completions oldest-first. *)
+    let progress = ref false in
+    while w.count > 0 && window_poll_oldest service w tally ~mget ~t_measure do
+      progress := true
+    done;
+    if !progress then spins := 0 else pause spins
+  done;
+  drain_all service w tally ~mget ~t_measure
+
+let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tally =
+  let rng = Rng.split ~seed:spec.seed ~tid:idx in
+  let keys =
+    match spec.zipf_alpha with
+    | Some alpha -> Keygen.zipf ~range:spec.key_range ~alpha
+    | None -> Keygen.uniform ~range:spec.key_range
+  in
+  let mget = max 1 spec.mget in
+  let w = window_create window in
+  let spins = ref 0 in
+  (* Exponential inter-arrival gap, mean 1/rate. *)
+  let next_gap () = -.log (1.0 -. Rng.float rng) /. rate in
+  let next_arrival = ref (t_start +. next_gap ()) in
+  let now = ref (Unix.gettimeofday ()) in
+  while !now < t_stop do
+    if !now >= !next_arrival then begin
+      (* An arrival is due. If it cannot enter the system (window or
+         ring full) it is a drop — the schedule does not slip, which is
+         what makes the loop open. *)
+      (if w.count >= window then tally.drops <- tally.drops + 1
+       else begin
+         let op = pick_op spec rng in
+         let key = Keygen.next keys rng in
+         let shard = Service.shard_of_key service key in
+         let value = if op = Service.op_mget then mget else key in
+         let ticket = Service.try_submit service ~shard ~op ~key ~value in
+         if ticket < 0 then tally.drops <- tally.drops + 1
+         else
+           (* t0 = scheduled arrival, not submit time: queueing delay
+              behind a slow service is charged to the request. *)
+           window_push w ~ticket ~shard ~t0:!next_arrival
+       end);
+      next_arrival := !next_arrival +. next_gap ();
+      spins := 0
+    end
+    else begin
+      let progress = ref false in
+      while w.count > 0 && window_poll_oldest service w tally ~mget ~t_measure do
+        progress := true
+      done;
+      if !progress then spins := 0
+      else begin
+        (* Idle until the next arrival (bounded so completions are
+           still reaped promptly). *)
+        let gap = !next_arrival -. !now in
+        if gap > 0.0002 then Unix.sleepf (min gap 0.0005) else pause spins
+      end
+    end;
+    now := Unix.gettimeofday ()
+  done;
+  drain_all service w tally ~mget ~t_measure
+
+(** Run the generator against a started service; blocks until the
+    duration elapses and every outstanding request is answered.
+    [?tick] is called every ~2 ms from the calling thread while the
+    clients run — the hook the soak harness hangs its watchdog sampler
+    on. *)
+let run ?(tick = fun () -> ()) service spec =
+  let clients = max 1 spec.clients in
+  let tallies =
+    Array.init clients (fun _ ->
+        { hist = Histogram.create (); completed = 0; rejected = 0; oom = 0; drops = 0 })
+  in
+  let t_start = Unix.gettimeofday () in
+  let t_measure = t_start +. spec.warmup_s in
+  let t_stop = t_start +. spec.duration_s in
+  let finished = Atomic.make 0 in
+  let spawn idx =
+    Domain.spawn (fun () ->
+        (match spec.mode with
+        | Closed { pipeline } ->
+          closed_client service spec ~pipeline:(max 1 pipeline) ~idx ~t_start ~t_measure
+            ~t_stop tallies.(idx)
+        | Open { rate; window } ->
+          open_client service spec ~rate ~window:(max 1 window) ~idx ~t_start ~t_measure
+            ~t_stop tallies.(idx));
+        Atomic.incr finished)
+  in
+  let domains = Array.init clients spawn in
+  while Atomic.get finished < clients do
+    Unix.sleepf 0.002;
+    tick ()
+  done;
+  Array.iter Domain.join domains;
+  let latency = Histogram.create () in
+  let completed = ref 0 and rejected = ref 0 and oom = ref 0 and drops = ref 0 in
+  Array.iter
+    (fun tl ->
+      Histogram.merge_into ~into:latency tl.hist;
+      completed := !completed + tl.completed;
+      rejected := !rejected + tl.rejected;
+      oom := !oom + tl.oom;
+      drops := !drops + tl.drops)
+    tallies;
+  let elapsed_s = spec.duration_s -. spec.warmup_s in
+  {
+    completed = !completed;
+    rejected = !rejected;
+    oom = !oom;
+    drops = !drops;
+    elapsed_s;
+    throughput = (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+    latency;
+  }

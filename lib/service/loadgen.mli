@@ -1,0 +1,44 @@
+(** Closed-loop and open-loop (Poisson) load generator for {!Service},
+    recording end-to-end latency into a merged log-bucket histogram
+    (p50/p99/p99.9/max via {!Mp_util.Histogram.percentile_ns}). *)
+
+type mode =
+  | Closed of { pipeline : int }
+      (** Fixed pipeline of outstanding requests per client. *)
+  | Open of { rate : float; window : int }
+      (** Poisson arrivals at [rate] per second {e per client},
+          at most [window] outstanding; un-submittable arrivals are
+          counted as drops, and latency is measured from the scheduled
+          arrival time (coordinated-omission correction). *)
+
+type spec = {
+  clients : int;
+  duration_s : float;
+  warmup_s : float;
+      (** Completions earlier than this into the run are executed but
+          not recorded. *)
+  read_pct : int;
+  insert_pct : int; (* remainder = removes *)
+  mget : int;
+      (** Reads are submitted as one {!Service.op_mget} of this many
+          consecutive keys (1 = plain [op_contains]); a completed
+          multi-get counts [mget] operations toward [completed]. *)
+  key_range : int;
+  zipf_alpha : float option;
+  seed : int;
+  mode : mode;
+}
+
+type result = {
+  completed : int; (* successful SET operations in the measured window *)
+  rejected : int; (* crashed-shard rejections in the window *)
+  oom : int; (* pool-exhaustion refusals in the window *)
+  drops : int; (* open loop: arrivals that could not be submitted *)
+  elapsed_s : float; (* the measured window (duration - warmup) *)
+  throughput : float; (* completed / elapsed_s *)
+  latency : Mp_util.Histogram.t;
+}
+
+(** Run against a started service; blocks until done. [?tick] runs
+    every ~2 ms on the calling thread (watchdog sampler hook). *)
+val run : ?tick:(unit -> unit) -> Service.t -> spec -> result

@@ -1,0 +1,117 @@
+(** Bounded MPSC request/reply ring — the mailbox of a service shard.
+
+    Vyukov-style bounded queue adapted to a request/reply lifecycle: the
+    producers are client domains submitting requests, the single
+    consumer is the shard domain owning the ring. Each slot carries a
+    version-tagged sequence word (the same monotonic-tag-against-ABA
+    idea as the mempool's chain stack) that walks through one lap of
+    the ring as
+
+      [pos]            free — claimable by the producer holding ticket [pos]
+      [pos + 1]        submitted — payload valid, awaiting the consumer
+      [pos + 2]        completed — reply valid, awaiting the producer's ack
+      [pos + capacity] acked — free for the next lap
+
+    Producers claim a ticket with one CAS on the tail word; everything
+    after that is wait-free for the claimant. The consumer never CASes:
+    it owns its cursor and advances it privately, reading each slot's
+    payload only after observing [pos + 1] in the sequence word.
+
+    The payload (op, key, value, reply) lives in plain [int] arrays;
+    every access is ordered by an [Atomic] read or write of the slot's
+    sequence word, so the usual publication argument applies — the
+    reader that observed the advanced sequence value also observes the
+    payload writes that preceded it. Sequence atomics are spaced a
+    cache line apart ({!Mp_util.Padding.atomic_int_array}) so a
+    producer spinning on its reply does not steal the line the consumer
+    is completing a neighbouring slot through.
+
+    Submitting, serving and polling allocate nothing ([-1] sentinels
+    instead of options): the reply path of a request is a "reply slot",
+    not a message. *)
+
+type t = {
+  capacity : int;
+  mask : int;
+  seq : int Atomic.t array; (* spaced: slot i at [Padding.spaced_index i] *)
+  payload : int array; (* 4 plain ints per slot: op, key, value, reply *)
+  tail : int Atomic.t; (* producers' ticket counter *)
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+(** [create ~capacity] builds a ring of at least [capacity] slots
+    (rounded up to a power of two, minimum 4 so the in-flight sequence
+    states of one lap cannot collide with the next). *)
+let create ~capacity =
+  let capacity = pow2_at_least (max 4 capacity) 4 in
+  {
+    capacity;
+    mask = capacity - 1;
+    seq =
+      (let a = Mp_util.Padding.atomic_int_array capacity in
+       for i = 0 to capacity - 1 do
+         Atomic.set a.(Mp_util.Padding.spaced_index i) i
+       done;
+       a);
+    payload = Array.make (capacity * 4) 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+let[@inline] seq_at t pos =
+  Array.unsafe_get t.seq (Mp_util.Padding.spaced_index (pos land t.mask))
+
+let[@inline] base t pos = (pos land t.mask) * 4
+
+(* -- producers ----------------------------------------------------------- *)
+
+(** Claim a slot and publish a request; returns the ticket ([>= 0]) to
+    poll the reply with, or [-1] when the ring is full (the slot one lap
+    back has not been acked yet). Lock-free: a failed CAS means another
+    producer claimed the ticket and made progress. *)
+let rec try_submit t ~op ~key ~value =
+  let pos = Atomic.get t.tail in
+  let s = seq_at t pos in
+  let v = Atomic.get s in
+  if v = pos then
+    if Atomic.compare_and_set t.tail pos (pos + 1) then begin
+      let b = base t pos in
+      t.payload.(b) <- op;
+      t.payload.(b + 1) <- key;
+      t.payload.(b + 2) <- value;
+      Atomic.set s (pos + 1);
+      pos
+    end
+    else try_submit t ~op ~key ~value (* lost the ticket race *)
+  else if v < pos then -1 (* previous lap's occupant not yet acked: full *)
+  else try_submit t ~op ~key ~value (* stale tail read *)
+
+(** Poll the reply for [ticket]: the reply code ([>= 0], acking the slot
+    for reuse) or [-1] while still pending. Each ticket must be polled
+    to completion exactly once — the ack is what frees the slot. *)
+let[@inline] poll t ~ticket =
+  let s = seq_at t ticket in
+  if Atomic.get s = ticket + 2 then begin
+    let r = t.payload.(base t ticket + 3) in
+    Atomic.set s (ticket + t.capacity);
+    r
+  end
+  else -1
+
+(* -- the consumer (one domain) ------------------------------------------- *)
+
+(** Is the request at the consumer's cursor position submitted? *)
+let[@inline] ready t ~pos = Atomic.get (seq_at t pos) = pos + 1
+
+(* Payload accessors: valid only between [ready] and [complete]. *)
+let[@inline] op t ~pos = t.payload.(base t pos)
+let[@inline] key t ~pos = t.payload.(base t pos + 1)
+let[@inline] value t ~pos = t.payload.(base t pos + 2)
+
+(** Publish the reply for the request at [pos] and hand the slot back to
+    its submitter. *)
+let[@inline] complete t ~pos reply =
+  t.payload.(base t pos + 3) <- reply;
+  Atomic.set (seq_at t pos) (pos + 2)

@@ -1,0 +1,38 @@
+(** Bounded MPSC request/reply ring: many client domains submit
+    requests, one shard domain serves them and completes each with an
+    integer reply through the same slot. Allocation-free on every path;
+    [-1] sentinels instead of options. See the implementation header
+    for the slot lifecycle. *)
+
+type t
+
+(** [create ~capacity] — rounded up to a power of two, minimum 4. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** {2 Producers (any domain)} *)
+
+(** Claim a slot and publish a request: returns a ticket [>= 0], or
+    [-1] when the ring is full. *)
+val try_submit : t -> op:int -> key:int -> value:int -> int
+
+(** Reply for [ticket] ([>= 0], frees the slot) or [-1] while pending.
+    Poll each ticket to completion exactly once. *)
+val poll : t -> ticket:int -> int
+
+(** {2 The consumer (the single shard domain)}
+
+    The consumer owns a private cursor [pos], starting at 0 and
+    incremented by 1 after each {!complete}. *)
+
+val ready : t -> pos:int -> bool
+
+(** Valid only between [ready t ~pos = true] and [complete t ~pos]. *)
+val op : t -> pos:int -> int
+
+val key : t -> pos:int -> int
+val value : t -> pos:int -> int
+
+(** Publish the reply and hand the slot back to its submitter. *)
+val complete : t -> pos:int -> int -> unit

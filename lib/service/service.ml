@@ -1,0 +1,297 @@
+(** Sharded in-process request service over a concurrent set.
+
+    Keys are hash-partitioned across N shards. Each shard is one domain
+    owning one bounded MPSC {!Request_ring} and one SMR session of the
+    underlying structure (shard [i] is SMR tid [i] — the shards are the
+    only threads of the structure; clients never touch it directly).
+
+    The shard drains requests inside SMR batch windows
+    ([SET.batch_enter] … [SET.batch_exit]) of at most B SET operations
+    each: the per-operation reservation-publish + teardown of
+    MP/HP/HE-class schemes is paid once per window instead of once per
+    operation, at the documented cost of a protected window widened to
+    B operations (DESIGN.md "Service layer and batch amortization").
+    A {!op_mget} request counts each of its gets against the budget and
+    the window rolls over mid-request when it fills, so with
+    [batch = 1] every operation runs exactly the un-batched protocol.
+
+    Fault plans ({!Mp_util.Fault}) fire inside the shard domains. A
+    shard that draws a [Crash] dies the way the paper's §4.4 thread
+    does — its announcements stay published and pin memory — but the
+    service degrades instead of deadlocking: the dead shard turns into
+    a rejector that answers every subsequent request on its ring with
+    {!reply_rejected}, so no client ever blocks on a crashed shard.
+
+    Single-core friendliness: every wait in this module (and in
+    {!Loadgen}) briefly spins then sleeps, because on an oversubscribed
+    host a pure spin burns exactly the timeslice the peer needs. *)
+
+module Padding = Mp_util.Padding
+
+(* -- wire protocol ------------------------------------------------------- *)
+
+let op_contains = 0
+let op_insert = 1
+let op_remove = 2
+
+(** Multi-get: [key] is the first key, [value] the count [n >= 1]; the
+    shard runs [contains] on the [n] consecutive keys and replies
+    [reply_mget_base + hits]. One request, [n] operations — the
+    request/reply round trip amortizes over the gets, the way
+    memcached's [get_multi] or redis' [MGET] batch reads. *)
+let op_mget = 3
+
+let reply_false = 0
+let reply_true = 1
+
+(** The owning shard crashed; the request was not executed. *)
+let reply_rejected = 2
+
+(** The node pool was exhausted; the request was not executed. *)
+let reply_oom = 3
+
+(** Multi-get replies are [reply_mget_base + hits] so hit counts never
+    collide with the status codes above. *)
+let reply_mget_base = 4
+
+(* -- spin-then-sleep ----------------------------------------------------- *)
+
+let[@inline] pause spins =
+  if !spins < 64 then begin
+    incr spins;
+    Domain.cpu_relax ()
+  end
+  else Unix.sleepf 0.0001
+
+(* -- the service --------------------------------------------------------- *)
+
+type t = {
+  shards : int;
+  batch : int;
+  rings : Request_ring.t array;
+  stop : bool Atomic.t;
+  workers : (unit -> unit) array;
+  mutable domains : unit Domain.t array;
+  crashed : bool array; (* by shard; written by the shard, read after stop *)
+  (* per-shard tallies, spaced so concurrent shards don't false-share;
+     written by the owning shard during the run, read after [stop] *)
+  ops : int array;
+  batches : int array;
+  max_batch : int array;
+  rejected : int array;
+  oom : int array;
+}
+
+(* SplitMix-style finalizer: full-avalanche key hash so dense key ranges
+   spread over shards instead of striping. *)
+let[@inline] mix k =
+  let h = k lxor (k lsr 30) in
+  let h = h * 0x4be98134a5976fd3 land max_int in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x3bc8203a9e4037a9 land max_int in
+  h lxor (h lsr 32)
+
+let[@inline] shard_of_key t key = mix key mod t.shards
+
+let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a) ~shards
+    ~batch ~ring_capacity =
+  let rings = Array.init shards (fun _ -> Request_ring.create ~capacity:ring_capacity) in
+  let stop = Atomic.make false in
+  let crashed = Array.make shards false in
+  let spaced () = Array.make (Padding.spaced_length shards) 0 in
+  let ops = spaced () and batches = spaced () and max_batch = spaced () in
+  let rejected = spaced () and oom = spaced () in
+  let worker shard () =
+    let s = SET.session set ~tid:shard in
+    let ring = rings.(shard) in
+    let pos = ref 0 in
+    let spins = ref 0 in
+    let my_ops = ref 0 and my_batches = ref 0 and my_max = ref 0 in
+    let my_rejected = ref 0 and my_oom = ref 0 in
+    let alive = ref true in
+    let die () =
+      alive := false;
+      crashed.(shard) <- true
+    in
+    (* Serve one drain: up to B requests ready on the ring, under batch
+       windows whose ceiling counts SET *operations* — a multi-get's
+       gets each count, and the window rolls over (exit + re-enter)
+       mid-request rather than widening the protected window past B.
+       With [batch = 1] every operation therefore runs the exact
+       un-batched per-operation protocol. A [Crash] fault anywhere in a
+       window kills the shard *without* running batch_exit — the §4.4
+       scenario needs the dead thread's announcements to stay
+       published — but the request being served is still completed
+       (rejected) first, so its client does not hang. *)
+    let serve_batch () =
+      match SET.batch_enter s with
+      | exception Mp_util.Fault.Crashed _ -> die ()
+      | () ->
+        let reqs = ref 0 in
+        let window_ops = ref 0 in
+        let dead = ref false in
+        let close_window () =
+          incr my_batches;
+          if !window_ops > !my_max then my_max := !window_ops
+        in
+        (* Called before each operation: spend one unit of the window's
+           op budget, rolling the window when it is full. *)
+        let budget () =
+          if !window_ops >= batch then begin
+            close_window ();
+            (try SET.batch_exit s with Mp_util.Fault.Crashed _ -> dead := true);
+            if not !dead then
+              (try SET.batch_enter s with Mp_util.Fault.Crashed _ -> dead := true);
+            window_ops := 0
+          end
+        in
+        while (not !dead) && !reqs < batch && Request_ring.ready ring ~pos:!pos do
+          let op = Request_ring.op ring ~pos:!pos
+          and key = Request_ring.key ring ~pos:!pos
+          and value = Request_ring.value ring ~pos:!pos in
+          let reply =
+            if op = 3 (* op_mget *) then begin
+              let n = if value < 1 then 1 else value in
+              let hits = ref 0 in
+              (try
+                 for i = 0 to n - 1 do
+                   budget ();
+                   if !dead then raise Exit;
+                   if SET.contains s (key + i) then incr hits;
+                   incr window_ops;
+                   incr my_ops
+                 done
+               with
+              | Exit -> ()
+              | Mp_util.Fault.Crashed _ -> dead := true);
+              if !dead then reply_rejected else reply_mget_base + !hits
+            end
+            else begin
+              budget ();
+              if !dead then reply_rejected
+              else
+                match
+                  (match op with
+                  | 0 (* op_contains *) -> SET.contains s key
+                  | 1 (* op_insert *) -> SET.insert s ~key ~value
+                  | 2 (* op_remove *) -> SET.remove s key
+                  | _ -> false)
+                with
+                | ok ->
+                  incr window_ops;
+                  incr my_ops;
+                  if ok then reply_true else reply_false
+                | exception Mempool.Exhausted ->
+                  incr my_oom;
+                  reply_oom
+                | exception Mp_util.Fault.Crashed _ ->
+                  dead := true;
+                  reply_rejected
+            end
+          in
+          Request_ring.complete ring ~pos:!pos reply;
+          incr reqs;
+          incr pos
+        done;
+        close_window ();
+        if !dead then die ()
+        else (try SET.batch_exit s with Mp_util.Fault.Crashed _ -> die ())
+    in
+    while not (Atomic.get stop) do
+      if Request_ring.ready ring ~pos:!pos then begin
+        spins := 0;
+        if !alive then serve_batch ()
+        else begin
+          (* Dead shard: keep answering so clients never block. *)
+          Request_ring.complete ring ~pos:!pos reply_rejected;
+          incr my_rejected;
+          incr pos
+        end
+      end
+      else pause spins
+    done;
+    (* Final drain: requests submitted before the stop flag landed must
+       still be answered, or their clients spin forever. *)
+    while Request_ring.ready ring ~pos:!pos do
+      Request_ring.complete ring ~pos:!pos reply_rejected;
+      incr my_rejected;
+      incr pos
+    done;
+    if !alive then SET.flush s;
+    let i = Padding.spaced_index shard in
+    ops.(i) <- !my_ops;
+    batches.(i) <- !my_batches;
+    max_batch.(i) <- !my_max;
+    rejected.(i) <- !my_rejected;
+    oom.(i) <- !my_oom
+  in
+  {
+    shards;
+    batch;
+    rings;
+    stop;
+    workers = Array.init shards worker;
+    domains = [||];
+    crashed;
+    ops;
+    batches;
+    max_batch;
+    rejected;
+    oom;
+  }
+
+let shards t = t.shards
+let batch t = t.batch
+let start t = t.domains <- Array.map Domain.spawn t.workers
+
+let stop t =
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+(* -- client side --------------------------------------------------------- *)
+
+let[@inline] try_submit t ~shard ~op ~key ~value =
+  Request_ring.try_submit t.rings.(shard) ~op ~key ~value
+
+let[@inline] poll t ~shard ~ticket = Request_ring.poll t.rings.(shard) ~ticket
+
+(** Blocking reply wait (spin-then-sleep). Only meaningful while the
+    service is running: shards answer every submitted request before
+    they exit, so this cannot hang across a clean [stop]. *)
+let await t ~shard ~ticket =
+  let spins = ref 0 in
+  let r = ref (poll t ~shard ~ticket) in
+  while !r < 0 do
+    pause spins;
+    r := poll t ~shard ~ticket
+  done;
+  !r
+
+(* -- post-run statistics ------------------------------------------------- *)
+
+type stats = {
+  ops : int; (* SET operations executed inside batch windows *)
+  batches : int; (* batch windows opened *)
+  max_batch : int; (* most operations any single window served *)
+  rejected : int; (* requests answered by dead shards or the final drain *)
+  oom : int; (* requests refused on pool exhaustion *)
+  crashed_shards : int;
+}
+
+let stats t =
+  let sum a = Array.init t.shards (fun s -> a.(Padding.spaced_index s))
+              |> Array.fold_left ( + ) 0 in
+  let maxv a =
+    Array.init t.shards (fun s -> a.(Padding.spaced_index s))
+    |> Array.fold_left max 0
+  in
+  {
+    ops = sum t.ops;
+    batches = sum t.batches;
+    max_batch = maxv t.max_batch;
+    rejected = sum t.rejected;
+    oom = sum t.oom;
+    crashed_shards =
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.crashed;
+  }

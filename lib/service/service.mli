@@ -1,0 +1,90 @@
+(** Sharded in-process request service: keys hash-partition across N
+    shard domains, each draining a bounded MPSC {!Request_ring} and
+    executing up to B SET operations per SMR batch window
+    ({!Dstruct.Set_intf.SET.batch_enter}). Crashed shards (armed fault
+    plans) degrade into rejectors instead of deadlocking clients. *)
+
+type t
+
+(** {2 Wire protocol} *)
+
+val op_contains : int
+val op_insert : int
+val op_remove : int
+
+(** Multi-get: [key] = first key, [value] = count [n >= 1]; the shard
+    runs [contains] on the [n] consecutive keys and replies
+    {!reply_mget_base}[ + hits]. Each get counts against the batch
+    window's op budget (the window rolls over mid-request when full). *)
+val op_mget : int
+
+val reply_false : int
+val reply_true : int
+
+(** The owning shard crashed; the request was not executed. *)
+val reply_rejected : int
+
+(** Pool exhausted; the request was not executed. *)
+val reply_oom : int
+
+(** A {!op_mget} reply is [reply_mget_base + hits], so hit counts never
+    collide with the status codes above. *)
+val reply_mget_base : int
+
+(** {2 Lifecycle} *)
+
+(** [create (module SET) set ~shards ~batch ~ring_capacity] builds the
+    service over an existing structure. [set] must have been created
+    with [threads >= shards]; shard [i] runs as SMR tid [i] and the
+    shards must be the only concurrent users of those tids. [batch] is
+    the maximum SET operations per batch window (1 = exactly the
+    un-batched per-operation protocol). *)
+val create :
+  (module Dstruct.Set_intf.SET with type t = 'a) ->
+  'a ->
+  shards:int ->
+  batch:int ->
+  ring_capacity:int ->
+  t
+
+(** Spawn the shard domains. *)
+val start : t -> unit
+
+(** Stop and join the shards. Requests still in flight are answered
+    ({!reply_rejected}) before the shards exit, so concurrent awaiters
+    terminate; submissions racing past [stop] may remain unanswered —
+    stop clients first. *)
+val stop : t -> unit
+
+val shards : t -> int
+val batch : t -> int
+
+(** {2 Client side (any domain)} *)
+
+(** The shard owning [key]. *)
+val shard_of_key : t -> int -> int
+
+(** Submit to a shard's ring: ticket [>= 0], or [-1] if the ring is
+    full. Route with {!shard_of_key} — a request for a key submitted to
+    the wrong shard is answered, but breaks per-key serialization. *)
+val try_submit : t -> shard:int -> op:int -> key:int -> value:int -> int
+
+(** Reply code [>= 0], or [-1] while pending (frees the slot when it
+    answers; poll each ticket to completion exactly once). *)
+val poll : t -> shard:int -> ticket:int -> int
+
+(** Blocking {!poll} (spin-then-sleep). *)
+val await : t -> shard:int -> ticket:int -> int
+
+(** {2 Post-run statistics} (read after {!stop}) *)
+
+type stats = {
+  ops : int; (* SET operations executed inside batch windows *)
+  batches : int; (* batch windows opened *)
+  max_batch : int; (* most operations any single window served *)
+  rejected : int;
+  oom : int;
+  crashed_shards : int;
+}
+
+val stats : t -> stats

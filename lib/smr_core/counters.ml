@@ -17,6 +17,13 @@ type t = {
   hp_fallbacks : Sc.t;
   scan_passes : Sc.t;
   scan_time_ns : Sc.t;
+  wasted_peak : Sc.t;
+      (* per-thread high-water mark of (retired - reclaimed). Retire and
+         reclaim both run on the owning thread (the Reclaimer is
+         per-thread), so the per-tid difference is exact; the summed
+         peak is a conservative upper bound on the true global peak
+         (threads need not peak simultaneously), which is the right
+         direction for a waste *ceiling* check. *)
 }
 
 let create ~threads =
@@ -27,6 +34,7 @@ let create ~threads =
     hp_fallbacks = Sc.create ~threads;
     scan_passes = Sc.create ~threads;
     scan_time_ns = Sc.create ~threads;
+    wasted_peak = Sc.create ~threads;
   }
 
 let stats t : Smr_intf.stats =
@@ -34,6 +42,7 @@ let stats t : Smr_intf.stats =
   let reclaimed = Sc.sum t.reclaimed in
   {
     wasted = retired_total - reclaimed;
+    wasted_peak = Sc.sum t.wasted_peak;
     fences = Sc.sum t.fences;
     reclaimed;
     retired_total;
@@ -42,7 +51,13 @@ let stats t : Smr_intf.stats =
     scan_time_s = float_of_int (Sc.sum t.scan_time_ns) *. 1e-9;
   }
 
-let on_retire t ~tid = Sc.incr t.retired_total ~tid
+(* The peak can only rise on a retire, so this is the one place the
+   high-water mark needs updating — the reclaim path stays a single
+   atomic add. *)
+let on_retire t ~tid =
+  Sc.incr t.retired_total ~tid;
+  let wasted_here = Sc.get t.retired_total ~tid - Sc.get t.reclaimed ~tid in
+  Sc.max_to t.wasted_peak ~tid wasted_here
 let on_reclaim t ~tid n = Sc.add t.reclaimed ~tid n
 let on_fence t ~tid = Sc.incr t.fences ~tid
 

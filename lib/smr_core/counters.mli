@@ -9,6 +9,7 @@ type t = {
   hp_fallbacks : Mp_util.Striped_counter.t;
   scan_passes : Mp_util.Striped_counter.t;
   scan_time_ns : Mp_util.Striped_counter.t;
+  wasted_peak : Mp_util.Striped_counter.t;
 }
 
 val create : threads:int -> t

@@ -27,6 +27,12 @@ type t = {
   empty : int; (* sentinel for an unoccupied slot *)
   slots : int;
   threads : int;
+  in_batch : bool array;
+      (* [tid]: inside a batch window, end-of-operation {!clear_all} is
+         deferred until {!batch_exit}. Owner-written plain cells: only
+         tid itself reads or writes its flag, so no atomicity needed;
+         spacing is unnecessary because the cells are written once per
+         batch, not per op. *)
 }
 
 let create ~counters ~threads ~slots ~empty =
@@ -36,6 +42,7 @@ let create ~counters ~threads ~slots ~empty =
     empty;
     slots;
     threads;
+    in_batch = Array.make threads false;
   }
 
 let threads t = t.threads
@@ -66,14 +73,38 @@ let clear t ~tid ~refno =
 
 (** Clear every occupied slot of [tid]; the batch costs one fence. The
     fault point fires before any slot is cleared, so a crash leaves the
-    whole row published. *)
+    whole row published. Inside a batch window ({!batch_enter}) this is
+    a no-op — the row stays published until {!batch_exit}, which is what
+    lets a shard pay one publish + one clear fence per B operations. *)
 let clear_all t ~tid =
-  Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_clear;
-  let mine = t.table.(tid) in
-  for refno = 0 to t.slots - 1 do
-    if Atomic.get mine.(refno) <> t.empty then Atomic.set mine.(refno) t.empty
-  done;
-  Counters.on_fence t.counters ~tid
+  if not t.in_batch.(tid) then begin
+    Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_clear;
+    let mine = t.table.(tid) in
+    for refno = 0 to t.slots - 1 do
+      if Atomic.get mine.(refno) <> t.empty then Atomic.set mine.(refno) t.empty
+    done;
+    Counters.on_fence t.counters ~tid
+  end
+
+(* -- batch windows ------------------------------------------------------- *)
+
+let[@inline] in_batch t ~tid = t.in_batch.(tid)
+
+(** Open a batch window for [tid]: subsequent {!clear_all} calls (the
+    end-of-operation path of HP/HE-class schemes) are suppressed, so
+    announcements accumulate and stay published across every operation
+    of the batch. The protected window widens accordingly — see
+    DESIGN.md "Service layer and batch amortization" for the per-class
+    waste-bound argument. A batch of size 1 costs exactly the un-batched
+    protocol: the same publishes, and the one deferred clear happens in
+    {!batch_exit}. *)
+let batch_enter t ~tid = t.in_batch.(tid) <- true
+
+(** Close [tid]'s batch window and perform the single deferred
+    {!clear_all} — one fence for the whole batch. *)
+let batch_exit t ~tid =
+  t.in_batch.(tid) <- false;
+  clear_all t ~tid
 
 (** Tids with at least one occupied slot — the threads whose (possibly
     stalled or dead) announcements are currently pinning memory. *)

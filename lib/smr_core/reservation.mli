@@ -33,8 +33,23 @@ val publish : t -> tid:int -> refno:int -> int -> unit
 val clear : t -> tid:int -> refno:int -> unit
 
 (** Clear all of [tid]'s occupied slots, counted as one batched fence
-    (the paper's §6 end-of-operation accounting). *)
+    (the paper's §6 end-of-operation accounting). No-op while [tid] is
+    inside a {!batch_enter} window — the clear is deferred to
+    {!batch_exit}. *)
 val clear_all : t -> tid:int -> unit
+
+(** Open a batch window for [tid]: {!clear_all} is suppressed until
+    {!batch_exit}, so announcements persist across the operations of a
+    batch and the end-of-operation clear fence is paid once per batch
+    instead of once per op. Widens the protected window to the whole
+    batch; a batch of size 1 costs exactly the un-batched protocol. *)
+val batch_enter : t -> tid:int -> unit
+
+(** Close the window and perform the single deferred {!clear_all}. *)
+val batch_exit : t -> tid:int -> unit
+
+(** Is [tid] currently inside a batch window? *)
+val in_batch : t -> tid:int -> bool
 
 (** Tids with at least one occupied slot — the threads whose (possibly
     stalled or dead) announcements are currently pinning memory. *)

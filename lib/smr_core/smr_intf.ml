@@ -22,6 +22,11 @@ type properties = {
 (** Run-time counters every scheme exposes; the harness samples these. *)
 type stats = {
   wasted : int;  (** retired but unreclaimed nodes, summed over threads *)
+  wasted_peak : int;
+      (** high-water mark of wasted memory, maintained on the retire path
+          itself so peaks between sampler ticks are visible. Summed over
+          per-thread peaks, so it is a conservative (never-under) bound on
+          the true global peak. *)
   fences : int;  (** publication fences issued (PPV/era announcements) *)
   reclaimed : int;  (** nodes returned to the pool *)
   retired_total : int;
@@ -51,6 +56,22 @@ module type S = sig
   val start_op : thread -> unit
 
   val end_op : thread -> unit
+
+  (** Open a batch window: the per-operation entry cost (epoch/era
+      announcement, its fence) is paid here once, and the per-operation
+      exit teardown (reservation [clear_all], epoch retirement) is
+      deferred to {!batch_exit} — the [start_op]/[end_op] pairs inside
+      the window keep every announcement alive. Used by the service
+      layer to amortize the protocol over B requests. Protection is
+      {e widened}, never narrowed: every handle protected by any
+      operation of the batch stays protected until {!batch_exit}, so
+      per-operation safety arguments carry over unchanged. A batch of
+      size 1 performs exactly the un-batched protocol. Must not nest. *)
+  val batch_enter : thread -> unit
+
+  (** Close the batch window: one teardown (clear + fence + epoch
+      retirement) covering every operation since {!batch_enter}. *)
+  val batch_exit : thread -> unit
 
   (** Allocate a node slot; the scheme stamps MP index and birth epoch.
       The caller initializes the payload before linking. *)

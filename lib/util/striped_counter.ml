@@ -22,6 +22,15 @@ let[@inline] incr t ~tid = ignore (Atomic.fetch_and_add (cell t tid) 1 : int)
 let[@inline] add t ~tid n = ignore (Atomic.fetch_and_add (cell t tid) n : int)
 let[@inline] get t ~tid = Atomic.get (cell t tid)
 
+(* Monotonic high-water lift. Each stripe has a single writer (its
+   owning thread), so a plain read-compare-set is race-free: nobody else
+   can lower or raise the cell between our read and our write. Samplers
+   concurrently [sum]-ing see either the old or new maximum, both valid
+   snapshots of a monotonically increasing quantity. *)
+let[@inline] max_to t ~tid v =
+  let c = cell t tid in
+  if v > Atomic.get c then Atomic.set c v
+
 let sum t =
   let acc = ref 0 in
   for tid = 0 to t.threads - 1 do

@@ -7,5 +7,10 @@ val create : threads:int -> t
 val incr : t -> tid:int -> unit
 val add : t -> tid:int -> int -> unit
 val get : t -> tid:int -> int
+
+(** [max_to t ~tid v] lifts stripe [tid] to [v] if [v] is larger —
+    a monotonic high-water mark. Safe only from the stripe's single
+    writer thread (like [incr]/[add] by convention). *)
+val max_to : t -> tid:int -> int -> unit
 val sum : t -> int
 val reset : t -> unit

@@ -12,7 +12,9 @@
    judged twice — the UAF detector must stay silent, and the waste-bound
    watchdog must report the scheme's declared bound held (EBR's reference
    bound is advisory: its violations are expected and logged, not
-   fatal). *)
+   fatal). Every fault round also fires the same plans through the
+   request-service path (stress the batched SMR windows inside shard
+   domains, with open-loop latency percentiles in the JSON). *)
 
 module Fault = Mp_util.Fault
 module Watchdog = Mp_harness.Watchdog
@@ -124,6 +126,77 @@ let fault_round (module SET : Dstruct.Set_intf.SET) ~scheme ~properties ~seed =
          (Watchdog.to_string v));
   (plan, v, crashed, pinning)
 
+(* One service-path fault round: the same seeded plans, but firing inside
+   the shard domains of the request-service layer, where operations run
+   under batched SMR windows (a crash mid-batch kills the shard with the
+   whole window's announcements still published). The watchdog samples
+   from the load generator's tick; the open-loop (Poisson) client records
+   end-to-end latency, coordinated-omission corrected, so a stalled or
+   crashed shard shows up in p99/p99.9 instead of disappearing behind
+   back-pressure. *)
+let service_fault_round scheme_mod ~scheme ~properties ~seed =
+  let module Service = Mp_service.Service in
+  let module Loadgen = Mp_service.Loadgen in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Mp_harness.Instances.make Mp_harness.Instances.Hash_ds scheme_mod
+  in
+  let shards = 2 in
+  let batch = 1 + (seed mod 48) in
+  let range = if seed mod 2 = 0 then 512 else 128 in
+  let config = Smr_core.Config.default ~threads:shards in
+  let t =
+    SET.create ~threads:shards ~capacity:((range * 8) + (shards * 65536)) ~check_access:true
+      config
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to (range / 2) - 1 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  SET.flush s0;
+  let plan = Fault.random_plan ~seed ~threads:shards in
+  let wd =
+    Watchdog.create
+      (Watchdog.spec_for ~scheme ~properties ~config ~threads:shards ~size_at_arm:(2 * range))
+  in
+  Fault.arm ~threads:shards plan;
+  let svc = Service.create (module SET) t ~shards ~batch ~ring_capacity:128 in
+  Service.start svc;
+  let lg =
+    Loadgen.run
+      ~tick:(fun () ->
+        Watchdog.observe wd ~wasted:(SET.smr_stats t).Smr_core.Smr_intf.wasted)
+      svc
+      {
+        Loadgen.clients = 2;
+        duration_s = 0.6;
+        warmup_s = 0.0;
+        read_pct = 50;
+        insert_pct = 30;
+        (* Random multi-get widths so fault plans also fire inside the
+           intra-request window rollover path. *)
+        mget = 1 + (seed mod 4);
+        key_range = range;
+        zipf_alpha = None;
+        seed;
+        mode = Loadgen.Open { rate = 30_000.0; window = 32 };
+      }
+  in
+  Service.stop svc;
+  let crashed = Fault.crashed_tids () in
+  Fault.disarm ();
+  let pinning = SET.pinning_tids t in
+  SET.check t;
+  if SET.violations t <> 0 then
+    failwith
+      (Printf.sprintf "service(%s): use-after-free under %s (B=%d)" scheme
+         (Fault.plan_to_string plan) batch);
+  let v = Watchdog.verdict wd in
+  if not (Watchdog.ok v) then
+    failwith
+      (Printf.sprintf "service(%s): waste bound broken under %s (B=%d): %s" scheme
+         (Fault.plan_to_string plan) batch (Watchdog.to_string v));
+  (plan, v, crashed, pinning, batch, lg)
+
 let fmt_tids tids = "[" ^ String.concat "," (List.map string_of_int tids) ^ "]"
 
 let () =
@@ -187,13 +260,40 @@ let () =
                   (Watchdog.json_fields (Some v))
                 :: !json)
             schemes)
-        structures
+        structures;
+      (* Same plans through the request-service path: faults land inside
+         the shard domains, under batched SMR windows. *)
+      List.iter
+        (fun (s_name, scheme) ->
+          let (module S : Smr_core.Smr_intf.S) = scheme in
+          let seed = (base_seed * 1_000_003) + (r * 7919) + Hashtbl.hash ("service", s_name) in
+          let plan, v, crashed, pinning, batch, lg =
+            service_fault_round scheme ~scheme:s_name ~properties:S.properties ~seed
+          in
+          let module Loadgen = Mp_service.Loadgen in
+          let h = lg.Loadgen.latency in
+          let p q = Mp_util.Histogram.percentile_ns h q in
+          Printf.printf
+            "service(%s) round %d B=%d %s  crashed=%s pinning=%s  %s  p50/p99/p99.9=%d/%d/%dns\n%!"
+            s_name r batch (Fault.plan_to_string plan) (fmt_tids crashed) (fmt_tids pinning)
+            (Watchdog.to_string v) (p 50.0) (p 99.0) (p 99.9);
+          json :=
+            Printf.sprintf
+              "{\"round\":%d,\"ds\":\"service-hash\",\"scheme\":\"%s\",\"seed\":%d,\"batch\":%d,\"crashed\":%s,\"pinning\":%s,\"completed\":%d,\"rejected\":%d,\"drops\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,%s}"
+              r s_name seed batch (fmt_tids crashed) (fmt_tids pinning) lg.Loadgen.completed
+              lg.Loadgen.rejected lg.Loadgen.drops (p 50.0) (p 99.0) (p 99.9)
+              (Watchdog.json_fields (Some v))
+            :: !json)
+        schemes
     done;
     (match !json_file with
     | None -> ()
     | Some path ->
       let oc = open_out path in
-      output_string oc ("[\n  " ^ String.concat ",\n  " (List.rev !json) ^ "\n]\n");
+      output_string oc
+        (Printf.sprintf "{\"schema_version\":%d,\"results\":[\n  %s\n]}\n"
+           Mp_harness.Runner.schema_version
+           (String.concat ",\n  " (List.rev !json)));
       close_out oc;
       Printf.printf "[wrote %d verdicts to %s]\n%!" (List.length !json) path);
     print_endline "FAULT SOAK CLEAN"

@@ -33,6 +33,8 @@ module Unsafe_immediate : Smr_core.Smr_intf.S = struct
   let tid th = th.tid
   let start_op _ = ()
   let end_op _ = ()
+  let batch_enter _ = ()
+  let batch_exit _ = ()
   let alloc th = Mempool.Core.alloc th.shared.pool ~tid:th.tid
 
   let alloc_with_index th ~index =

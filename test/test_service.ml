@@ -1,0 +1,433 @@
+(* Service layer and batch amortization.
+
+   Three strata, matching how the feature is built:
+
+   1. Kernel + scheme level: a batch window keeps every announcement the
+      batch's operations published alive until [batch_exit] — so a node
+      read inside a batch survives a concurrent retire+flush, and is
+      reclaimed after the window closes. A batch of size 1 must cost
+      exactly the un-batched protocol (same fence counts, same results).
+   2. Transport level: the MPSC request ring loses and duplicates
+      nothing under concurrent producers, and replies route back to the
+      right ticket.
+   3. Service level: end-to-end closed/open-loop runs keep the
+      structure's invariants, and a QCheck property drives random batch
+      sizes under random fault plans (crashes inside shard domains
+      included) with the use-after-free detector armed. *)
+
+module Config = Smr_core.Config
+module Counters = Smr_core.Counters
+module Reservation = Smr_core.Reservation
+module Fault = Mp_util.Fault
+module Histogram = Mp_util.Histogram
+module Ring = Mp_service.Request_ring
+module Service = Mp_service.Service
+module Loadgen = Mp_service.Loadgen
+
+let schemes = Common.schemes
+
+(* -- 1a. reservation kernel ----------------------------------------------- *)
+
+let kernel_batch_defers_clear () =
+  let counters = Counters.create ~threads:2 in
+  let res = Reservation.create ~counters ~threads:2 ~slots:3 ~empty:(-1) in
+  Reservation.publish res ~tid:0 ~refno:0 42;
+  Reservation.batch_enter res ~tid:0;
+  Alcotest.(check bool) "in_batch" true (Reservation.in_batch res ~tid:0);
+  let fences_before = (Counters.stats counters).Smr_core.Smr_intf.fences in
+  Reservation.clear_all res ~tid:0;
+  Alcotest.(check int) "clear_all suppressed: value survives" 42
+    (Reservation.get res ~tid:0 ~refno:0);
+  Alcotest.(check int) "clear_all suppressed: no fence" fences_before
+    (Counters.stats counters).Smr_core.Smr_intf.fences;
+  Reservation.publish res ~tid:0 ~refno:1 7;
+  Reservation.clear_all res ~tid:0;
+  Alcotest.(check int) "second op's announcement also survives" 7
+    (Reservation.get res ~tid:0 ~refno:1);
+  (* another thread's clear_all is not affected by tid 0's window *)
+  Reservation.publish res ~tid:1 ~refno:0 9;
+  Reservation.clear_all res ~tid:1;
+  Alcotest.(check int) "other tid clears normally" (-1) (Reservation.get res ~tid:1 ~refno:0);
+  let fences_mid = (Counters.stats counters).Smr_core.Smr_intf.fences in
+  Reservation.batch_exit res ~tid:0;
+  Alcotest.(check bool) "window closed" false (Reservation.in_batch res ~tid:0);
+  Alcotest.(check int) "deferred clear ran" (-1) (Reservation.get res ~tid:0 ~refno:0);
+  Alcotest.(check int) "whole row cleared" (-1) (Reservation.get res ~tid:0 ~refno:1);
+  Alcotest.(check int) "one fence for the whole batch" (fences_mid + 1)
+    (Counters.stats counters).Smr_core.Smr_intf.fences
+
+(* -- 1b. every scheme: nodes read in a batch stay protected --------------- *)
+
+(* tid 0 opens a batch and reads two nodes (one op each, [end_op] in
+   between); tid 1 then unlinks, retires and flushes. The nodes must
+   survive until tid 0 closes the window, then reclaim on the next
+   flush. Leaky is exempt from the second half (it never reclaims). *)
+let batch_protects (module S : Smr_core.Smr_intf.S) () =
+  let threads = 2 in
+  let config = Config.default ~threads in
+  let pool = Mempool.Core.create ~capacity:256 ~threads () in
+  let t = S.create ~pool ~threads config in
+  let th0 = S.thread t ~tid:0 and th1 = S.thread t ~tid:1 in
+  (* tid 1 builds two linked nodes *)
+  S.start_op th1;
+  let a = S.alloc_with_index th1 ~index:(1 lsl 20) in
+  let b = S.alloc_with_index th1 ~index:(2 lsl 20) in
+  let link_a = Atomic.make (Mempool.Core.handle pool a) in
+  let link_b = Atomic.make (Mempool.Core.handle pool b) in
+  S.end_op th1;
+  (* tid 0 reads both inside one batch window, as two operations *)
+  S.batch_enter th0;
+  S.start_op th0;
+  let wa = S.read th0 ~refno:0 link_a in
+  Alcotest.(check int) "read a" a (Handle.id wa);
+  S.end_op th0;
+  S.start_op th0;
+  let wb = S.read th0 ~refno:1 link_b in
+  Alcotest.(check int) "read b" b (Handle.id wb);
+  S.end_op th0;
+  (* tid 1 unlinks and retires both, then tries to reclaim *)
+  S.start_op th1;
+  Atomic.set link_a Handle.null;
+  Atomic.set link_b Handle.null;
+  S.retire th1 a;
+  S.retire th1 b;
+  S.end_op th1;
+  S.flush th1;
+  Alcotest.(check bool) "a survives the open window" false (Mempool.Core.is_free pool a);
+  Alcotest.(check bool) "b survives the open window" false (Mempool.Core.is_free pool b);
+  S.batch_exit th0;
+  S.flush th1;
+  if S.name <> "none" then begin
+    Alcotest.(check bool) "a reclaimed after batch_exit" true (Mempool.Core.is_free pool a);
+    Alcotest.(check bool) "b reclaimed after batch_exit" true (Mempool.Core.is_free pool b)
+  end;
+  Alcotest.(check (list int)) "no reservation left" [] (S.pinning_tids t)
+
+(* -- 1c. B=1 equivalence: same results, same fence count ------------------ *)
+
+let batch_of_one_is_free (module S : Smr_core.Smr_intf.S) () =
+  let module L = Dstruct.Michael_list.Make (S) in
+  let run ~batched =
+    let t = L.create ~threads:1 ~capacity:2048 ~check_access:true (Config.default ~threads:1) in
+    let s = L.session t ~tid:0 in
+    let results = Buffer.create 64 in
+    let wrap f =
+      if batched then begin
+        L.batch_enter s;
+        let r = f () in
+        L.batch_exit s;
+        r
+      end
+      else f ()
+    in
+    for k = 0 to 63 do
+      Buffer.add_char results (if wrap (fun () -> L.insert s ~key:(k * 3) ~value:k) then 't' else 'f')
+    done;
+    for k = 0 to 95 do
+      Buffer.add_char results (if wrap (fun () -> L.contains s k) then 't' else 'f');
+      Buffer.add_char results (if wrap (fun () -> L.remove s (k * 2)) then 't' else 'f')
+    done;
+    L.flush s;
+    Alcotest.(check int) "no use-after-free" 0 (L.violations t);
+    (Buffer.contents results, (L.smr_stats t).Smr_core.Smr_intf.fences)
+  in
+  let plain_results, plain_fences = run ~batched:false in
+  let batched_results, batched_fences = run ~batched:true in
+  Alcotest.(check string) "same results" plain_results batched_results;
+  Alcotest.(check int) "same fence count at B=1" plain_fences batched_fences
+
+(* -- 2. MPSC ring --------------------------------------------------------- *)
+
+let ring_lifecycle () =
+  let r = Ring.create ~capacity:4 in
+  Alcotest.(check int) "rounded capacity" 4 (Ring.capacity r);
+  let t0 = Ring.try_submit r ~op:1 ~key:10 ~value:100 in
+  let t1 = Ring.try_submit r ~op:2 ~key:20 ~value:200 in
+  Alcotest.(check int) "first ticket" 0 t0;
+  Alcotest.(check int) "second ticket" 1 t1;
+  Alcotest.(check int) "reply pending" (-1) (Ring.poll r ~ticket:t0);
+  Alcotest.(check bool) "first ready" true (Ring.ready r ~pos:0);
+  Alcotest.(check int) "op" 1 (Ring.op r ~pos:0);
+  Alcotest.(check int) "key" 10 (Ring.key r ~pos:0);
+  Alcotest.(check int) "value" 100 (Ring.value r ~pos:0);
+  Ring.complete r ~pos:0 7;
+  Alcotest.(check int) "reply delivered" 7 (Ring.poll r ~ticket:t0);
+  (* polling acked ticket 0's slot: three more submissions fit (tickets
+     2 and 3 on fresh slots, ticket 4 on the recycled one), then the
+     ring is full because ticket 1 is still pending *)
+  ignore (Ring.try_submit r ~op:0 ~key:0 ~value:0 : int);
+  ignore (Ring.try_submit r ~op:0 ~key:0 ~value:0 : int);
+  Alcotest.(check int) "acked slot recycled on the next lap" 4
+    (Ring.try_submit r ~op:0 ~key:0 ~value:0);
+  Alcotest.(check int) "full ring refuses" (-1) (Ring.try_submit r ~op:0 ~key:0 ~value:0)
+
+let ring_no_lost_no_dup () =
+  let producers = 3 and per_producer = 4_000 in
+  let r = Ring.create ~capacity:64 in
+  let served = Atomic.make 0 in
+  let total = producers * per_producer in
+  let seen = Array.make producers 0 in
+  let sum = Array.make producers 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let pos = ref 0 in
+        let spins = ref 0 in
+        while Atomic.get served < total do
+          if Ring.ready r ~pos:!pos then begin
+            spins := 0;
+            let key = Ring.key r ~pos:!pos and tid = Ring.op r ~pos:!pos in
+            seen.(tid) <- seen.(tid) + 1;
+            sum.(tid) <- sum.(tid) + key;
+            Ring.complete r ~pos:!pos (key + 1);
+            incr pos;
+            Atomic.incr served
+          end
+          else if !spins < 64 then begin
+            incr spins;
+            Domain.cpu_relax ()
+          end
+          else Unix.sleepf 0.0001
+        done)
+  in
+  let bad_replies = Atomic.make 0 in
+  let prods =
+    Array.init producers (fun tid ->
+        Domain.spawn (fun () ->
+            let spins = ref 0 in
+            for i = 1 to per_producer do
+              let key = (tid * 1_000_000) + i in
+              let ticket = ref (Ring.try_submit r ~op:tid ~key ~value:0) in
+              while !ticket < 0 do
+                if !spins < 64 then begin
+                  incr spins;
+                  Domain.cpu_relax ()
+                end
+                else Unix.sleepf 0.0001;
+                ticket := Ring.try_submit r ~op:tid ~key ~value:0
+              done;
+              spins := 0;
+              let reply = ref (Ring.poll r ~ticket:!ticket) in
+              while !reply < 0 do
+                if !spins < 64 then begin
+                  incr spins;
+                  Domain.cpu_relax ()
+                end
+                else Unix.sleepf 0.0001;
+                reply := Ring.poll r ~ticket:!ticket
+              done;
+              spins := 0;
+              if !reply <> key + 1 then Atomic.incr bad_replies
+            done))
+  in
+  Array.iter Domain.join prods;
+  Domain.join consumer;
+  Alcotest.(check int) "every reply routed to its ticket" 0 (Atomic.get bad_replies);
+  for tid = 0 to producers - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "producer %d: no lost, no dup" tid)
+      per_producer seen.(tid);
+    let expect = tid * 1_000_000 * per_producer + (per_producer * (per_producer + 1) / 2) in
+    Alcotest.(check int) (Printf.sprintf "producer %d: payload intact" tid) expect sum.(tid)
+  done
+
+(* -- 3. service end-to-end ------------------------------------------------ *)
+
+let make_hash = Mp_harness.Instances.make Mp_harness.Instances.Hash_ds
+let make_list = Mp_harness.Instances.make Mp_harness.Instances.List_ds
+
+let check_percentile_order h =
+  let p50 = Histogram.percentile_ns h 50.0
+  and p99 = Histogram.percentile_ns h 99.0
+  and p999 = Histogram.percentile_ns h 99.9 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  Alcotest.(check bool) "p99 <= p99.9" true (p99 <= p999);
+  Alcotest.(check bool) "p99.9 <= max" true (p999 <= Histogram.max_ns h)
+
+let service_round ?(mget = 1) (module SET : Dstruct.Set_intf.SET) ~shards ~batch ~mode
+    ~duration () =
+  let config = Config.default ~threads:shards in
+  let set =
+    SET.create ~threads:shards ~capacity:(8192 + (shards * 4096)) ~check_access:true config
+  in
+  let s0 = SET.session set ~tid:0 in
+  for k = 0 to 255 do
+    ignore (SET.insert s0 ~key:(k * 7) ~value:k : bool)
+  done;
+  SET.flush s0;
+  let svc = Service.create (module SET) set ~shards ~batch ~ring_capacity:128 in
+  Service.start svc;
+  let result =
+    Loadgen.run svc
+      {
+        clients = 2;
+        duration_s = duration;
+        warmup_s = 0.0;
+        read_pct = 60;
+        insert_pct = 20;
+        mget;
+        key_range = 2048;
+        zipf_alpha = None;
+        seed = 4242;
+        mode;
+      }
+  in
+  Service.stop svc;
+  let stats = Service.stats svc in
+  SET.check set;
+  Alcotest.(check int) "no use-after-free" 0 (SET.violations set);
+  Alcotest.(check bool) "made progress" true (result.Loadgen.completed > 0);
+  Alcotest.(check bool) "latency samples recorded" true
+    (Histogram.count result.Loadgen.latency > 0);
+  Alcotest.(check bool) "no batch overran B" true (stats.Service.max_batch <= batch);
+  Alcotest.(check bool) "no crashes without faults" true (stats.Service.crashed_shards = 0);
+  check_percentile_order result.Loadgen.latency
+
+(* A multi-get reply counts hits above [reply_mget_base], and its gets
+   are charged against the batch window's op budget: an 8-get at B=4
+   must roll the window mid-request, never widen it past B. *)
+let mget_reply () =
+  let (module SET : Dstruct.Set_intf.SET) = make_hash (module Mp.Margin_ptr) in
+  let shards = 2 and batch = 4 in
+  let config = Config.default ~threads:shards in
+  let set = SET.create ~threads:shards ~capacity:4096 ~check_access:true config in
+  let s0 = SET.session set ~tid:0 in
+  for k = 100 to 107 do
+    ignore (SET.insert s0 ~key:k ~value:k : bool)
+  done;
+  SET.flush s0;
+  let svc = Service.create (module SET) set ~shards ~batch ~ring_capacity:64 in
+  Service.start svc;
+  let mget ~key ~n =
+    let shard = Service.shard_of_key svc key in
+    let ticket =
+      Service.try_submit svc ~shard ~op:Service.op_mget ~key ~value:n
+    in
+    Alcotest.(check bool) "submitted" true (ticket >= 0);
+    Service.await svc ~shard ~ticket
+  in
+  Alcotest.(check int) "8/8 present" (Service.reply_mget_base + 8) (mget ~key:100 ~n:8);
+  Alcotest.(check int) "0/4 present" Service.reply_mget_base (mget ~key:500 ~n:4);
+  Alcotest.(check int) "partial hit" (Service.reply_mget_base + 2) (mget ~key:106 ~n:4);
+  Service.stop svc;
+  let stats = Service.stats svc in
+  Alcotest.(check int) "every get executed" 16 stats.Service.ops;
+  Alcotest.(check bool) "window rolled inside the 8-get" true
+    (stats.Service.max_batch <= batch);
+  Alcotest.(check int) "no use-after-free" 0 (SET.violations set)
+
+(* -- QCheck: random batch sizes under random fault plans ------------------ *)
+
+let fault_service_round seed =
+  let shards = 2 in
+  let batch = 1 + (seed mod 48) in
+  let module SET = Dstruct.Michael_list.Make (Smr_schemes.Hp) in
+  let config = Config.default ~threads:shards in
+  let set = SET.create ~threads:shards ~capacity:16_384 ~check_access:true config in
+  let s0 = SET.session set ~tid:0 in
+  for k = 0 to 127 do
+    ignore (SET.insert s0 ~key:(k * 11) ~value:k : bool)
+  done;
+  SET.flush s0;
+  Fault.arm ~threads:shards (Fault.random_plan ~seed ~threads:shards);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let svc = Service.create (module SET) set ~shards ~batch ~ring_capacity:64 in
+  Service.start svc;
+  let result =
+    Loadgen.run svc
+      {
+        clients = 2;
+        duration_s = 0.25;
+        warmup_s = 0.0;
+        read_pct = 50;
+        insert_pct = 30;
+        mget = 1 + (seed mod 3);
+        key_range = 1024;
+        zipf_alpha = None;
+        seed;
+        mode = Loadgen.Closed { pipeline = 8 };
+      }
+  in
+  Service.stop svc;
+  (* The structure may be left with a crashed shard pinning memory; the
+     structural invariants and the UAF detector must hold regardless. *)
+  SET.check set;
+  ignore (result.Loadgen.rejected : int);
+  SET.violations set = 0
+
+let qcheck_no_uaf =
+  QCheck.Test.make ~count:6 ~name:"random batch sizes under random fault plans: no UAF"
+    QCheck.(map (fun n -> abs n + 1) small_int)
+    fault_service_round
+
+(* -- satellite: wasted_peak / live_peak ----------------------------------- *)
+
+let striped_max_to () =
+  let c = Mp_util.Striped_counter.create ~threads:2 in
+  Mp_util.Striped_counter.max_to c ~tid:0 5;
+  Mp_util.Striped_counter.max_to c ~tid:0 3;
+  Mp_util.Striped_counter.max_to c ~tid:1 2;
+  Alcotest.(check int) "monotonic lift" 5 (Mp_util.Striped_counter.get c ~tid:0);
+  Alcotest.(check int) "summed" 7 (Mp_util.Striped_counter.sum c)
+
+let counters_wasted_peak () =
+  let c = Counters.create ~threads:1 in
+  for _ = 1 to 5 do
+    Counters.on_retire c ~tid:0
+  done;
+  Alcotest.(check int) "peak tracks retires" 5
+    (Counters.stats c).Smr_core.Smr_intf.wasted_peak;
+  Counters.on_reclaim c ~tid:0 5;
+  let st = Counters.stats c in
+  Alcotest.(check int) "wasted drops back" 0 st.Smr_core.Smr_intf.wasted;
+  Alcotest.(check int) "peak is a high-water mark" 5 st.Smr_core.Smr_intf.wasted_peak;
+  Counters.on_retire c ~tid:0;
+  Alcotest.(check int) "later smaller crest keeps the peak" 5
+    (Counters.stats c).Smr_core.Smr_intf.wasted_peak
+
+let mempool_live_peak () =
+  let pool = Mempool.Core.create ~capacity:64 ~threads:1 () in
+  let ids = Array.init 10 (fun _ -> Mempool.Core.alloc pool ~tid:0) in
+  Alcotest.(check int) "peak at crest" 10 (Mempool.Core.live_peak pool);
+  Array.iter (fun id -> Mempool.Core.free pool ~tid:0 id) ids;
+  Alcotest.(check int) "live back to zero" 0 (Mempool.Core.live_count pool);
+  Alcotest.(check int) "peak survives the frees" 10 (Mempool.Core.live_peak pool);
+  let id = Mempool.Core.alloc pool ~tid:0 in
+  Mempool.Core.free pool ~tid:0 id;
+  Alcotest.(check int) "smaller crest keeps the peak" 10 (Mempool.Core.live_peak pool)
+
+(* -- suites --------------------------------------------------------------- *)
+
+let () =
+  let per_scheme name f = List.map (fun (sname, s) -> Alcotest.test_case (name ^ ": " ^ sname) `Quick (f s)) schemes in
+  Alcotest.run "service"
+    [
+      ( "kernel",
+        Alcotest.test_case "batch window defers clear_all" `Quick kernel_batch_defers_clear
+        :: per_scheme "batch protects reads" batch_protects
+        @ per_scheme "B=1 equals un-batched" batch_of_one_is_free );
+      ( "ring",
+        [
+          Alcotest.test_case "slot lifecycle" `Quick ring_lifecycle;
+          Alcotest.test_case "no lost, no dup (3 producers)" `Slow ring_no_lost_no_dup;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "closed loop, hash × mp, B=8, mget=4" `Slow
+            (service_round (make_hash (module Mp.Margin_ptr)) ~shards:2 ~batch:8 ~mget:4
+               ~mode:(Loadgen.Closed { pipeline = 8 }) ~duration:0.25);
+          Alcotest.test_case "multi-get replies and window rollover" `Quick mget_reply;
+          Alcotest.test_case "closed loop, list × hp, B=1" `Slow
+            (service_round (make_list (module Smr_schemes.Hp)) ~shards:2 ~batch:1
+               ~mode:(Loadgen.Closed { pipeline = 4 }) ~duration:0.2);
+          Alcotest.test_case "open loop (Poisson), hash × ibr, B=16" `Slow
+            (service_round (make_hash (module Smr_schemes.Ibr)) ~shards:2 ~batch:16
+               ~mode:(Loadgen.Open { rate = 20_000.0; window = 32 }) ~duration:0.25);
+        ] );
+      ("faults", [ QCheck_alcotest.to_alcotest ~long:true qcheck_no_uaf ]);
+      ( "peaks",
+        [
+          Alcotest.test_case "Striped_counter.max_to" `Quick striped_max_to;
+          Alcotest.test_case "Counters wasted_peak" `Quick counters_wasted_peak;
+          Alcotest.test_case "Mempool live_peak" `Quick mempool_live_peak;
+        ] );
+    ]
