@@ -630,6 +630,8 @@ let pipe_result ~pairs ~total_ops ~throughput ~alloc_words ~promoted ~minor_gcs 
     violations = 0;
     oom = false;
     alloc_stalls = 0;
+    ring_full = 0;
+    deadline_exceeded = 0;
     crashed = [];
     pinning_tids = [];
     watchdog = None;
@@ -1029,6 +1031,8 @@ let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~inser
         zipf_alpha = zipf;
         seed = 0xC0FFEE;
         mode;
+        deadline_s = 0.0;
+        max_retries = 0;
       }
   in
   Service.stop svc;
@@ -1063,6 +1067,8 @@ let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~inser
       violations = SET.violations set;
       oom = st.Service.oom > 0;
       alloc_stalls = lg.Loadgen.drops;
+      ring_full = lg.Loadgen.ring_full;
+      deadline_exceeded = lg.Loadgen.deadline_exceeded;
       crashed = [];
       pinning_tids = SET.pinning_tids set;
       watchdog = None;
@@ -1150,12 +1156,13 @@ let service () =
   let pct q = string_of_int (Mp_util.Histogram.percentile_ns lat q) in
   Report.table
     ~title:"Service: open-loop (Poisson, 50K/s per client) — coordinated-omission corrected"
-    ~header:[ "scheme"; "shards"; "completed/s"; "drops"; "p50"; "p99"; "p99.9" ]
+    ~header:[ "scheme"; "shards"; "completed/s"; "drops"; "ring full"; "p50"; "p99"; "p99.9" ]
     [
       [
         "mp"; string_of_int shards;
         Report.fmt_throughput r.Runner.throughput;
         string_of_int r.Runner.alloc_stalls;
+        string_of_int r.Runner.ring_full;
         pct 50.0; pct 99.0; pct 99.9;
       ];
     ]

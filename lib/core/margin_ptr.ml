@@ -399,6 +399,36 @@ let retire th id =
   if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
+
+(* Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): MP's dead thread
+   pins through three channels — its margins (paired with its frozen
+   epoch announcement), its fallback hazards, and the announcement's
+   veto on the epoch filter. Quarantining both reservation tables and
+   releasing the announcement cuts all three; the thread-local mirrors
+   are reset to match the now-empty rows (the mirrors are owner-private,
+   and after the owning domain was joined, the supervisor is the owner).
+   The scan then drains the dead tid's retired backlog as its own next
+   [empty] would have. *)
+let adopt t ~tid =
+  let th = t.per_thread.(tid) in
+  let s = t.s in
+  Reservation.quarantine s.mps ~tid;
+  Reservation.quarantine s.hps ~tid;
+  for refno = 0 to s.n_slots - 1 do
+    th.cover_lo.(refno) <- 1;
+    th.cover_hi.(refno) <- 0;
+    th.hp_mirror.(refno) <- no_hazard
+  done;
+  Epoch.retire_announcement s.epoch ~tid;
+  th.local_epoch <- Epoch.inactive;
+  th.use_hp_mode <- false;
+  th.in_batch <- false;
+  th.lower_bound <- -1;
+  th.upper_bound <- -1;
+  empty th;
+  Reservation.adopt s.mps ~tid;
+  Reservation.adopt s.hps ~tid
+
 let stats t = Counters.stats t.s.counters
 
 (* Either announcement table pins: a dead thread's margins keep every

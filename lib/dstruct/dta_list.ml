@@ -574,6 +574,11 @@ module As_set : Set_intf.SET = struct
   (* DTA's anchors are per-thread freezing state, not reservations; the
      harness's pinning report does not apply. *)
   let pinning_tids _ = []
+
+  (* DTA holds no announcement-style reservations: a dead thread's
+     anchor is neutralized by the existing DTA recovery path, so there
+     is nothing to adopt. *)
+  let adopt _ ~tid:_ = ()
   let live_nodes = live_nodes
   let flush = flush
 end

@@ -264,6 +264,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let smr_stats t = S.stats t.smr
   let violations t = Mempool.violations t.pool
   let pinning_tids t = S.pinning_tids t.smr
+  let adopt t ~tid = S.adopt t.smr ~tid
   let live_nodes t = Mempool.live_count t.pool
   let flush s =
     flush_trav s;

@@ -71,4 +71,11 @@ module type SET = sig
 
   (** Force reclamation passes on the given session (teardown/tests). *)
   val flush : session -> unit
+
+  (** Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): release every
+      reservation the dead [tid] left published and drain its retired
+      backlog, making the tid safe for a replacement session. Caller
+      must have joined the domain that owned the tid. No-op for
+      structures whose scheme holds no reservations. *)
+  val adopt : t -> tid:int -> unit
 end

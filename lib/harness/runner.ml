@@ -93,6 +93,12 @@ type result = {
       (** a thread starved on the pool past its retry budget (leaky
           schemes, or faults pinning everything) *)
   alloc_stalls : int;  (** pool-exhaustion retries absorbed as backpressure *)
+  ring_full : int;
+      (** service runs: submissions that found a shard's request ring
+          full (backpressure on the client side); 0 for direct runs *)
+  deadline_exceeded : int;
+      (** service runs: requests abandoned past their client deadline;
+          0 for direct runs and for runs without deadlines *)
   crashed : int list;  (** tids killed by a fault-plan crash event *)
   pinning_tids : int list;
       (** tids still holding reservations after the run — with faults, the
@@ -326,6 +332,8 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     violations = SET.violations t;
     oom = Atomic.get oom;
     alloc_stalls;
+    ring_full = 0;
+    deadline_exceeded = 0;
     crashed;
     pinning_tids = pinning;
     watchdog = Option.map Watchdog.verdict wd;
@@ -380,11 +388,12 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
   in
   let json_int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"wasted_peak\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"wasted_peak\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"ring_full\":%d,\"deadline_exceeded\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
     r.wasted_max r.wasted_peak r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
-    (json_float r.scan_time_s) r.violations r.oom r.alloc_stalls (json_int_list r.crashed)
+    (json_float r.scan_time_s) r.violations r.oom r.alloc_stalls r.ring_full
+    r.deadline_exceeded (json_int_list r.crashed)
     (json_int_list r.pinning_tids)
     (Watchdog.json_fields r.watchdog)
     r.final_size lat_p50 lat_p99 lat_p999 lat_max

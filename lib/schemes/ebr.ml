@@ -143,6 +143,21 @@ let flush th =
   try_advance th;
   empty th
 
+(* Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): EBR's only
+   reservation is the epoch announcement, so adoption is releasing it —
+   which lifts the dead thread's veto on every future advance, turning
+   the §4.4 unbounded-waste scenario back into ordinary EBR. The
+   advance + scan that follow drain the dead tid's retired backlog as
+   its own next flush would have. One fence charged to the dead tid for
+   the (counted) release write. *)
+let adopt t ~tid =
+  let th = t.per_thread.(tid) in
+  Epoch.retire_announcement t.s.epoch ~tid;
+  Counters.on_fence t.s.counters ~tid;
+  th.in_batch <- false;
+  try_advance th;
+  empty th
+
 let stats t = Counters.stats t.s.counters
 
 let pinning_tids t =

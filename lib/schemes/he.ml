@@ -146,5 +146,15 @@ let retire th id =
   if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
+
+(* Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): quarantining the
+   dead tid clears its era row — every node whose lifetime only its eras
+   covered becomes reclaimable — and the scan drains its retired backlog
+   as its own next [empty] would have. *)
+let adopt t ~tid =
+  Reservation.quarantine t.s.res ~tid;
+  empty t.per_thread.(tid);
+  Reservation.adopt t.s.res ~tid
+
 let stats t = Counters.stats t.s.counters
 let pinning_tids t = Reservation.occupied_tids t.s.res

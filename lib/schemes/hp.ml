@@ -134,5 +134,16 @@ let retire th id =
   if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
+
+(* Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): quarantining the
+   dead tid clears its hazard row — releasing every node only it pinned —
+   and the scan that follows drains its retired backlog exactly as its
+   own next [empty] would have, now that its hazards no longer veto.
+   Nodes still announced by live threads stay queued for later scans. *)
+let adopt t ~tid =
+  Reservation.quarantine t.s.res ~tid;
+  empty t.per_thread.(tid);
+  Reservation.adopt t.s.res ~tid
+
 let stats t = Counters.stats t.s.counters
 let pinning_tids t = Reservation.occupied_tids t.s.res

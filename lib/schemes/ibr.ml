@@ -176,5 +176,21 @@ let retire th id =
   if Reclaimer.scan_due th.rsv then empty th
 
 let flush th = empty th
+
+(* Crash recovery (see {!Smr_core.Smr_intf.S.adopt}): quarantining both
+   endpoint tables resets the dead tid's interval to the empty idle
+   interval (lower = +inf, upper = -1), so no node lifetime conflicts
+   with it any more; the scan drains its retired backlog. The scheme's
+   own in-batch flag is forced off too — the dead thread may have died
+   inside a batch window. *)
+let adopt t ~tid =
+  Reservation.quarantine t.s.lower ~tid;
+  Reservation.quarantine t.s.upper ~tid;
+  let th = t.per_thread.(tid) in
+  th.in_batch <- false;
+  empty th;
+  Reservation.adopt t.s.lower ~tid;
+  Reservation.adopt t.s.upper ~tid
+
 let stats t = Counters.stats t.s.counters
 let pinning_tids t = Reservation.occupied_tids t.s.lower

@@ -52,6 +52,11 @@ let update_lower_bound (_ : thread) (_ : int) = ()
 let update_upper_bound (_ : thread) (_ : int) = ()
 let handle_of th id = Mempool.Core.handle th.pool id
 let flush (_ : thread) = ()
+
+(* Nothing to release and nothing to drain: a dead Leaky thread pins no
+   more than a live one (everything leaks either way). *)
+let adopt (_ : t) ~tid:(_ : int) = ()
+
 let stats t = Counters.stats t.counters
 
 (* Leaky holds no reservations: waste comes from never reclaiming, not

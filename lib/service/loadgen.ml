@@ -13,6 +13,29 @@
       up as queueing delay instead of being hidden by back-pressure
       (the coordinated-omission correction).
 
+    Resilience (all off by default, so a plain spec behaves exactly like
+    the pre-recovery generator):
+
+    - {b Deadlines} ([spec.deadline_s] > 0): each request carries an
+      absolute deadline. The service sheds requests it picks up late
+      ({!Service.reply_busy}); the client abandons the head-of-line
+      request once it is overdue through {!Service.cancel} and tallies
+      it [deadline_exceeded] — distinct from drops and rejections —
+      unless the cancel raced a completion, which is then recorded
+      normally.
+    - {b Retries} ([spec.max_retries] > 0): bounded-exponential-backoff
+      resubmission, idempotence-aware. [reply_busy] guarantees the
+      request did not execute, so {e any} operation retries on it;
+      [reply_rejected] is ambiguous (the shard may have crashed
+      mid-write), so only reads ([contains]/[mget]) retry on it —
+      writes give up, exactly the at-most-once behaviour a correct
+      client needs. Retried requests keep their original [t0], so
+      latency covers the whole saga.
+    - {b Backpressure telemetry}: every [try_submit] that found the
+      ring full counts into [ring_full] (closed-loop clients previously
+      retried silently; open-loop full-ring arrivals also count a
+      drop).
+
     Every client records end-to-end latency into its own
     {!Mp_util.Histogram} (log-bucket, allocation-free) and the run
     merges them: p50/p99/p99.9/max come from one shared-shape
@@ -21,7 +44,9 @@
     Completions are polled oldest-first per client (tickets on one ring
     complete in FIFO order; across shards this is head-of-line
     conservative — a measured artifact of the bounded client, not of
-    the service). *)
+    the service). Deadlines are likewise enforced head-of-line: a
+    retried request re-enters at the tail with its original [t0], so an
+    overdue non-head entry is cancelled when it reaches the head. *)
 
 module Histogram = Mp_util.Histogram
 module Rng = Mp_util.Rng
@@ -45,13 +70,21 @@ type spec = {
   zipf_alpha : float option;
   seed : int;
   mode : mode;
+  deadline_s : float; (* per-request deadline; 0 = none *)
+  max_retries : int; (* retry budget per request (idempotence-aware) *)
 }
 
 type result = {
-  completed : int; (* successful replies inside the measured window *)
-  rejected : int; (* reply_rejected (crashed shard) in the window *)
+  submitted : int; (* requests that entered a ring in the window (first attempts) *)
+  completed : int; (* successful SET ops inside the measured window *)
+  completed_reqs : int; (* successful requests (mget counts once here) *)
+  rejected : int; (* reply_rejected given up on, in the window *)
+  busy : int; (* reply_busy given up on (deadline shed by the service) *)
   oom : int; (* reply_oom in the window *)
   drops : int; (* open loop: arrivals that could not be submitted *)
+  deadline_exceeded : int; (* overdue requests abandoned via cancel *)
+  ring_full : int; (* try_submit calls that found the ring full *)
+  retries : int; (* resubmissions (not counted in [submitted]) *)
   elapsed_s : float; (* the measured window (duration - warmup) *)
   throughput : float; (* completed / elapsed_s *)
   latency : Histogram.t; (* merged across clients *)
@@ -64,61 +97,181 @@ let[@inline] pause spins =
   end
   else Unix.sleepf 0.0001
 
-(* Per-client outcome tallies, merged after the join. *)
+(* Per-client outcome tallies, merged after the join. Every submitted
+   request lands in exactly one of completed_reqs / rejected / busy /
+   oom / deadline_exceeded — the conservation law the chaos soak checks
+   across crash–respawn boundaries (with [warmup_s = 0] the gating
+   window covers the whole run and the law is exact). *)
 type tally = {
   hist : Histogram.t;
+  mutable submitted : int;
   mutable completed : int;
+  mutable completed_reqs : int;
   mutable rejected : int;
+  mutable busy : int;
   mutable oom : int;
   mutable drops : int;
+  mutable deadline_exceeded : int;
+  mutable ring_full : int;
+  mutable retries : int;
 }
 
-(* [completed] counts SET operations: a multi-get reply
-   ([>= reply_mget_base]) completes [mget] gets at once. Latency is one
-   sample per request either way — it is a request round-trip time. *)
-let[@inline] record tally ~mget ~t_measure ~t0 ~now reply =
-  if now >= t_measure then begin
-    if reply = Service.reply_rejected then tally.rejected <- tally.rejected + 1
-    else if reply = Service.reply_oom then tally.oom <- tally.oom + 1
-    else begin
-      tally.completed <-
-        tally.completed + (if reply >= Service.reply_mget_base then mget else 1);
-      Histogram.record tally.hist (now -. t0)
-    end
-  end
+let tally_create () =
+  {
+    hist = Histogram.create ();
+    submitted = 0;
+    completed = 0;
+    completed_reqs = 0;
+    rejected = 0;
+    busy = 0;
+    oom = 0;
+    drops = 0;
+    deadline_exceeded = 0;
+    ring_full = 0;
+    retries = 0;
+  }
 
-(* A client's outstanding tickets: a ring of (ticket, shard, t0) triples
-   in parallel arrays, drained oldest-first. *)
+let[@inline] is_read op = op = Service.op_contains || op = Service.op_mget
+
+(* The absolute wire deadline for a request whose clock started at [t0]. *)
+let[@inline] deadline_us_of spec ~t0 =
+  if spec.deadline_s > 0.0 then int_of_float ((t0 +. spec.deadline_s) *. 1e6) else 0
+
+(* Bounded exponential backoff before a retry: 20 µs doubling, capped at
+   1 ms — enough to let a recovering shard take its ring over without
+   turning the client into a busy-spinner. *)
+let[@inline] backoff attempts = Unix.sleepf (min 0.001 (ldexp 0.00002 attempts))
+
+(* A client's outstanding tickets in parallel arrays, drained
+   oldest-first. Request identity (op/key/value/attempts) rides along so
+   the retry path can resubmit without threading state elsewhere. *)
 type window = {
   tickets : int array;
   shard_of : int array;
   t0 : float array;
+  ops : int array;
+  keys : int array;
+  values : int array;
+  attempts : int array;
   cap : int;
   mutable head : int;
   mutable count : int;
 }
 
 let window_create cap =
-  { tickets = Array.make cap 0; shard_of = Array.make cap 0; t0 = Array.make cap 0.0;
-    cap; head = 0; count = 0 }
+  {
+    tickets = Array.make cap 0;
+    shard_of = Array.make cap 0;
+    t0 = Array.make cap 0.0;
+    ops = Array.make cap 0;
+    keys = Array.make cap 0;
+    values = Array.make cap 0;
+    attempts = Array.make cap 0;
+    cap;
+    head = 0;
+    count = 0;
+  }
 
-let[@inline] window_push w ~ticket ~shard ~t0 =
+let[@inline] window_push w ~ticket ~shard ~t0 ~op ~key ~value ~attempts =
   let i = (w.head + w.count) mod w.cap in
   w.tickets.(i) <- ticket;
   w.shard_of.(i) <- shard;
   w.t0.(i) <- t0;
+  w.ops.(i) <- op;
+  w.keys.(i) <- key;
+  w.values.(i) <- value;
+  w.attempts.(i) <- attempts;
   w.count <- w.count + 1
 
-(* Poll the oldest outstanding request; true if it completed. *)
-let[@inline] window_poll_oldest service w tally ~mget ~t_measure =
-  let i = w.head in
-  let r = Service.poll service ~shard:w.shard_of.(i) ~ticket:w.tickets.(i) in
-  if r < 0 then false
+let[@inline] window_pop w =
+  w.head <- (w.head + 1) mod w.cap;
+  w.count <- w.count - 1
+
+(* Classify a reply for a request that left the window. Successes record
+   into the histogram ([completed] counts SET operations: a multi-get
+   reply completes [mget] gets at once; latency is one sample per
+   request — a request round-trip time). Retryable failures resubmit
+   with backoff while the budget, the deadline and the run clock allow;
+   everything else tallies exactly once. *)
+let handle_reply service spec w tl ~mget ~t_measure ~t_stop ~t0 ~op ~key ~value
+    ~attempts r =
+  let now = Unix.gettimeofday () in
+  let in_win = now >= t_measure in
+  let give_up () =
+    if in_win then begin
+      if r = Service.reply_busy then tl.busy <- tl.busy + 1
+      else if r = Service.reply_oom then tl.oom <- tl.oom + 1
+      else tl.rejected <- tl.rejected + 1
+    end
+  in
+  if r = Service.reply_busy || r = Service.reply_rejected || r = Service.reply_oom
+  then begin
+    let retryable =
+      (* busy = definitely not executed: anything may retry. rejected =
+         ambiguous: only idempotent reads retry. oom: give up (the pool
+         will not refill by itself). *)
+      r = Service.reply_busy || (r = Service.reply_rejected && is_read op)
+    in
+    if
+      retryable && attempts < spec.max_retries && now < t_stop
+      && (spec.deadline_s <= 0.0 || now -. t0 < spec.deadline_s)
+      && w.count < w.cap
+    then begin
+      backoff attempts;
+      let shard = Service.shard_of_key service key in
+      let ticket =
+        Service.try_submit service ~deadline_us:(deadline_us_of spec ~t0) ~shard ~op
+          ~key ~value
+      in
+      if ticket < 0 then begin
+        if in_win then tl.ring_full <- tl.ring_full + 1;
+        give_up ()
+      end
+      else begin
+        if in_win then tl.retries <- tl.retries + 1;
+        window_push w ~ticket ~shard ~t0 ~op ~key ~value ~attempts:(attempts + 1)
+      end
+    end
+    else give_up ()
+  end
+  else if in_win then begin
+    tl.completed <- tl.completed + (if r >= Service.reply_mget_base then mget else 1);
+    tl.completed_reqs <- tl.completed_reqs + 1;
+    Histogram.record tl.hist (now -. t0)
+  end
+
+(* Poll the oldest outstanding request; true if it left the window
+   (completed, retried back to the tail, or abandoned past deadline). *)
+let window_poll_oldest service spec w tl ~mget ~t_measure ~t_stop =
+  if w.count = 0 then false
   else begin
-    record tally ~mget ~t_measure ~t0:w.t0.(i) ~now:(Unix.gettimeofday ()) r;
-    w.head <- (w.head + 1) mod w.cap;
-    w.count <- w.count - 1;
-    true
+    let i = w.head in
+    let ticket = w.tickets.(i) and shard = w.shard_of.(i) in
+    let t0 = w.t0.(i) and op = w.ops.(i) and key = w.keys.(i) in
+    let value = w.values.(i) and attempts = w.attempts.(i) in
+    let r = Service.poll service ~shard ~ticket in
+    if r >= 0 then begin
+      window_pop w;
+      handle_reply service spec w tl ~mget ~t_measure ~t_stop ~t0 ~op ~key ~value
+        ~attempts r;
+      true
+    end
+    else if spec.deadline_s > 0.0 && Unix.gettimeofday () -. t0 > spec.deadline_s
+    then begin
+      (* Overdue: abandon the ticket. If the cancel raced a completion
+         the reply is handled normally (handle_reply will not retry — the
+         deadline guard fails); a won cancel is a deadline_exceeded,
+         distinct from drops and rejections. *)
+      let c = Service.cancel service ~shard ~ticket in
+      window_pop w;
+      if c >= 0 then
+        handle_reply service spec w tl ~mget ~t_measure ~t_stop ~t0 ~op ~key ~value
+          ~attempts c
+      else if Unix.gettimeofday () >= t_measure then
+        tl.deadline_exceeded <- tl.deadline_exceeded + 1;
+      true
+    end
+    else false
   end
 
 (* Reads become one [op_mget] of [spec.mget] consecutive keys when the
@@ -131,15 +284,17 @@ let[@inline] pick_op spec rng =
   else Service.op_remove
 
 (* Drain whatever is still outstanding when the clock runs out (the
-   service is still serving; clients stop first, shards after). *)
-let drain_all service w tally ~mget ~t_measure =
+   service is still serving; clients stop first, shards after). Bounded
+   when deadlines are armed — overdue requests are cancelled — and
+   otherwise relies on the service's every-request-answered guarantee. *)
+let drain_all service spec w tl ~mget ~t_measure ~t_stop =
   let spins = ref 0 in
   while w.count > 0 do
-    if window_poll_oldest service w tally ~mget ~t_measure then spins := 0
+    if window_poll_oldest service spec w tl ~mget ~t_measure ~t_stop then spins := 0
     else pause spins
   done
 
-let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tally =
+let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tl =
   let rng = Rng.split ~seed:spec.seed ~tid:idx in
   let keys =
     match spec.zipf_alpha with
@@ -148,7 +303,8 @@ let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tally 
   in
   ignore t_start;
   let mget = max 1 spec.mget in
-  let w = window_create pipeline in
+  let w = window_create (pipeline + max 1 spec.max_retries) in
+  (* cap > pipeline so a retry always finds window room *)
   let spins = ref 0 in
   while Unix.gettimeofday () < t_stop do
     (* Fill the pipeline as far as the rings allow. *)
@@ -158,20 +314,31 @@ let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tally 
       let key = Keygen.next keys rng in
       let shard = Service.shard_of_key service key in
       let value = if op = Service.op_mget then mget else key in
-      let ticket = Service.try_submit service ~shard ~op ~key ~value in
-      if ticket < 0 then blocked := true
-      else window_push w ~ticket ~shard ~t0:(Unix.gettimeofday ())
+      let now = Unix.gettimeofday () in
+      let ticket =
+        Service.try_submit service ~deadline_us:(deadline_us_of spec ~t0:now) ~shard
+          ~op ~key ~value
+      in
+      if ticket < 0 then begin
+        (* Previously a silent retry-next-iteration; now counted. *)
+        if now >= t_measure then tl.ring_full <- tl.ring_full + 1;
+        blocked := true
+      end
+      else begin
+        if now >= t_measure then tl.submitted <- tl.submitted + 1;
+        window_push w ~ticket ~shard ~t0:now ~op ~key ~value ~attempts:0
+      end
     done;
     (* Reap completions oldest-first. *)
     let progress = ref false in
-    while w.count > 0 && window_poll_oldest service w tally ~mget ~t_measure do
+    while w.count > 0 && window_poll_oldest service spec w tl ~mget ~t_measure ~t_stop do
       progress := true
     done;
     if !progress then spins := 0 else pause spins
   done;
-  drain_all service w tally ~mget ~t_measure
+  drain_all service spec w tl ~mget ~t_measure ~t_stop
 
-let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tally =
+let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tl =
   let rng = Rng.split ~seed:spec.seed ~tid:idx in
   let keys =
     match spec.zipf_alpha with
@@ -179,7 +346,7 @@ let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tall
     | None -> Keygen.uniform ~range:spec.key_range
   in
   let mget = max 1 spec.mget in
-  let w = window_create window in
+  let w = window_create (window + max 1 spec.max_retries) in
   let spins = ref 0 in
   (* Exponential inter-arrival gap, mean 1/rate. *)
   let next_gap () = -.log (1.0 -. Rng.float rng) /. rate in
@@ -189,26 +356,44 @@ let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tall
     if !now >= !next_arrival then begin
       (* An arrival is due. If it cannot enter the system (window or
          ring full) it is a drop — the schedule does not slip, which is
-         what makes the loop open. *)
-      (if w.count >= window then tally.drops <- tally.drops + 1
+         what makes the loop open. Drops gate on the measurement window
+         like every other tally (they used to count from t_start,
+         inflating reported drop rates by the warmup). *)
+      let in_win = !now >= t_measure in
+      (if w.count >= window then begin
+         if in_win then tl.drops <- tl.drops + 1
+       end
        else begin
          let op = pick_op spec rng in
          let key = Keygen.next keys rng in
          let shard = Service.shard_of_key service key in
          let value = if op = Service.op_mget then mget else key in
-         let ticket = Service.try_submit service ~shard ~op ~key ~value in
-         if ticket < 0 then tally.drops <- tally.drops + 1
-         else
-           (* t0 = scheduled arrival, not submit time: queueing delay
-              behind a slow service is charged to the request. *)
-           window_push w ~ticket ~shard ~t0:!next_arrival
+         (* t0 = scheduled arrival, not submit time: queueing delay
+            behind a slow service is charged to the request. *)
+         let t0 = !next_arrival in
+         let ticket =
+           Service.try_submit service ~deadline_us:(deadline_us_of spec ~t0) ~shard
+             ~op ~key ~value
+         in
+         if ticket < 0 then begin
+           if in_win then begin
+             tl.ring_full <- tl.ring_full + 1;
+             tl.drops <- tl.drops + 1
+           end
+         end
+         else begin
+           if in_win then tl.submitted <- tl.submitted + 1;
+           window_push w ~ticket ~shard ~t0 ~op ~key ~value ~attempts:0
+         end
        end);
       next_arrival := !next_arrival +. next_gap ();
       spins := 0
     end
     else begin
       let progress = ref false in
-      while w.count > 0 && window_poll_oldest service w tally ~mget ~t_measure do
+      while
+        w.count > 0 && window_poll_oldest service spec w tl ~mget ~t_measure ~t_stop
+      do
         progress := true
       done;
       if !progress then spins := 0
@@ -221,19 +406,16 @@ let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tall
     end;
     now := Unix.gettimeofday ()
   done;
-  drain_all service w tally ~mget ~t_measure
+  drain_all service spec w tl ~mget ~t_measure ~t_stop
 
 (** Run the generator against a started service; blocks until the
-    duration elapses and every outstanding request is answered.
-    [?tick] is called every ~2 ms from the calling thread while the
-    clients run — the hook the soak harness hangs its watchdog sampler
-    on. *)
+    duration elapses and every outstanding request is answered or
+    abandoned. [?tick] is called every ~2 ms from the calling thread
+    while the clients run — the hook the soak harness hangs its
+    watchdog sampler on. *)
 let run ?(tick = fun () -> ()) service spec =
   let clients = max 1 spec.clients in
-  let tallies =
-    Array.init clients (fun _ ->
-        { hist = Histogram.create (); completed = 0; rejected = 0; oom = 0; drops = 0 })
-  in
+  let tallies = Array.init clients (fun _ -> tally_create ()) in
   let t_start = Unix.gettimeofday () in
   let t_measure = t_start +. spec.warmup_s in
   let t_stop = t_start +. spec.duration_s in
@@ -256,21 +438,35 @@ let run ?(tick = fun () -> ()) service spec =
   done;
   Array.iter Domain.join domains;
   let latency = Histogram.create () in
-  let completed = ref 0 and rejected = ref 0 and oom = ref 0 and drops = ref 0 in
+  let submitted = ref 0 and completed = ref 0 and completed_reqs = ref 0 in
+  let rejected = ref 0 and busy = ref 0 and oom = ref 0 and drops = ref 0 in
+  let deadline_exceeded = ref 0 and ring_full = ref 0 and retries = ref 0 in
   Array.iter
     (fun tl ->
       Histogram.merge_into ~into:latency tl.hist;
+      submitted := !submitted + tl.submitted;
       completed := !completed + tl.completed;
+      completed_reqs := !completed_reqs + tl.completed_reqs;
       rejected := !rejected + tl.rejected;
+      busy := !busy + tl.busy;
       oom := !oom + tl.oom;
-      drops := !drops + tl.drops)
+      drops := !drops + tl.drops;
+      deadline_exceeded := !deadline_exceeded + tl.deadline_exceeded;
+      ring_full := !ring_full + tl.ring_full;
+      retries := !retries + tl.retries)
     tallies;
   let elapsed_s = spec.duration_s -. spec.warmup_s in
   {
+    submitted = !submitted;
     completed = !completed;
+    completed_reqs = !completed_reqs;
     rejected = !rejected;
+    busy = !busy;
     oom = !oom;
     drops = !drops;
+    deadline_exceeded = !deadline_exceeded;
+    ring_full = !ring_full;
+    retries = !retries;
     elapsed_s;
     throughput = (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
     latency;

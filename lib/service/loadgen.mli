@@ -1,6 +1,8 @@
 (** Closed-loop and open-loop (Poisson) load generator for {!Service},
     recording end-to-end latency into a merged log-bucket histogram
-    (p50/p99/p99.9/max via {!Mp_util.Histogram.percentile_ns}). *)
+    (p50/p99/p99.9/max via {!Mp_util.Histogram.percentile_ns}), with
+    optional per-request deadlines, idempotence-aware retries and
+    backpressure telemetry. *)
 
 type mode =
   | Closed of { pipeline : int }
@@ -27,13 +29,35 @@ type spec = {
   zipf_alpha : float option;
   seed : int;
   mode : mode;
+  deadline_s : float;
+      (** Per-request deadline, seconds (0 = none). Requests carry the
+          absolute deadline on the wire ({!Service.reply_busy} shedding)
+          and overdue head-of-line tickets are abandoned via
+          {!Service.cancel}, tallied [deadline_exceeded]. *)
+  max_retries : int;
+      (** Retry budget per request (0 = none). [reply_busy] retries any
+          operation (it guarantees non-execution); [reply_rejected]
+          retries reads only (ambiguous for writes). Bounded
+          exponential backoff, 20 µs doubling capped at 1 ms; retries
+          keep the original [t0] and never start past the run clock or
+          the request deadline. *)
 }
 
 type result = {
+  submitted : int;
+      (* first-attempt requests that entered a ring in the window; with
+         [warmup_s = 0] the conservation law
+         submitted = completed_reqs + rejected + busy + oom +
+         deadline_exceeded holds exactly *)
   completed : int; (* successful SET operations in the measured window *)
-  rejected : int; (* crashed-shard rejections in the window *)
+  completed_reqs : int; (* successful requests (a multi-get counts once) *)
+  rejected : int; (* crashed-shard rejections given up on, in the window *)
+  busy : int; (* deadline sheds ({!Service.reply_busy}) given up on *)
   oom : int; (* pool-exhaustion refusals in the window *)
   drops : int; (* open loop: arrivals that could not be submitted *)
+  deadline_exceeded : int; (* overdue tickets abandoned via cancel *)
+  ring_full : int; (* try_submit calls that found the ring full *)
+  retries : int; (* resubmissions (not counted in [submitted]) *)
   elapsed_s : float; (* the measured window (duration - warmup) *)
   throughput : float; (* completed / elapsed_s *)
   latency : Mp_util.Histogram.t;

@@ -1,0 +1,113 @@
+(** Crash-recovery policy and bookkeeping for the sharded service.
+
+    The paper's §4.4 robustness story bounds what a dead thread can pin;
+    this module is the other half (DEBRA+'s "neutralize and recover",
+    arXiv:1712.01044): a supervisor domain samples per-shard heartbeat
+    words, and when a shard domain dies it (1) joins the dead domain,
+    (2) bumps the ring generation so the dead incarnation's in-flight
+    requests are rejected exactly once, (3) respawns a replacement shard
+    domain on a fresh SMR tid drawn from the free-tid pool here, and
+    (4) {e adopts} the dead tid — releasing every reservation it left
+    published and draining its retired backlog — before returning it to
+    the pool for the next recovery.
+
+    This module owns the policy knobs ({!config}), the free-tid pool and
+    the recovery telemetry; the supervisor loop itself lives in
+    {!Service} (it needs the worker closures). Everything here is
+    supervisor-private — one domain — so plain mutable state suffices. *)
+
+type config = {
+  spare_tids : int;
+      (** SMR tids reserved beyond the shard count; the structure must
+          have been created with [threads >= shards + spare_tids]. With
+          at least one spare, a replacement spawns on a fresh tid
+          immediately and the dead tid is adopted off the critical path;
+          with zero spares the dead tid is adopted first and reused. *)
+  poll_interval_s : float;  (** supervisor heartbeat sampling period *)
+  stall_timeout_s : float;
+      (** heartbeat age past which a live shard is counted suspected
+          (telemetry only — a stalled shard is never adopted, because
+          unlike a dead one it may still wake up and use its tid) *)
+}
+
+let default = { spare_tids = 1; poll_interval_s = 0.0005; stall_timeout_s = 0.25 }
+
+let validate cfg =
+  if cfg.spare_tids < 0 then invalid_arg "Recovery.config.spare_tids < 0";
+  if cfg.poll_interval_s <= 0.0 then invalid_arg "Recovery.config.poll_interval_s <= 0";
+  if cfg.stall_timeout_s <= 0.0 then invalid_arg "Recovery.config.stall_timeout_s <= 0";
+  cfg
+
+type t = {
+  config : config;
+  mutable free : int list; (* free-tid pool, LIFO; supervisor-private *)
+  mutable recoveries : int;
+  mutable adoptions : int;
+  mutable suspected : int;
+  mutable total_recovery_s : float;
+  mutable max_recovery_s : float;
+  mutable last_recovery_at : float; (* wall clock; 0. = never *)
+}
+
+(** [create ~shards config]: shard [i] starts on tid [i]; the pool holds
+    tids [shards .. shards + spare_tids - 1]. *)
+let create ~shards config =
+  let config = validate config in
+  {
+    config;
+    free = List.init config.spare_tids (fun i -> shards + i);
+    recoveries = 0;
+    adoptions = 0;
+    suspected = 0;
+    total_recovery_s = 0.0;
+    max_recovery_s = 0.0;
+    last_recovery_at = 0.0;
+  }
+
+let config t = t.config
+
+(** Pop a fresh tid for a replacement shard ([None]: pool empty — adopt
+    the dead tid first and reuse it). *)
+let take_tid t =
+  match t.free with
+  | [] -> None
+  | tid :: rest ->
+    t.free <- rest;
+    Some tid
+
+(** Return an adopted tid to the pool. *)
+let return_tid t tid = t.free <- tid :: t.free
+
+let note_adoption t = t.adoptions <- t.adoptions + 1
+let note_suspected t = t.suspected <- t.suspected + 1
+
+let note_recovery t ~elapsed_s ~at =
+  t.recoveries <- t.recoveries + 1;
+  t.total_recovery_s <- t.total_recovery_s +. elapsed_s;
+  if elapsed_s > t.max_recovery_s then t.max_recovery_s <- elapsed_s;
+  t.last_recovery_at <- at
+
+(* -- telemetry ----------------------------------------------------------- *)
+
+type stats = {
+  recoveries : int;  (** dead shards detected, joined and respawned *)
+  adoptions : int;  (** dead tids adopted (reservations released) *)
+  suspected : int;  (** stall episodes flagged (heartbeat age, no death) *)
+  mean_recovery_s : float;  (** death observed → replacement spawned *)
+  max_recovery_s : float;
+  last_recovery_at : float;  (** wall clock of the last takeover; 0 = none *)
+  free_tids : int;  (** pool size right now *)
+}
+
+let stats (t : t) =
+  {
+    recoveries = t.recoveries;
+    adoptions = t.adoptions;
+    suspected = t.suspected;
+    mean_recovery_s =
+      (if t.recoveries = 0 then 0.0
+       else t.total_recovery_s /. float_of_int t.recoveries);
+    max_recovery_s = t.max_recovery_s;
+    last_recovery_at = t.last_recovery_at;
+    free_tids = List.length t.free;
+  }

@@ -1,0 +1,52 @@
+(** Crash-recovery policy, free-tid pool and telemetry for the sharded
+    service (the supervisor loop lives in {!Service}). A dead shard
+    domain is joined, its ring generation bumped, a replacement spawned
+    on a tid from the pool here, and the dead tid adopted
+    ({!Dstruct.Set_intf.SET.adopt}) and pooled for the next recovery. *)
+
+type config = {
+  spare_tids : int;
+      (** tids reserved beyond the shard count (structure must be built
+          with [threads >= shards + spare_tids]); 0 = adopt-then-reuse *)
+  poll_interval_s : float;  (** supervisor heartbeat sampling period *)
+  stall_timeout_s : float;
+      (** heartbeat age past which a live shard counts as suspected
+          (telemetry only; stalled shards are never adopted) *)
+}
+
+val default : config
+
+(** Raises [Invalid_argument] on nonsensical knobs. *)
+val validate : config -> config
+
+type t
+
+(** [create ~shards config]: shard [i] starts on tid [i]; the pool holds
+    tids [shards .. shards + spare_tids - 1]. All state is
+    supervisor-private. *)
+val create : shards:int -> config -> t
+
+val config : t -> config
+
+(** Pop a fresh tid for a replacement ([None]: pool empty — adopt the
+    dead tid first and reuse it). *)
+val take_tid : t -> int option
+
+(** Return an adopted tid to the pool. *)
+val return_tid : t -> int -> unit
+
+val note_adoption : t -> unit
+val note_suspected : t -> unit
+val note_recovery : t -> elapsed_s:float -> at:float -> unit
+
+type stats = {
+  recoveries : int;  (** dead shards detected, joined and respawned *)
+  adoptions : int;  (** dead tids adopted (reservations released) *)
+  suspected : int;  (** stall episodes flagged (heartbeat age, no death) *)
+  mean_recovery_s : float;  (** death observed → replacement spawned *)
+  max_recovery_s : float;
+  last_recovery_at : float;  (** wall clock of the last takeover; 0 = none *)
+  free_tids : int;
+}
+
+val stats : t -> stats

@@ -10,39 +10,63 @@
       [pos]            free — claimable by the producer holding ticket [pos]
       [pos + 1]        submitted — payload valid, awaiting the consumer
       [pos + 2]        completed — reply valid, awaiting the producer's ack
+      [pos + 3]        cancelled — the producer abandoned the request
+                       ({!cancel}) before the consumer took it; the
+                       consumer discards the slot when its cursor arrives
       [pos + capacity] acked — free for the next lap
 
     Producers claim a ticket with one CAS on the tail word; everything
-    after that is wait-free for the claimant. The consumer never CASes:
-    it owns its cursor and advances it privately, reading each slot's
-    payload only after observing [pos + 1] in the sequence word.
+    after that is wait-free for the claimant. The consumer owns its
+    cursor and advances it privately, reading each slot's payload only
+    after observing [pos + 1] in the sequence word. The submitted →
+    completed and submitted → cancelled transitions race (a client may
+    abandon a request the consumer is just taking), so both sides take
+    that edge with a CAS on the sequence word — whoever wins owns the
+    slot's fate, and the loser backs off through the winner's state.
+    [capacity >= 4] keeps [pos + 3] distinct from [pos + capacity].
 
-    The payload (op, key, value, reply) lives in plain [int] arrays;
-    every access is ordered by an [Atomic] read or write of the slot's
-    sequence word, so the usual publication argument applies — the
-    reader that observed the advanced sequence value also observes the
-    payload writes that preceded it. Sequence atomics are spaced a
-    cache line apart ({!Mp_util.Padding.atomic_int_array}) so a
+    Each slot additionally records the ring {e generation} it was
+    submitted under ({!val-generation}): a recovery supervisor bumps the
+    generation before respawning a crashed shard's consumer, so the
+    replacement can recognize — and reject exactly once — requests
+    submitted to the dead incarnation. The seq-word lifecycle is what
+    guarantees exactly-once: whichever incarnation's consumer reaches
+    the slot first takes the submitted → completed edge, and a joined
+    domain cannot reach anything afterwards.
+
+    The payload (op, key, value, reply, generation, deadline) lives in
+    plain [int] arrays; every access is ordered by an [Atomic] read or
+    write of the slot's sequence word, so the usual publication argument
+    applies — the reader that observed the advanced sequence value also
+    observes the payload writes that preceded it. Sequence atomics are
+    spaced a cache line apart ({!Mp_util.Padding.atomic_int_array}) so a
     producer spinning on its reply does not steal the line the consumer
     is completing a neighbouring slot through.
 
-    Submitting, serving and polling allocate nothing ([-1] sentinels
-    instead of options): the reply path of a request is a "reply slot",
-    not a message. *)
+    Submitting, serving, polling and cancelling allocate nothing ([-1]
+    sentinels instead of options): the reply path of a request is a
+    "reply slot", not a message. *)
+
+(* Payload words per slot. *)
+let stride = 6
 
 type t = {
   capacity : int;
   mask : int;
   seq : int Atomic.t array; (* spaced: slot i at [Padding.spaced_index i] *)
-  payload : int array; (* 4 plain ints per slot: op, key, value, reply *)
+  payload : int array;
+      (* [stride] plain ints per slot:
+         op, key, value, reply, generation, deadline_us *)
   tail : int Atomic.t; (* producers' ticket counter *)
+  generation : int Atomic.t; (* bumped by the recovery supervisor *)
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
 (** [create ~capacity] builds a ring of at least [capacity] slots
     (rounded up to a power of two, minimum 4 so the in-flight sequence
-    states of one lap cannot collide with the next). *)
+    states of one lap — including the cancelled state [pos + 3] —
+    cannot collide with the next lap's). *)
 let create ~capacity =
   let capacity = pow2_at_least (max 4 capacity) 4 in
   {
@@ -54,8 +78,9 @@ let create ~capacity =
          Atomic.set a.(Mp_util.Padding.spaced_index i) i
        done;
        a);
-    payload = Array.make (capacity * 4) 0;
+    payload = Array.make (capacity * stride) 0;
     tail = Atomic.make 0;
+    generation = Atomic.make 0;
   }
 
 let capacity t = t.capacity
@@ -63,15 +88,30 @@ let capacity t = t.capacity
 let[@inline] seq_at t pos =
   Array.unsafe_get t.seq (Mp_util.Padding.spaced_index (pos land t.mask))
 
-let[@inline] base t pos = (pos land t.mask) * 4
+let[@inline] base t pos = (pos land t.mask) * stride
+
+(* -- incarnations --------------------------------------------------------- *)
+
+(** The current ring generation. Requests are stamped with it at submit
+    time; a consumer serving a request stamped below the current
+    generation is looking at a dead incarnation's mail. *)
+let[@inline] generation t = Atomic.get t.generation
+
+(** Bump the generation — the recovery supervisor's takeover edge. Must
+    happen after the dead consumer was joined and before the replacement
+    consumer starts. *)
+let bump_generation t = Atomic.incr t.generation
 
 (* -- producers ----------------------------------------------------------- *)
 
 (** Claim a slot and publish a request; returns the ticket ([>= 0]) to
     poll the reply with, or [-1] when the ring is full (the slot one lap
-    back has not been acked yet). Lock-free: a failed CAS means another
-    producer claimed the ticket and made progress. *)
-let rec try_submit t ~op ~key ~value =
+    back has not been acked yet). [deadline_us] is an absolute deadline
+    in integer microseconds ([0] = none): the consumer answers a request
+    it picks up past its deadline with the service's busy code instead
+    of executing it. Lock-free: a failed CAS means another producer
+    claimed the ticket and made progress. *)
+let rec try_submit ?(deadline_us = 0) t ~op ~key ~value =
   let pos = Atomic.get t.tail in
   let s = seq_at t pos in
   let v = Atomic.get s in
@@ -81,16 +121,19 @@ let rec try_submit t ~op ~key ~value =
       t.payload.(b) <- op;
       t.payload.(b + 1) <- key;
       t.payload.(b + 2) <- value;
+      t.payload.(b + 4) <- Atomic.get t.generation;
+      t.payload.(b + 5) <- deadline_us;
       Atomic.set s (pos + 1);
       pos
     end
-    else try_submit t ~op ~key ~value (* lost the ticket race *)
+    else try_submit ~deadline_us t ~op ~key ~value (* lost the ticket race *)
   else if v < pos then -1 (* previous lap's occupant not yet acked: full *)
-  else try_submit t ~op ~key ~value (* stale tail read *)
+  else try_submit ~deadline_us t ~op ~key ~value (* stale tail read *)
 
 (** Poll the reply for [ticket]: the reply code ([>= 0], acking the slot
     for reuse) or [-1] while still pending. Each ticket must be polled
-    to completion exactly once — the ack is what frees the slot. *)
+    to completion exactly once — the ack is what frees the slot — or
+    abandoned through {!cancel}, never both. *)
 let[@inline] poll t ~ticket =
   let s = seq_at t ticket in
   if Atomic.get s = ticket + 2 then begin
@@ -100,18 +143,59 @@ let[@inline] poll t ~ticket =
   end
   else -1
 
+(** Abandon [ticket]: the deadline path of a client that will not wait
+    for the reply. Returns [-1] if the cancel won — the slot is now the
+    consumer's to discard, the request may or may not execute, and the
+    ticket must never be polled again — or the reply code ([>= 0], slot
+    acked) if the consumer completed first, in which case the cancel
+    degenerated into the final poll. Races only with the consumer: the
+    submitting client is the only caller for its own ticket. *)
+let cancel t ~ticket =
+  let s = seq_at t ticket in
+  let v = Atomic.get s in
+  if v = ticket + 1 && Atomic.compare_and_set s (ticket + 1) (ticket + 3) then -1
+  else if Atomic.get s = ticket + 2 then begin
+    (* Completed (either before the first read or by winning the race
+       against our CAS): take the reply and ack, exactly like poll. *)
+    let r = t.payload.(base t ticket + 3) in
+    Atomic.set s (ticket + t.capacity);
+    r
+  end
+  else -1 (* already past this lap: tolerate a stray double-cancel *)
+
 (* -- the consumer (one domain) ------------------------------------------- *)
 
 (** Is the request at the consumer's cursor position submitted? *)
 let[@inline] ready t ~pos = Atomic.get (seq_at t pos) = pos + 1
+
+(** Did the producer cancel the request at the cursor position? *)
+let[@inline] cancelled t ~pos = Atomic.get (seq_at t pos) = pos + 3
 
 (* Payload accessors: valid only between [ready] and [complete]. *)
 let[@inline] op t ~pos = t.payload.(base t pos)
 let[@inline] key t ~pos = t.payload.(base t pos + 1)
 let[@inline] value t ~pos = t.payload.(base t pos + 2)
 
+(** The ring generation the request at [pos] was submitted under. *)
+let[@inline] stamp t ~pos = t.payload.(base t pos + 4)
+
+(** The request's absolute deadline in microseconds (0 = none). *)
+let[@inline] deadline_us t ~pos = t.payload.(base t pos + 5)
+
 (** Publish the reply for the request at [pos] and hand the slot back to
-    its submitter. *)
+    its submitter. Returns [false] when the producer's {!cancel} won the
+    race instead — the reply is dropped, the slot is freed here (the
+    canceller never touches it again), and the consumer simply moves
+    on. *)
 let[@inline] complete t ~pos reply =
   t.payload.(base t pos + 3) <- reply;
-  Atomic.set (seq_at t pos) (pos + 2)
+  let s = seq_at t pos in
+  if Atomic.compare_and_set s (pos + 1) (pos + 2) then true
+  else begin
+    (* Only cancel takes submitted → cancelled; free the slot. *)
+    Atomic.set s (pos + t.capacity);
+    false
+  end
+
+(** Free a {!cancelled} slot at the cursor position. *)
+let[@inline] discard t ~pos = Atomic.set (seq_at t pos) (pos + t.capacity)

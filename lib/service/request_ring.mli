@@ -2,7 +2,8 @@
     requests, one shard domain serves them and completes each with an
     integer reply through the same slot. Allocation-free on every path;
     [-1] sentinels instead of options. See the implementation header
-    for the slot lifecycle. *)
+    for the slot lifecycle (free → submitted → completed | cancelled →
+    acked) and the incarnation (generation) tag recovery rides on. *)
 
 type t
 
@@ -11,22 +12,49 @@ val create : capacity:int -> t
 
 val capacity : t -> int
 
+(** {2 Incarnations (recovery supervisor)} *)
+
+(** The current ring generation; requests are stamped with it at submit
+    time. *)
+val generation : t -> int
+
+(** Bump the generation: the respawn takeover edge. Call after joining
+    the dead consumer domain, before starting the replacement — the
+    replacement answers requests stamped below the new generation with
+    a rejection instead of executing them. *)
+val bump_generation : t -> unit
+
 (** {2 Producers (any domain)} *)
 
 (** Claim a slot and publish a request: returns a ticket [>= 0], or
-    [-1] when the ring is full. *)
-val try_submit : t -> op:int -> key:int -> value:int -> int
+    [-1] when the ring is full. [deadline_us] is an absolute deadline
+    in integer microseconds, [0] = none; the consumer sheds requests it
+    picks up past their deadline (answering busy) instead of executing
+    them. *)
+val try_submit : ?deadline_us:int -> t -> op:int -> key:int -> value:int -> int
 
 (** Reply for [ticket] ([>= 0], frees the slot) or [-1] while pending.
-    Poll each ticket to completion exactly once. *)
+    Poll each ticket to completion exactly once — or abandon it with
+    {!cancel}, never both. *)
 val poll : t -> ticket:int -> int
+
+(** Abandon [ticket] (the client-side deadline path): [-1] if the
+    cancel won — the consumer discards the slot, the request may or may
+    not execute, and the ticket must never be polled again — or the
+    reply code [>= 0] if the consumer completed first (the cancel then
+    acted as the final poll and freed the slot). *)
+val cancel : t -> ticket:int -> int
 
 (** {2 The consumer (the single shard domain)}
 
-    The consumer owns a private cursor [pos], starting at 0 and
-    incremented by 1 after each {!complete}. *)
+    The consumer owns a cursor [pos], starting at 0 and incremented by
+    1 after each {!complete} or {!discard}. *)
 
 val ready : t -> pos:int -> bool
+
+(** Did the producer cancel the request at the cursor position? If so,
+    {!discard} it and advance. *)
+val cancelled : t -> pos:int -> bool
 
 (** Valid only between [ready t ~pos = true] and [complete t ~pos]. *)
 val op : t -> pos:int -> int
@@ -34,5 +62,17 @@ val op : t -> pos:int -> int
 val key : t -> pos:int -> int
 val value : t -> pos:int -> int
 
-(** Publish the reply and hand the slot back to its submitter. *)
-val complete : t -> pos:int -> int -> unit
+(** The ring generation the request at [pos] was submitted under;
+    [stamp < generation] marks a dead incarnation's request. *)
+val stamp : t -> pos:int -> int
+
+(** The request's absolute deadline in microseconds (0 = none). *)
+val deadline_us : t -> pos:int -> int
+
+(** Publish the reply and hand the slot back to its submitter. [false]
+    when a racing {!cancel} won: the reply was dropped and the slot
+    freed here; the consumer just advances. *)
+val complete : t -> pos:int -> int -> bool
+
+(** Free a {!cancelled} slot. *)
+val discard : t -> pos:int -> unit

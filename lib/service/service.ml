@@ -2,8 +2,11 @@
 
     Keys are hash-partitioned across N shards. Each shard is one domain
     owning one bounded MPSC {!Request_ring} and one SMR session of the
-    underlying structure (shard [i] is SMR tid [i] — the shards are the
-    only threads of the structure; clients never touch it directly).
+    underlying structure (the shards are the only threads of the
+    structure; clients never touch it directly). Shard [i] starts on SMR
+    tid [i]; with recovery enabled a respawned shard runs on a fresh tid
+    from the free-tid pool, so the tid is carried in the worker, not
+    derived from the shard index.
 
     The shard drains requests inside SMR batch windows
     ([SET.batch_enter] … [SET.batch_exit]) of at most B SET operations
@@ -17,10 +20,34 @@
 
     Fault plans ({!Mp_util.Fault}) fire inside the shard domains. A
     shard that draws a [Crash] dies the way the paper's §4.4 thread
-    does — its announcements stay published and pin memory — but the
-    service degrades instead of deadlocking: the dead shard turns into
-    a rejector that answers every subsequent request on its ring with
-    {!reply_rejected}, so no client ever blocks on a crashed shard.
+    does — its announcements stay published and pin memory. What happens
+    next depends on whether the service was created with a
+    {!Recovery.config}:
+
+    - {b Without recovery} (the PR-5 behaviour, and the default): the
+      dead shard turns into a rejector that answers every subsequent
+      request on its ring with {!reply_rejected}, so no client ever
+      blocks — the service degrades, the §4.4 waste is paid forever.
+    - {b With recovery}: each shard increments a heartbeat word every
+      scheduling loop; a supervisor domain samples them. The crashing
+      shard completes its in-flight request ({!reply_rejected}), writes
+      its stats, stamps the heartbeat with the dead marker and exits its
+      domain. The supervisor joins the corpse, bumps the ring's
+      generation (so the replacement rejects the dead incarnation's
+      queued requests exactly once — the seq-word lifecycle guarantees
+      no reply is lost or duplicated across the takeover), respawns a
+      replacement worker on a fresh tid for the same shard, and then
+      {e adopts} the dead tid ({!Dstruct.Set_intf.SET.adopt}): every
+      reservation the corpse left published is released, its retired
+      backlog drained, and the tid returned to the pool. Wasted memory
+      returns to the no-crash baseline instead of staying pinned.
+
+    Backpressure: a request carries an optional absolute deadline; a
+    shard that picks a request up past its deadline answers
+    {!reply_busy} without executing it — the signal a client's retry
+    loop can act on freely, because a busy reply guarantees
+    non-execution (unlike {!reply_rejected}, which is ambiguous: the
+    crash may have landed mid-operation).
 
     Single-core friendliness: every wait in this module (and in
     {!Loadgen}) briefly spins then sleeps, because on an oversubscribed
@@ -44,15 +71,23 @@ let op_mget = 3
 let reply_false = 0
 let reply_true = 1
 
-(** The owning shard crashed; the request was not executed. *)
+(** The request was not (or not provably) executed: the owning shard
+    crashed with it in flight, it was queued to a dead incarnation, or
+    it hit the shutdown drain. Ambiguous for writes — a crash can land
+    mid-operation — so retry loops must treat it as idempotent-only. *)
 let reply_rejected = 2
 
 (** The node pool was exhausted; the request was not executed. *)
 let reply_oom = 3
 
+(** Backpressure: the shard picked the request up past its deadline and
+    did not execute it (definitely-not-executed, so safely retryable
+    for any operation — the queue was the problem). *)
+let reply_busy = 4
+
 (** Multi-get replies are [reply_mget_base + hits] so hit counts never
     collide with the status codes above. *)
-let reply_mget_base = 4
+let reply_mget_base = 5
 
 (* -- spin-then-sleep ----------------------------------------------------- *)
 
@@ -65,21 +100,40 @@ let[@inline] pause spins =
 
 (* -- the service --------------------------------------------------------- *)
 
+(** Heartbeat value a crashing worker leaves behind; live beats count
+    up from 1. *)
+let dead_hb = -1
+
 type t = {
   shards : int;
   batch : int;
   rings : Request_ring.t array;
   stop : bool Atomic.t;
-  workers : (unit -> unit) array;
-  mutable domains : unit Domain.t array;
-  crashed : bool array; (* by shard; written by the shard, read after stop *)
+  worker : int -> int -> unit -> unit; (* shard, tid *)
+  adopt_tid : int -> unit;
+  mutable domains : unit Domain.t array; (* by shard; entries replaced on respawn *)
+  mutable supervisor : unit Domain.t option;
+  joined : bool array; (* by shard: supervisor already joined this corpse *)
+  recovery : Recovery.t option;
+  hb : int Atomic.t array; (* spaced; [dead_hb] = corpse awaiting takeover *)
+  cursors : int Atomic.t array;
+      (* spaced; each shard's consumer cursor, published after every
+         consumed slot so a replacement resumes exactly where the dead
+         incarnation stopped (the join orders the hand-off) *)
+  shard_tid : int array; (* current tid of each shard; supervisor-written *)
+  dead : bool array; (* by shard: crashed and not (yet) recovered *)
+  crash_events : int Atomic.t;
   (* per-shard tallies, spaced so concurrent shards don't false-share;
-     written by the owning shard during the run, read after [stop] *)
+     accumulated with [+=] because shard incarnations never overlap
+     (the supervisor joins the corpse before spawning the replacement) *)
   ops : int array;
   batches : int array;
   max_batch : int array;
   rejected : int array;
   oom : int array;
+  stale : int array; (* dead-incarnation requests rejected by a replacement *)
+  shed : int array; (* past-deadline requests answered busy *)
+  cancelled : int array; (* producer-cancelled slots discarded *)
 }
 
 (* SplitMix-style finalizer: full-avalanche key hash so dense key ranges
@@ -93,25 +147,53 @@ let[@inline] mix k =
 
 let[@inline] shard_of_key t key = mix key mod t.shards
 
-let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a) ~shards
-    ~batch ~ring_capacity =
+let[@inline] now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* Deadline shedding: only requests that carry a deadline pay the clock
+   read. *)
+let[@inline] past_deadline ring ~pos =
+  let d = Request_ring.deadline_us ring ~pos in
+  d > 0 && now_us () > d
+
+let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a)
+    (set : a) ~shards ~batch ~ring_capacity =
+  let recovery = Option.map (fun cfg -> Recovery.create ~shards cfg) recovery in
+  let recovery_on = Option.is_some recovery in
   let rings = Array.init shards (fun _ -> Request_ring.create ~capacity:ring_capacity) in
   let stop = Atomic.make false in
-  let crashed = Array.make shards false in
+  let dead = Array.make shards false in
+  let crash_events = Atomic.make 0 in
+  let hb = Padding.atomic_int_array shards in
+  let cursors = Padding.atomic_int_array shards in
   let spaced () = Array.make (Padding.spaced_length shards) 0 in
   let ops = spaced () and batches = spaced () and max_batch = spaced () in
   let rejected = spaced () and oom = spaced () in
-  let worker shard () =
-    let s = SET.session set ~tid:shard in
+  let stale = spaced () and shed = spaced () and cancelled = spaced () in
+  let worker shard tid () =
+    let s = SET.session set ~tid in
     let ring = rings.(shard) in
-    let pos = ref 0 in
+    let hb = hb.(Padding.spaced_index shard) in
+    let cursor = cursors.(Padding.spaced_index shard) in
+    let pos = ref (Atomic.get cursor) in
     let spins = ref 0 in
+    let beat = ref 0 in
     let my_ops = ref 0 and my_batches = ref 0 and my_max = ref 0 in
     let my_rejected = ref 0 and my_oom = ref 0 in
+    let my_stale = ref 0 and my_shed = ref 0 and my_cancelled = ref 0 in
     let alive = ref true in
+    (* [exiting] only under recovery: the crashed worker leaves its
+       domain so the supervisor can join it and take over; without
+       recovery it stays as a rejector (the PR-5 degraded mode). *)
+    let exiting = ref false in
     let die () =
       alive := false;
-      crashed.(shard) <- true
+      dead.(shard) <- true;
+      Atomic.incr crash_events;
+      if recovery_on then exiting := true
+    in
+    let[@inline] advance () =
+      incr pos;
+      Atomic.set cursor !pos
     in
     (* Serve one drain: up to B requests ready on the ring, under batch
        windows whose ceiling counts SET *operations* — a multi-get's
@@ -122,14 +204,16 @@ let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a
        window kills the shard *without* running batch_exit — the §4.4
        scenario needs the dead thread's announcements to stay
        published — but the request being served is still completed
-       (rejected) first, so its client does not hang. *)
+       (rejected) first, so its client does not hang. Cancelled, stale
+       and past-deadline slots end the batch loop and fall back to the
+       outer loop, which handles them without opening a window. *)
     let serve_batch () =
       match SET.batch_enter s with
       | exception Mp_util.Fault.Crashed _ -> die ()
       | () ->
         let reqs = ref 0 in
         let window_ops = ref 0 in
-        let dead = ref false in
+        let dead_here = ref false in
         let close_window () =
           incr my_batches;
           if !window_ops > !my_max then my_max := !window_ops
@@ -139,13 +223,18 @@ let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a
         let budget () =
           if !window_ops >= batch then begin
             close_window ();
-            (try SET.batch_exit s with Mp_util.Fault.Crashed _ -> dead := true);
-            if not !dead then
-              (try SET.batch_enter s with Mp_util.Fault.Crashed _ -> dead := true);
+            (try SET.batch_exit s with Mp_util.Fault.Crashed _ -> dead_here := true);
+            if not !dead_here then
+              (try SET.batch_enter s with Mp_util.Fault.Crashed _ -> dead_here := true);
             window_ops := 0
           end
         in
-        while (not !dead) && !reqs < batch && Request_ring.ready ring ~pos:!pos do
+        while
+          (not !dead_here) && !reqs < batch
+          && Request_ring.ready ring ~pos:!pos
+          && Request_ring.stamp ring ~pos:!pos = Request_ring.generation ring
+          && not (past_deadline ring ~pos:!pos)
+        do
           let op = Request_ring.op ring ~pos:!pos
           and key = Request_ring.key ring ~pos:!pos
           and value = Request_ring.value ring ~pos:!pos in
@@ -156,19 +245,19 @@ let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a
               (try
                  for i = 0 to n - 1 do
                    budget ();
-                   if !dead then raise Exit;
+                   if !dead_here then raise Exit;
                    if SET.contains s (key + i) then incr hits;
                    incr window_ops;
                    incr my_ops
                  done
                with
               | Exit -> ()
-              | Mp_util.Fault.Crashed _ -> dead := true);
-              if !dead then reply_rejected else reply_mget_base + !hits
+              | Mp_util.Fault.Crashed _ -> dead_here := true);
+              if !dead_here then reply_rejected else reply_mget_base + !hits
             end
             else begin
               budget ();
-              if !dead then reply_rejected
+              if !dead_here then reply_rejected
               else
                 match
                   (match op with
@@ -185,76 +274,262 @@ let create (type a) (module SET : Dstruct.Set_intf.SET with type t = a) (set : a
                   incr my_oom;
                   reply_oom
                 | exception Mp_util.Fault.Crashed _ ->
-                  dead := true;
+                  dead_here := true;
                   reply_rejected
             end
           in
-          Request_ring.complete ring ~pos:!pos reply;
+          if not (Request_ring.complete ring ~pos:!pos reply) then incr my_cancelled;
           incr reqs;
-          incr pos
+          advance ()
         done;
         close_window ();
-        if !dead then die ()
+        if !dead_here then die ()
         else (try SET.batch_exit s with Mp_util.Fault.Crashed _ -> die ())
     in
-    while not (Atomic.get stop) do
-      if Request_ring.ready ring ~pos:!pos then begin
+    while (not (Atomic.get stop)) && not !exiting do
+      incr beat;
+      Atomic.set hb !beat;
+      if Request_ring.cancelled ring ~pos:!pos then begin
         spins := 0;
-        if !alive then serve_batch ()
-        else begin
-          (* Dead shard: keep answering so clients never block. *)
-          Request_ring.complete ring ~pos:!pos reply_rejected;
-          incr my_rejected;
-          incr pos
+        Request_ring.discard ring ~pos:!pos;
+        incr my_cancelled;
+        advance ()
+      end
+      else if Request_ring.ready ring ~pos:!pos then begin
+        spins := 0;
+        if not !alive then begin
+          (* Dead shard, no recovery: keep answering so clients never
+             block. *)
+          if not (Request_ring.complete ring ~pos:!pos reply_rejected) then
+            incr my_cancelled
+          else incr my_rejected;
+          advance ()
         end
+        else if Request_ring.stamp ring ~pos:!pos < Request_ring.generation ring
+        then begin
+          (* Mail addressed to the dead incarnation: rejected exactly
+             once, never executed. *)
+          if not (Request_ring.complete ring ~pos:!pos reply_rejected) then
+            incr my_cancelled
+          else incr my_stale;
+          advance ()
+        end
+        else if past_deadline ring ~pos:!pos then begin
+          (* The request waited in the ring past its deadline: shed it
+             with the definitely-not-executed busy signal. *)
+          if not (Request_ring.complete ring ~pos:!pos reply_busy) then
+            incr my_cancelled
+          else incr my_shed;
+          advance ()
+        end
+        else serve_batch ()
       end
       else pause spins
     done;
-    (* Final drain: requests submitted before the stop flag landed must
-       still be answered, or their clients spin forever. *)
-    while Request_ring.ready ring ~pos:!pos do
-      Request_ring.complete ring ~pos:!pos reply_rejected;
-      incr my_rejected;
-      incr pos
-    done;
+    (* Crash exit racing [stop], or a clean stop: requests submitted
+       before the stop flag landed must still be answered, or their
+       clients spin forever. A mid-run crash exit skips the drain — the
+       replacement takes the ring over at the published cursor. *)
+    if (not !exiting) || Atomic.get stop then begin
+      let draining = ref true in
+      while !draining do
+        if Request_ring.cancelled ring ~pos:!pos then begin
+          Request_ring.discard ring ~pos:!pos;
+          incr my_cancelled;
+          advance ()
+        end
+        else if Request_ring.ready ring ~pos:!pos then begin
+          if not (Request_ring.complete ring ~pos:!pos reply_rejected) then
+            incr my_cancelled
+          else incr my_rejected;
+          advance ()
+        end
+        else draining := false
+      done
+    end;
     if !alive then SET.flush s;
     let i = Padding.spaced_index shard in
-    ops.(i) <- !my_ops;
-    batches.(i) <- !my_batches;
-    max_batch.(i) <- !my_max;
-    rejected.(i) <- !my_rejected;
-    oom.(i) <- !my_oom
+    ops.(i) <- ops.(i) + !my_ops;
+    batches.(i) <- batches.(i) + !my_batches;
+    if !my_max > max_batch.(i) then max_batch.(i) <- !my_max;
+    rejected.(i) <- rejected.(i) + !my_rejected;
+    oom.(i) <- oom.(i) + !my_oom;
+    stale.(i) <- stale.(i) + !my_stale;
+    shed.(i) <- shed.(i) + !my_shed;
+    cancelled.(i) <- cancelled.(i) + !my_cancelled;
+    (* The dead marker goes last: once the supervisor sees it, the join
+       and takeover begin. *)
+    if !exiting then Atomic.set hb dead_hb
   in
   {
     shards;
     batch;
     rings;
     stop;
-    workers = Array.init shards worker;
+    worker;
+    adopt_tid = (fun tid -> SET.adopt set ~tid);
     domains = [||];
-    crashed;
+    supervisor = None;
+    joined = Array.make shards false;
+    recovery;
+    hb;
+    cursors;
+    shard_tid = Array.init shards Fun.id;
+    dead;
+    crash_events;
     ops;
     batches;
     max_batch;
     rejected;
     oom;
+    stale;
+    shed;
+    cancelled;
   }
 
 let shards t = t.shards
 let batch t = t.batch
-let start t = t.domains <- Array.map Domain.spawn t.workers
+
+(* -- the supervisor (recovery only) -------------------------------------- *)
+
+(* Reject-drain a dead shard's ring from its published cursor — the
+   post-stop path for a corpse no replacement will ever serve. Runs in
+   the supervisor domain after joining the corpse, so the shard's stats
+   slots and cursor are safely handed over. *)
+let drain_reject t shard =
+  let ring = t.rings.(shard) in
+  let cursor = t.cursors.(Padding.spaced_index shard) in
+  let i = Padding.spaced_index shard in
+  let pos = ref (Atomic.get cursor) in
+  let draining = ref true in
+  while !draining do
+    if Request_ring.cancelled ring ~pos:!pos then begin
+      Request_ring.discard ring ~pos:!pos;
+      t.cancelled.(i) <- t.cancelled.(i) + 1;
+      incr pos
+    end
+    else if Request_ring.ready ring ~pos:!pos then begin
+      if Request_ring.complete ring ~pos:!pos reply_rejected then
+        t.rejected.(i) <- t.rejected.(i) + 1
+      else t.cancelled.(i) <- t.cancelled.(i) + 1;
+      incr pos
+    end
+    else draining := false
+  done;
+  Atomic.set cursor !pos
+
+(* Takeover of a crashed shard: join the corpse (the happens-before edge
+   every safety argument below leans on), bump the ring generation so
+   the replacement rejects the dead incarnation's queued mail, respawn
+   on a fresh tid when the pool has one, then adopt the dead tid —
+   releasing everything it pinned — and return it to the pool. With an
+   empty pool the order flips: adopt first, reuse the same tid. The
+   respawn-first order keeps the shard's downtime at join + spawn; the
+   adoption (a reservation clear plus one reclamation pass) runs while
+   the replacement is already serving. *)
+let recover t st shard =
+  let t0 = Unix.gettimeofday () in
+  Domain.join t.domains.(shard);
+  let dead_tid = t.shard_tid.(shard) in
+  Request_ring.bump_generation t.rings.(shard);
+  let adopt_and_pool tid =
+    t.adopt_tid tid;
+    Recovery.note_adoption st;
+    Mp_util.Fault.forgive ~tid;
+    Recovery.return_tid st tid
+  in
+  (match Recovery.take_tid st with
+  | Some fresh ->
+    t.shard_tid.(shard) <- fresh;
+    Atomic.set t.hb.(Padding.spaced_index shard) 0;
+    t.dead.(shard) <- false;
+    t.domains.(shard) <- Domain.spawn (t.worker shard fresh);
+    let now = Unix.gettimeofday () in
+    Recovery.note_recovery st ~elapsed_s:(now -. t0) ~at:now;
+    adopt_and_pool dead_tid
+  | None ->
+    t.adopt_tid dead_tid;
+    Recovery.note_adoption st;
+    Mp_util.Fault.forgive ~tid:dead_tid;
+    Atomic.set t.hb.(Padding.spaced_index shard) 0;
+    t.dead.(shard) <- false;
+    t.domains.(shard) <- Domain.spawn (t.worker shard dead_tid);
+    let now = Unix.gettimeofday () in
+    Recovery.note_recovery st ~elapsed_s:(now -. t0) ~at:now)
+
+let supervise t st () =
+  let cfg = Recovery.config st in
+  let n = t.shards in
+  let last_beat = Array.make n 0 in
+  let last_change = Array.make n (Unix.gettimeofday ()) in
+  let flagged = Array.make n false in
+  while not (Atomic.get t.stop) do
+    Unix.sleepf cfg.Recovery.poll_interval_s;
+    for shard = 0 to n - 1 do
+      let v = Atomic.get t.hb.(Padding.spaced_index shard) in
+      if v = dead_hb then recover t st shard
+      else begin
+        let now = Unix.gettimeofday () in
+        if v <> last_beat.(shard) then begin
+          last_beat.(shard) <- v;
+          last_change.(shard) <- now;
+          flagged.(shard) <- false
+        end
+        else if
+          (not flagged.(shard))
+          && now -. last_change.(shard) > cfg.Recovery.stall_timeout_s
+        then begin
+          (* Heartbeat stale but not dead: the shard may be stalled on a
+             fault or starved of CPU. Telemetry only — a stalled shard
+             may wake up and keep using its tid, so adopting it would
+             break the one-domain-per-tid rule. *)
+          flagged.(shard) <- true;
+          Recovery.note_suspected st
+        end
+      end
+    done
+  done;
+  (* Post-stop sweep: a shard that crashed after the last loop pass has
+     no replacement coming; join it and reject-drain its ring so no
+     straggling client can hang. *)
+  for shard = 0 to n - 1 do
+    if Atomic.get t.hb.(Padding.spaced_index shard) = dead_hb && not t.joined.(shard)
+    then begin
+      Domain.join t.domains.(shard);
+      t.joined.(shard) <- true;
+      drain_reject t shard
+    end
+  done
+
+let start t =
+  t.domains <- Array.init t.shards (fun shard -> Domain.spawn (t.worker shard t.shard_tid.(shard)));
+  match t.recovery with
+  | Some st -> t.supervisor <- Some (Domain.spawn (supervise t st))
+  | None -> ()
 
 let stop t =
   Atomic.set t.stop true;
-  Array.iter Domain.join t.domains;
+  (match t.supervisor with
+  | Some d ->
+    Domain.join d;
+    t.supervisor <- None
+  | None -> ());
+  Array.iteri
+    (fun shard d -> if not t.joined.(shard) then Domain.join d)
+    t.domains;
   t.domains <- [||]
 
 (* -- client side --------------------------------------------------------- *)
 
-let[@inline] try_submit t ~shard ~op ~key ~value =
-  Request_ring.try_submit t.rings.(shard) ~op ~key ~value
+let[@inline] try_submit ?(deadline_us = 0) t ~shard ~op ~key ~value =
+  Request_ring.try_submit t.rings.(shard) ~op ~key ~value ~deadline_us
 
 let[@inline] poll t ~shard ~ticket = Request_ring.poll t.rings.(shard) ~ticket
+
+(** Abandon a ticket (deadline path): [-1] if the cancel won (never
+    poll the ticket again; the request may or may not execute), or the
+    reply if the shard completed first. *)
+let[@inline] cancel t ~shard ~ticket = Request_ring.cancel t.rings.(shard) ~ticket
 
 (** Blocking reply wait (spin-then-sleep). Only meaningful while the
     service is running: shards answer every submitted request before
@@ -274,9 +549,13 @@ type stats = {
   ops : int; (* SET operations executed inside batch windows *)
   batches : int; (* batch windows opened *)
   max_batch : int; (* most operations any single window served *)
-  rejected : int; (* requests answered by dead shards or the final drain *)
+  rejected : int; (* requests answered rejected (dead shard, final drain) *)
   oom : int; (* requests refused on pool exhaustion *)
-  crashed_shards : int;
+  stale_rejected : int; (* dead-incarnation requests rejected by replacements *)
+  shed_busy : int; (* past-deadline requests answered busy, not executed *)
+  cancelled : int; (* producer-cancelled slots discarded by consumers *)
+  crash_events : int; (* shard crashes over the run (recovered or not) *)
+  crashed_shards : int; (* shards dead right now (unrecovered) *)
 }
 
 let stats t =
@@ -292,6 +571,14 @@ let stats t =
     max_batch = maxv t.max_batch;
     rejected = sum t.rejected;
     oom = sum t.oom;
+    stale_rejected = sum t.stale;
+    shed_busy = sum t.shed;
+    cancelled = sum t.cancelled;
+    crash_events = Atomic.get t.crash_events;
     crashed_shards =
-      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.crashed;
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.dead;
   }
+
+(** Recovery telemetry, [None] when the service was created without a
+    recovery config. *)
+let recovery_stats t = Option.map Recovery.stats t.recovery

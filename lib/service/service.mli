@@ -2,7 +2,9 @@
     shard domains, each draining a bounded MPSC {!Request_ring} and
     executing up to B SET operations per SMR batch window
     ({!Dstruct.Set_intf.SET.batch_enter}). Crashed shards (armed fault
-    plans) degrade into rejectors instead of deadlocking clients. *)
+    plans) degrade into rejectors — or, with a {!Recovery.config}, are
+    detected by a supervisor domain, joined, respawned on a fresh SMR
+    tid and their dead tid adopted, releasing everything it pinned. *)
 
 type t
 
@@ -21,11 +23,18 @@ val op_mget : int
 val reply_false : int
 val reply_true : int
 
-(** The owning shard crashed; the request was not executed. *)
+(** Not (or not provably) executed: the owning shard crashed with the
+    request in flight, the request was queued to a dead incarnation, or
+    it hit the shutdown drain. Ambiguous for writes — only idempotent
+    retries are safe. *)
 val reply_rejected : int
 
 (** Pool exhausted; the request was not executed. *)
 val reply_oom : int
+
+(** Backpressure: picked up past its deadline and definitely not
+    executed — safely retryable for any operation. *)
+val reply_busy : int
 
 (** A {!op_mget} reply is [reply_mget_base + hits], so hit counts never
     collide with the status codes above. *)
@@ -34,12 +43,22 @@ val reply_mget_base : int
 (** {2 Lifecycle} *)
 
 (** [create (module SET) set ~shards ~batch ~ring_capacity] builds the
-    service over an existing structure. [set] must have been created
-    with [threads >= shards]; shard [i] runs as SMR tid [i] and the
-    shards must be the only concurrent users of those tids. [batch] is
-    the maximum SET operations per batch window (1 = exactly the
-    un-batched per-operation protocol). *)
+    service over an existing structure. [batch] is the maximum SET
+    operations per batch window (1 = exactly the un-batched
+    per-operation protocol).
+
+    Without [?recovery], [set] must have been created with
+    [threads >= shards]: shard [i] runs as SMR tid [i] and a crashed
+    shard degrades into a rejector forever. With [?recovery], [set]
+    needs [threads >= shards + recovery.spare_tids] and a supervisor
+    domain recovers crashed shards: join, ring-generation bump (the
+    dead incarnation's queued requests are rejected exactly once by the
+    replacement), respawn on a pool tid, and adoption of the dead tid
+    ({!Dstruct.Set_intf.SET.adopt}). The shards (plus, transiently, the
+    supervisor during adoption) remain the only users of the structure's
+    tids. *)
 val create :
+  ?recovery:Recovery.config ->
   (module Dstruct.Set_intf.SET with type t = 'a) ->
   'a ->
   shards:int ->
@@ -47,13 +66,13 @@ val create :
   ring_capacity:int ->
   t
 
-(** Spawn the shard domains. *)
+(** Spawn the shard domains (and the supervisor, if configured). *)
 val start : t -> unit
 
-(** Stop and join the shards. Requests still in flight are answered
-    ({!reply_rejected}) before the shards exit, so concurrent awaiters
-    terminate; submissions racing past [stop] may remain unanswered —
-    stop clients first. *)
+(** Stop and join the supervisor and shards. Requests still in flight
+    are answered ({!reply_rejected}) before the shards exit, so
+    concurrent awaiters terminate; submissions racing past [stop] may
+    remain unanswered — stop clients first. *)
 val stop : t -> unit
 
 val shards : t -> int
@@ -65,13 +84,24 @@ val batch : t -> int
 val shard_of_key : t -> int -> int
 
 (** Submit to a shard's ring: ticket [>= 0], or [-1] if the ring is
-    full. Route with {!shard_of_key} — a request for a key submitted to
-    the wrong shard is answered, but breaks per-key serialization. *)
-val try_submit : t -> shard:int -> op:int -> key:int -> value:int -> int
+    full. [deadline_us] (absolute, microseconds, 0 = none): the shard
+    answers {!reply_busy} without executing if it picks the request up
+    past the deadline. Route with {!shard_of_key} — a request for a key
+    submitted to the wrong shard is answered, but breaks per-key
+    serialization. *)
+val try_submit :
+  ?deadline_us:int -> t -> shard:int -> op:int -> key:int -> value:int -> int
 
 (** Reply code [>= 0], or [-1] while pending (frees the slot when it
-    answers; poll each ticket to completion exactly once). *)
+    answers; poll each ticket to completion exactly once, or abandon it
+    with {!cancel} — never both). *)
 val poll : t -> shard:int -> ticket:int -> int
+
+(** Abandon a ticket (the client deadline path): [-1] if the cancel won
+    — never touch the ticket again; the request may or may not
+    execute — or the reply code if the shard completed first (the
+    cancel then acted as the final poll). *)
+val cancel : t -> shard:int -> ticket:int -> int
 
 (** Blocking {!poll} (spin-then-sleep). *)
 val await : t -> shard:int -> ticket:int -> int
@@ -84,7 +114,14 @@ type stats = {
   max_batch : int; (* most operations any single window served *)
   rejected : int;
   oom : int;
-  crashed_shards : int;
+  stale_rejected : int; (* dead-incarnation requests rejected by replacements *)
+  shed_busy : int; (* past-deadline requests answered busy, not executed *)
+  cancelled : int; (* producer-cancelled slots discarded by consumers *)
+  crash_events : int; (* shard crashes over the run (recovered or not) *)
+  crashed_shards : int; (* shards dead right now (unrecovered) *)
 }
 
 val stats : t -> stats
+
+(** Recovery telemetry; [None] without a recovery config. *)
+val recovery_stats : t -> Recovery.stats option

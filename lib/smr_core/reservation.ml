@@ -33,6 +33,12 @@ type t = {
          tid itself reads or writes its flag, so no atomicity needed;
          spacing is unnecessary because the cells are written once per
          batch, not per op. *)
+  quarantined : bool array;
+      (* [tid]: fenced off by {!quarantine} after its owning domain died;
+         the row is cleared and must not be republished until {!adopt}
+         hands the tid back. Written only by the (single) supervisor, so
+         plain cells suffice; the asserts in {!publish}/{!batch_enter}
+         are the debug-build tripwire against a zombie owner. *)
 }
 
 let create ~counters ~threads ~slots ~empty =
@@ -43,6 +49,7 @@ let create ~counters ~threads ~slots ~empty =
     slots;
     threads;
     in_batch = Array.make threads false;
+    quarantined = Array.make threads false;
   }
 
 let threads t = t.threads
@@ -63,6 +70,7 @@ let[@inline] set t ~tid ~refno v = Atomic.set t.table.(tid).(refno) v
     announcement is visible but not yet validated — a crash here leaves
     the slot published forever. *)
 let publish t ~tid ~refno v =
+  assert (not t.quarantined.(tid));
   Atomic.set t.table.(tid).(refno) v;
   Counters.on_fence t.counters ~tid;
   Mp_util.Fault.hit ~tid Mp_util.Fault.Reservation_publish
@@ -98,13 +106,52 @@ let[@inline] in_batch t ~tid = t.in_batch.(tid)
     waste-bound argument. A batch of size 1 costs exactly the un-batched
     protocol: the same publishes, and the one deferred clear happens in
     {!batch_exit}. *)
-let batch_enter t ~tid = t.in_batch.(tid) <- true
+let batch_enter t ~tid =
+  assert (not t.quarantined.(tid));
+  t.in_batch.(tid) <- true
 
 (** Close [tid]'s batch window and perform the single deferred
     {!clear_all} — one fence for the whole batch. *)
 let batch_exit t ~tid =
   t.in_batch.(tid) <- false;
   clear_all t ~tid
+
+(* -- crash recovery: the second reservation lifecycle -------------------- *)
+
+(** Fence off a dead [tid]'s row: force the batch window shut (the owner
+    died without running {!batch_exit}, so the deferred-clear suppression
+    must not outlive it), clear every slot, and mark the tid quarantined
+    so {!publish}/{!batch_enter} trip an assert until {!adopt}.
+
+    Safety precondition (the caller's obligation, typically a service
+    supervisor): the domain that owned [tid] has terminated and been
+    joined. The join gives the happens-before edge that makes this
+    sequential hand-off an instance of the interface's "each tid used by
+    at most one domain at a time" rule — the supervisor is simply the
+    tid's next (briefly) owning domain. Concurrent scanners see the row
+    empty out exactly as if the dead thread had cleared it itself, which
+    is always safe: clearing only ever unpins. One fence, charged to the
+    dead tid — the §4.4 "wasted memory is bounded" argument pays one
+    publication fence to stop paying the bound forever. *)
+let quarantine t ~tid =
+  assert (not t.quarantined.(tid));
+  t.quarantined.(tid) <- true;
+  t.in_batch.(tid) <- false;
+  let mine = t.table.(tid) in
+  for refno = 0 to t.slots - 1 do
+    if Atomic.get mine.(refno) <> t.empty then Atomic.set mine.(refno) t.empty
+  done;
+  Counters.on_fence t.counters ~tid
+
+(** Lift [tid]'s quarantine, handing the (now-unpinned) row to its next
+    owner. The row is already clear — {!quarantine} did that — so this is
+    pure bookkeeping; it exists as a separate step so the window between
+    fencing and reuse is explicit and assertable. *)
+let adopt t ~tid =
+  assert (t.quarantined.(tid));
+  t.quarantined.(tid) <- false
+
+let[@inline] quarantined t ~tid = t.quarantined.(tid)
 
 (** Tids with at least one occupied slot — the threads whose (possibly
     stalled or dead) announcements are currently pinning memory. *)

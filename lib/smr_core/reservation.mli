@@ -51,6 +51,27 @@ val batch_exit : t -> tid:int -> unit
 (** Is [tid] currently inside a batch window? *)
 val in_batch : t -> tid:int -> bool
 
+(** {2 Crash recovery}
+
+    The second reservation lifecycle: when the domain owning a tid dies
+    mid-operation its announcements stay published and pin memory
+    (paper §4.4). A supervisor that has {e joined} the dead domain may
+    {!quarantine} the tid — forcing its batch window shut and clearing
+    every slot, which releases everything only that tid pinned — and
+    later {!adopt} it, handing the row to a replacement domain. The
+    join is the safety precondition: it serializes the hand-off, so the
+    "each tid used by at most one domain at a time" rule is preserved. *)
+
+(** Fence off a dead [tid]: close its batch window, clear its row (one
+    counted fence), and block {!publish}/{!batch_enter} (debug asserts)
+    until {!adopt}. Caller must have joined the owning domain. *)
+val quarantine : t -> tid:int -> unit
+
+(** Lift the quarantine set by {!quarantine}; the tid is reusable. *)
+val adopt : t -> tid:int -> unit
+
+val quarantined : t -> tid:int -> bool
+
 (** Tids with at least one occupied slot — the threads whose (possibly
     stalled or dead) announcements are currently pinning memory. *)
 val occupied_tids : t -> int list

@@ -109,6 +109,24 @@ module type S = sig
       teardown; operations normally trigger it every [empty_freq]). *)
   val flush : thread -> unit
 
+  (** Crash recovery: release every reservation a dead [tid] left
+      published and drain what its last scan would have freed, making
+      the tid safe to hand to a replacement domain.
+
+      Precondition: the domain that owned [tid] has terminated {e and
+      been joined} by the caller — the join serializes the hand-off, so
+      the "each tid used by at most one domain at a time" rule holds
+      with the caller as the tid's next owner. After [adopt] returns,
+      nothing is pinned on [tid]'s behalf (scheme-specific: HP/HE clear
+      the slot row, IBR both interval endpoints, EBR/MP the epoch
+      announcement and, for MP, the margins and hazard mirrors) and a
+      reclamation pass has run over [tid]'s retired backlog. Leftover
+      entries pinned by {e other} live threads stay queued and are
+      freed by later scans — adoption restores the scheme's declared
+      waste class, it does not force immediate emptiness. No-op for
+      schemes that hold no reservations (Leaky). *)
+  val adopt : t -> tid:int -> unit
+
   val stats : t -> stats
 
   (** Tids currently holding a live reservation — published PPV slots,

@@ -192,6 +192,19 @@ let crashed ~tid =
   | Some st when tid >= 0 && tid < st.threads -> Atomic.get st.crashed.(tid)
   | _ -> false
 
+(** Clear [tid]'s crashed flag so injection points fire for it again —
+    called by a recovery supervisor after it adopted the tid's
+    reservations and before handing the tid to a replacement domain.
+    Without this a recovered tid would be immune to every later fault
+    (the crashed flag suppresses hits), which would make multi-crash
+    chaos plans silently one-shot. Hit counters are NOT reset: [every]-
+    recurring events keep their cadence and one-shot events stay spent,
+    so a plan means the same thing across incarnations. *)
+let forgive ~tid =
+  match !state with
+  | Some st when tid >= 0 && tid < st.threads -> Atomic.set st.crashed.(tid) false
+  | _ -> ()
+
 let crashed_tids () =
   match !state with
   | None -> []

@@ -77,6 +77,12 @@ val hit : tid:int -> point -> unit
 (** Did a {!Crash} event fire on [tid] (since {!arm})? *)
 val crashed : tid:int -> bool
 
+(** Clear [tid]'s crashed flag so injection fires for it again — for a
+    recovery supervisor handing an adopted tid to a replacement domain.
+    Hit counters are preserved, so plans keep their meaning across
+    incarnations. No-op when nothing is armed. *)
+val forgive : tid:int -> unit
+
 val crashed_tids : unit -> int list
 
 (** Events fired so far, oldest first. *)

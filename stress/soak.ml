@@ -4,6 +4,7 @@
 
      dune exec stress/soak.exe -- [minutes]
      dune exec stress/soak.exe -- --faults SEED [--rounds N] [--json FILE]
+     dune exec stress/soak.exe -- --chaos SEED [--rounds N] [--json FILE]
 
    With --faults, every round arms a seeded random fault plan
    (Mp_util.Fault.random_plan): interior stalls, yield storms and at most
@@ -14,7 +15,17 @@
    bound is advisory: its violations are expected and logged, not
    fatal). Every fault round also fires the same plans through the
    request-service path (stress the batched SMR windows inside shard
-   domains, with open-loop latency percentiles in the JSON). *)
+   domains, with open-loop latency percentiles in the JSON).
+
+   With --chaos, every round runs the sharded service WITH the recovery
+   supervisor armed, across all six schemes: a deterministic fault plan
+   kills shard domains mid-round, the supervisor joins them, adopts their
+   tids and respawns replacements, and the round is judged on (a) the
+   waste-bound watchdog holding through crash/quarantine/respawn, (b)
+   request conservation — every submitted request answered exactly once
+   (completed, rejected, busy, oom or deadline_exceeded), (c) at least
+   one recovery actually happening, and (d) wasted memory returning to
+   within 10% of a fault-free baseline run after the last recovery. *)
 
 module Fault = Mp_util.Fault
 module Watchdog = Mp_harness.Watchdog
@@ -179,6 +190,8 @@ let service_fault_round scheme_mod ~scheme ~properties ~seed =
         zipf_alpha = None;
         seed;
         mode = Loadgen.Open { rate = 30_000.0; window = 32 };
+        deadline_s = 0.0;
+        max_retries = 0;
       }
   in
   Service.stop svc;
@@ -197,16 +210,196 @@ let service_fault_round scheme_mod ~scheme ~properties ~seed =
          (Fault.plan_to_string plan) batch (Watchdog.to_string v));
   (plan, v, crashed, pinning, batch, lg)
 
+(* -- chaos: crash–recover rounds over the resilient service -------------- *)
+
+(* All six schemes: the five above plus the leaky baseline (its adopt is
+   a no-op, but recovery must still respawn and conserve requests). *)
+let chaos_schemes : (string * (module Smr_core.Smr_intf.S)) list =
+  schemes @ [ ("none", (module Smr_schemes.Leaky)) ]
+
+type chaos_cell = {
+  c_scheme : string;
+  c_seed : int;
+  c_batch : int;
+  c_crashes : int;
+  c_recoveries : int;
+  c_adoptions : int;
+  c_recovery_ms_mean : float;
+  c_recovery_ms_max : float;
+  c_baseline_peak : int;
+  c_tail_peak : int;
+  c_waste_ok : bool;
+  c_conservation_ok : bool;
+  c_watchdog : Watchdog.verdict;
+  c_lg : Mp_service.Loadgen.result;
+}
+
+(* One chaos cell: the same seeded open-loop workload (deadlines and
+   retries armed) runs twice over the recovery-supervised service — once
+   fault-free for a wasted-memory baseline, once with a deterministic
+   plan crashing shards 1 and 2 mid-round. The crashed shards' tids are
+   adopted and replacements respawn on the spare tids; after the last
+   recovery the wasted counter must come back to within 10% of the
+   baseline peak (plus a small absolute floor for sampling noise). *)
+let chaos_round scheme_mod ~scheme ~properties ~seed =
+  let module Service = Mp_service.Service in
+  let module Recovery = Mp_service.Recovery in
+  let module Loadgen = Mp_service.Loadgen in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Mp_harness.Instances.make Mp_harness.Instances.Hash_ds scheme_mod
+  in
+  let shards = 3 and spare_tids = 2 in
+  let threads = shards + spare_tids in
+  let range = 512 and batch = 8 in
+  let config = Smr_core.Config.default ~threads in
+  let recovery = { Recovery.default with spare_tids } in
+  let spec =
+    {
+      Loadgen.clients = 2;
+      duration_s = 1.2;
+      warmup_s = 0.0; (* exact request conservation needs the full window *)
+      read_pct = 50;
+      insert_pct = 30;
+      mget = 1 + (seed mod 4);
+      key_range = range;
+      zipf_alpha = None;
+      seed;
+      mode = Loadgen.Open { rate = 20_000.0; window = 32 };
+      deadline_s = 0.05;
+      max_retries = 3;
+    }
+  in
+  let run ~faulted =
+    let t =
+      SET.create ~threads ~capacity:((range * 8) + (threads * 65536)) ~check_access:true
+        config
+    in
+    let s0 = SET.session t ~tid:0 in
+    for k = 0 to (range / 2) - 1 do
+      ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+    done;
+    SET.flush s0;
+    let wd =
+      Watchdog.create
+        (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range))
+    in
+    if faulted then begin
+      (* Crash inside the protect/validate window (retire for leaky,
+         which publishes no reservations) after enough hits that the
+         shards are mid-round, with requests in flight and windows
+         open. Never shard 0, so at least one shard serves throughout. *)
+      let point =
+        if scheme = "none" then Fault.Reclaimer_retire else Fault.Protect_validate
+      in
+      Fault.arm ~threads
+        (Fault.plan ~label:(Printf.sprintf "chaos-%s-%d" scheme seed)
+           [
+             Fault.crash_event ~tid:1 ~point ~after_hits:(200 + (seed mod 100));
+             Fault.crash_event ~tid:2 ~point ~after_hits:(500 + (seed mod 200));
+           ])
+    end;
+    let svc = Service.create ~recovery (module SET) t ~shards ~batch ~ring_capacity:128 in
+    Service.start svc;
+    let samples = ref [] in
+    let lg =
+      Loadgen.run
+        ~tick:(fun () ->
+          let w = (SET.smr_stats t).Smr_core.Smr_intf.wasted in
+          Watchdog.observe wd ~wasted:w;
+          samples := (Unix.gettimeofday (), w) :: !samples)
+        svc spec
+    in
+    Service.stop svc;
+    if faulted then Fault.disarm ();
+    (* One more sample after the shards flushed on the way out: the
+       truest "after recovery settled" point, and it guarantees the tail
+       window below is never empty. *)
+    samples := (Unix.gettimeofday (), (SET.smr_stats t).Smr_core.Smr_intf.wasted) :: !samples;
+    SET.check t;
+    if SET.violations t <> 0 then
+      failwith (Printf.sprintf "chaos(%s): use-after-free (seed %d)" scheme seed);
+    let stats = Service.stats svc in
+    let rstats = Option.get (Service.recovery_stats svc) in
+    (lg, stats, rstats, Watchdog.verdict wd, List.rev !samples)
+  in
+  let _, _, _, _, base_samples = run ~faulted:false in
+  let baseline_peak = List.fold_left (fun m (_, w) -> max m w) 0 base_samples in
+  let lg, stats, rstats, v, samples = run ~faulted:true in
+  (* Tail = samples after the last takeover plus a settling margin (the
+     replacement's first scans drain what the dead incarnation left). *)
+  let tail_from = rstats.Recovery.last_recovery_at +. 0.1 in
+  let tail = List.filter (fun (at, _) -> at >= tail_from) samples in
+  let tail = if tail = [] then [ List.nth samples (List.length samples - 1) ] else tail in
+  let tail_peak = List.fold_left (fun m (_, w) -> max m w) 0 tail in
+  let waste_ok =
+    scheme = "none" (* leaky never frees: no return-to-baseline to check *)
+    || float_of_int tail_peak <= (1.1 *. float_of_int baseline_peak) +. 64.0
+  in
+  let conservation_ok =
+    lg.Loadgen.submitted
+    = lg.Loadgen.completed_reqs + lg.Loadgen.rejected + lg.Loadgen.busy + lg.Loadgen.oom
+      + lg.Loadgen.deadline_exceeded
+  in
+  if not conservation_ok then
+    failwith
+      (Printf.sprintf
+         "chaos(%s): lost or duplicated replies: %d submitted vs %d+%d+%d+%d+%d accounted"
+         scheme lg.Loadgen.submitted lg.Loadgen.completed_reqs lg.Loadgen.rejected
+         lg.Loadgen.busy lg.Loadgen.oom lg.Loadgen.deadline_exceeded);
+  if rstats.Recovery.recoveries < 1 then
+    failwith (Printf.sprintf "chaos(%s): no crash recovered (seed %d)" scheme seed);
+  if not (Watchdog.ok v) then
+    failwith (Printf.sprintf "chaos(%s): waste bound broken: %s" scheme (Watchdog.to_string v));
+  if not waste_ok then
+    failwith
+      (Printf.sprintf "chaos(%s): wasted did not return to baseline: tail %d vs baseline %d"
+         scheme tail_peak baseline_peak);
+  {
+    c_scheme = scheme;
+    c_seed = seed;
+    c_batch = batch;
+    c_crashes = stats.Service.crash_events;
+    c_recoveries = rstats.Recovery.recoveries;
+    c_adoptions = rstats.Recovery.adoptions;
+    c_recovery_ms_mean = rstats.Recovery.mean_recovery_s *. 1e3;
+    c_recovery_ms_max = rstats.Recovery.max_recovery_s *. 1e3;
+    c_baseline_peak = baseline_peak;
+    c_tail_peak = tail_peak;
+    c_waste_ok = waste_ok;
+    c_conservation_ok = conservation_ok;
+    c_watchdog = v;
+    c_lg = lg;
+  }
+
+let chaos_cell_json c =
+  let module Loadgen = Mp_service.Loadgen in
+  let lg = c.c_lg in
+  let h = lg.Loadgen.latency in
+  let p q = Mp_util.Histogram.percentile_ns h q in
+  Printf.sprintf
+    "{\"ds\":\"service-hash\",\"scheme\":\"%s\",\"seed\":%d,\"batch\":%d,\"crashes\":%d,\"recoveries\":%d,\"adoptions\":%d,\"recovery_ms_mean\":%.3f,\"recovery_ms_max\":%.3f,\"baseline_wasted_peak\":%d,\"tail_wasted_peak\":%d,\"waste_ok\":%b,\"conservation_ok\":%b,\"submitted\":%d,\"completed\":%d,\"completed_reqs\":%d,\"rejected\":%d,\"busy\":%d,\"oom\":%d,\"drops\":%d,\"deadline_exceeded\":%d,\"ring_full\":%d,\"retries\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,%s}"
+    c.c_scheme c.c_seed c.c_batch c.c_crashes c.c_recoveries c.c_adoptions
+    c.c_recovery_ms_mean c.c_recovery_ms_max c.c_baseline_peak c.c_tail_peak c.c_waste_ok
+    c.c_conservation_ok lg.Loadgen.submitted lg.Loadgen.completed lg.Loadgen.completed_reqs
+    lg.Loadgen.rejected lg.Loadgen.busy lg.Loadgen.oom lg.Loadgen.drops
+    lg.Loadgen.deadline_exceeded lg.Loadgen.ring_full lg.Loadgen.retries (p 50.0) (p 99.0)
+    (p 99.9)
+    (Watchdog.json_fields (Some c.c_watchdog))
+
 let fmt_tids tids = "[" ^ String.concat "," (List.map string_of_int tids) ^ "]"
 
 let () =
   let minutes = ref 5.0 in
   let fault_seed = ref None in
+  let chaos_seed = ref None in
   let rounds = ref 10 in
   let json_file = ref None in
   let rec parse = function
     | "--faults" :: s :: rest ->
       fault_seed := Some (int_of_string s);
+      parse rest
+    | "--chaos" :: s :: rest ->
+      chaos_seed := Some (int_of_string s);
       parse rest
     | "--rounds" :: n :: rest ->
       rounds := int_of_string n;
@@ -220,8 +413,36 @@ let () =
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match !fault_seed with
-  | None ->
+  match (!chaos_seed, !fault_seed) with
+  | Some base_seed, _ ->
+    let rounds = max 1 (min !rounds 10) in
+    let json = ref [] in
+    for r = 1 to rounds do
+      List.iter
+        (fun (s_name, scheme) ->
+          let (module S : Smr_core.Smr_intf.S) = scheme in
+          let seed = (base_seed * 1_000_003) + (r * 7919) + Hashtbl.hash ("chaos", s_name) in
+          let c = chaos_round scheme ~scheme:s_name ~properties:S.properties ~seed in
+          Printf.printf
+            "chaos(%s) round %d  crashes=%d recoveries=%d adoptions=%d rec_ms=%.2f/%.2f  wasted base/tail=%d/%d  %s\n%!"
+            s_name r c.c_crashes c.c_recoveries c.c_adoptions c.c_recovery_ms_mean
+            c.c_recovery_ms_max c.c_baseline_peak c.c_tail_peak
+            (Watchdog.to_string c.c_watchdog);
+          json := chaos_cell_json c :: !json)
+        chaos_schemes
+    done;
+    (match !json_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Printf.sprintf "{\"schema_version\":%d,\"results\":[\n  %s\n]}\n"
+           Mp_harness.Runner.schema_version
+           (String.concat ",\n  " (List.rev !json)));
+      close_out oc;
+      Printf.printf "[wrote %d chaos verdicts to %s]\n%!" (List.length !json) path);
+    print_endline "CHAOS SOAK CLEAN"
+  | None, None ->
     let t_end = Unix.gettimeofday () +. (!minutes *. 60.0) in
     let seed = ref 0 in
     while Unix.gettimeofday () < t_end do
@@ -236,7 +457,7 @@ let () =
         structures
     done;
     print_endline "SOAK CLEAN"
-  | Some base_seed ->
+  | None, Some base_seed ->
     let json = ref [] in
     for r = 1 to !rounds do
       List.iter
@@ -279,9 +500,10 @@ let () =
             (Watchdog.to_string v) (p 50.0) (p 99.0) (p 99.9);
           json :=
             Printf.sprintf
-              "{\"round\":%d,\"ds\":\"service-hash\",\"scheme\":\"%s\",\"seed\":%d,\"batch\":%d,\"crashed\":%s,\"pinning\":%s,\"completed\":%d,\"rejected\":%d,\"drops\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,%s}"
-              r s_name seed batch (fmt_tids crashed) (fmt_tids pinning) lg.Loadgen.completed
-              lg.Loadgen.rejected lg.Loadgen.drops (p 50.0) (p 99.0) (p 99.9)
+              "{\"round\":%d,\"ds\":\"service-hash\",\"scheme\":\"%s\",\"seed\":%d,\"batch\":%d,\"crashed\":%s,\"pinning\":%s,\"submitted\":%d,\"completed\":%d,\"rejected\":%d,\"drops\":%d,\"ring_full\":%d,\"busy\":%d,\"deadline_exceeded\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,%s}"
+              r s_name seed batch (fmt_tids crashed) (fmt_tids pinning) lg.Loadgen.submitted
+              lg.Loadgen.completed lg.Loadgen.rejected lg.Loadgen.drops lg.Loadgen.ring_full
+              lg.Loadgen.busy lg.Loadgen.deadline_exceeded (p 50.0) (p 99.0) (p 99.9)
               (Watchdog.json_fields (Some v))
             :: !json)
         schemes

@@ -53,6 +53,7 @@ module Unsafe_immediate : Smr_core.Smr_intf.S = struct
   let update_upper_bound _ _ = ()
   let handle_of th id = Mempool.Core.handle th.shared.pool id
   let flush _ = ()
+  let adopt _ ~tid:_ = ()
   let stats t = Counters.stats t.s.counters
   let pinning_tids _ = []
 end

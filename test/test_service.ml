@@ -150,7 +150,7 @@ let ring_lifecycle () =
   Alcotest.(check int) "op" 1 (Ring.op r ~pos:0);
   Alcotest.(check int) "key" 10 (Ring.key r ~pos:0);
   Alcotest.(check int) "value" 100 (Ring.value r ~pos:0);
-  Ring.complete r ~pos:0 7;
+  Alcotest.(check bool) "complete wins unopposed" true (Ring.complete r ~pos:0 7);
   Alcotest.(check int) "reply delivered" 7 (Ring.poll r ~ticket:t0);
   (* polling acked ticket 0's slot: three more submissions fit (tickets
      2 and 3 on fresh slots, ticket 4 on the recycled one), then the
@@ -178,7 +178,7 @@ let ring_no_lost_no_dup () =
             let key = Ring.key r ~pos:!pos and tid = Ring.op r ~pos:!pos in
             seen.(tid) <- seen.(tid) + 1;
             sum.(tid) <- sum.(tid) + key;
-            Ring.complete r ~pos:!pos (key + 1);
+            ignore (Ring.complete r ~pos:!pos (key + 1) : bool);
             incr pos;
             Atomic.incr served
           end
@@ -269,6 +269,8 @@ let service_round ?(mget = 1) (module SET : Dstruct.Set_intf.SET) ~shards ~batch
         zipf_alpha = None;
         seed = 4242;
         mode;
+        deadline_s = 0.0;
+        max_retries = 0;
       }
   in
   Service.stop svc;
@@ -345,6 +347,8 @@ let fault_service_round seed =
         zipf_alpha = None;
         seed;
         mode = Loadgen.Closed { pipeline = 8 };
+        deadline_s = 0.0;
+        max_retries = 0;
       }
   in
   Service.stop svc;
