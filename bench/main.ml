@@ -989,8 +989,8 @@ let service_shards : int option ref = ref None
    folded into a Runner.result so the service rows share the JSON schema
    (and the latency/waste fields) with every other experiment; fields
    the service cannot measure per-domain (GC words) report 0. *)
-let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~insert_pct
-    ~init_size =
+let run_service ?zipf ?(mget = 1) ?(chain = 1) ?(clients = 2) ds sname ~shards
+    ~batch ~mode ~read_pct ~insert_pct ~init_size =
   let module Service = Mp_service.Service in
   let module Loadgen = Mp_service.Loadgen in
   let (module SET : Dstruct.Set_intf.SET) =
@@ -1021,7 +1021,7 @@ let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~inser
   let lg =
     Loadgen.run ~tick svc
       {
-        Loadgen.clients = 2;
+        Loadgen.clients;
         duration_s = Float.max duration_s 0.5;
         warmup_s = Float.min !warmup 0.2;
         read_pct;
@@ -1033,6 +1033,7 @@ let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~inser
         mode;
         deadline_s = 0.0;
         max_retries = 0;
+        chain;
       }
   in
   Service.stop svc;
@@ -1044,10 +1045,11 @@ let run_service ?zipf ?(mget = 1) ds sname ~shards ~batch ~mode ~read_pct ~inser
     {
       Runner.spec_threads = shards;
       mix_name =
-        Printf.sprintf "svc_%s_%dr%di%s_B%d"
+        Printf.sprintf "svc_%s_%dr%di%s%s_B%d"
           (match mode with Loadgen.Closed _ -> "closed" | Loadgen.Open _ -> "open")
           read_pct insert_pct
           (if mget > 1 then Printf.sprintf "_m%d" mget else "")
+          (if chain > 1 then Printf.sprintf "_c%d" chain else "")
           batch;
       total_ops = lg.Loadgen.completed;
       throughput = lg.Loadgen.throughput;
@@ -1167,6 +1169,163 @@ let service () =
       ];
     ]
 
+(* -- Extension: pipelined transport (chained rings, socket front-end) ------ *)
+
+(* --socket PATH points the transport experiment at a running mpserver's
+   Unix socket (the CI smoke job does); without it the sweep runs over
+   the in-process rings. *)
+let socket_path : string option ref = ref None
+
+(* Socket mode: closed-loop pipelined batches of text commands against a
+   running mpserver, swept over the pipelining depth. The rows share the
+   JSON schema; SMR-side fields are 0 (they live in the server's own
+   exit stats line). *)
+let transport_socket path =
+  let module Loadgen = Mp_service.Loadgen in
+  let run chain =
+    let lg =
+      Loadgen.run_socket
+        {
+          Loadgen.sock_path = path;
+          sock_clients = 2;
+          sock_duration_s = Float.max duration_s 1.0;
+          sock_warmup_s = Float.min !warmup 0.2;
+          sock_read_pct = 90;
+          sock_insert_pct = 5;
+          sock_mget = 1;
+          sock_key_range = 8192;
+          sock_seed = 0xBEEF;
+          sock_chain = chain;
+        }
+    in
+    let r =
+      {
+        Runner.spec_threads = 2;
+        mix_name = Printf.sprintf "sock_90r5i_c%d" chain;
+        total_ops = lg.Loadgen.completed;
+        throughput = lg.Loadgen.throughput;
+        wasted_avg = 0.0;
+        wasted_max = 0;
+        wasted_peak = 0;
+        fences = 0;
+        traversed = 0;
+        fences_per_node = 0.0;
+        scan_passes = 0;
+        scan_time_s = 0.0;
+        violations = 0;
+        oom = lg.Loadgen.oom > 0;
+        alloc_stalls = 0;
+        ring_full = 0;
+        deadline_exceeded = 0;
+        crashed = [];
+        pinning_tids = [];
+        watchdog = None;
+        final_size = 0;
+        latency = Some lg.Loadgen.latency;
+        alloc_words_per_op = 0.0;
+        promoted_words_per_op = 0.0;
+        minor_gcs = 0;
+      }
+    in
+    (note ~ds:"socket" ~scheme:"socket" r, lg)
+  in
+  let rows =
+    List.map
+      (fun chain ->
+        let r, lg = run chain in
+        let lat = Option.get r.Runner.latency in
+        let pct q = string_of_int (Mp_util.Histogram.percentile_ns lat q) in
+        [
+          string_of_int chain;
+          Report.fmt_throughput r.Runner.throughput;
+          (if r.Runner.throughput > 0.0 then
+             Printf.sprintf "%.0f" (1e9 /. r.Runner.throughput)
+           else "-");
+          string_of_int lg.Mp_service.Loadgen.rejected;
+          pct 50.0;
+          pct 99.0;
+          pct 99.9;
+        ])
+      [ 1; 8; 32 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Transport (socket): mpserver at %s, 2 clients, 90r/5i single-key, pipelined batches"
+         path)
+    ~header:[ "pipeline"; "ops/s"; "ns/op"; "errors"; "p50"; "p99"; "p99.9" ]
+    rows
+
+(* In-process: the chained-ring sweep the tentpole is about. Single-key
+   read-heavy closed loop at 8 clients, chain depth x batch ceiling:
+   chain=1 is exactly the PR 5 per-slot ring (the baseline the >= 3x
+   acceptance bar measures against), and the 16-key multi-get row is the
+   amortization reference the chained transport must approach. *)
+let transport_inproc () =
+  let read_pct = 98 and insert_pct = 1 in
+  let init_size = if full then 1_024 else 512 in
+  let shards = match !service_shards with Some n -> n | None -> 2 in
+  let clients = 8 in
+  let run sname ~chain ~batch =
+    (* chain=1 keeps a deep per-slot pipeline (requests in flight is
+       what that path has instead of chains); chained clients keep one
+       chain of [chain] in flight per round. *)
+    let mode =
+      Mp_service.Loadgen.Closed { pipeline = (if chain > 1 then chain else 8) }
+    in
+    run_service Instances.Hash_ds sname ~shards ~batch ~zipf:0.99 ~mode ~chain
+      ~clients ~read_pct ~insert_pct ~init_size
+  in
+  let rows =
+    List.concat_map
+      (fun sname ->
+        (* PR 5's in-process amortization reference: 16-key multi-gets
+           over the per-slot ring. *)
+        let mget_ref, _ =
+          run_service Instances.Hash_ds sname ~shards ~batch:32 ~zipf:0.99
+            ~mget:16
+            ~mode:(Mp_service.Loadgen.Closed { pipeline = 128 })
+            ~clients:2 ~read_pct ~insert_pct ~init_size
+        in
+        let base = ref 0.0 in
+        List.map
+          (fun chain ->
+            let r1, _ = run sname ~chain ~batch:1 in
+            let r32, _ = run sname ~chain ~batch:32 in
+            if chain = 1 then base := r32.Runner.throughput;
+            let lat = Option.get r32.Runner.latency in
+            [
+              sname;
+              string_of_int chain;
+              fmt_result r1;
+              fmt_result r32;
+              Printf.sprintf "%.2fx" (r32.Runner.throughput /. r1.Runner.throughput);
+              (if r32.Runner.throughput > 0.0 then
+                 Printf.sprintf "%.0f" (1e9 /. r32.Runner.throughput)
+               else "-");
+              Printf.sprintf "%.2fx" (r32.Runner.throughput /. !base);
+              Printf.sprintf "%.2fx" (r32.Runner.throughput /. mget_ref.Runner.throughput);
+              string_of_int (Mp_util.Histogram.percentile_ns lat 99.9);
+              string_of_int r32.Runner.wasted_peak;
+            ])
+          [ 1; 8; 32; 64; 128 ])
+      [ "mp"; "hp"; "ibr"; "ebr" ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Transport: chained ring submit/drain, hash 98r1i Zipf(0.99) single-key (%d clients, %d shards; chain=1 = per-slot ring)"
+         clients shards)
+    ~header:
+      [ "scheme"; "chain"; "B=1"; "B=32"; "B spdup"; "ns/op";
+        "vs chain1"; "vs mget16"; "p99.9"; "wasted peak" ]
+    rows
+
+let transport () =
+  match !socket_path with
+  | Some path -> transport_socket path
+  | None -> transport_inproc ()
+
 (* -- driver ---------------------------------------------------------------- *)
 
 let experiments =
@@ -1191,6 +1350,7 @@ let experiments =
     ("ext-queue", ext_queue);
     ("latency", latency);
     ("service", service);
+    ("transport", transport);
   ]
 
 let () =
@@ -1209,6 +1369,9 @@ let () =
       (match int_of_string_opt n with
       | Some n when n > 0 -> service_shards := Some n
       | _ -> Printf.eprintf "ignoring bad --shards %S\n" n);
+      strip_opts rest
+    | "--socket" :: path :: rest ->
+      socket_path := Some path;
       strip_opts rest
     | arg :: rest -> arg :: strip_opts rest
     | [] -> []

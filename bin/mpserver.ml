@@ -1,0 +1,212 @@
+(* mpserver: the sharded SMR service behind a memcached-text socket.
+
+   Listens on a Unix-domain socket and/or a TCP port, one domain per
+   accepted connection, each running a {!Mp_service.Frontend.Conn}
+   executor: commands are parsed incrementally, a whole read's worth is
+   expanded into per-shard ring chains (one submit CAS and one
+   coalesced reply wait per chain), and every reply is flushed in one
+   write — the pipelining path the transport bench measures.
+
+   On exit (duration elapsed, SIGINT/SIGTERM, or every client gone
+   after --duration) the service stats are printed as one JSON line on
+   stdout, so smoke jobs can validate the run. *)
+
+module Service = Mp_service.Service
+module Recovery = Mp_service.Recovery
+module Frontend = Mp_service.Frontend
+module Instances = Mp_harness.Instances
+
+let unix_path = ref ""
+let tcp_port = ref 0
+let scheme = ref "mp"
+let ds = ref "hash"
+let shards = ref 2
+let batch = ref 32
+let ring = ref 1024
+let init_size = ref 4096
+let key_range = ref 0 (* 0 = 2 * init *)
+let max_conns = ref 64
+let duration = ref 0.0 (* 0 = run until signalled *)
+let no_recovery = ref false
+
+let args =
+  [
+    ("--unix", Arg.Set_string unix_path, "PATH listen on a Unix-domain socket");
+    ("--tcp", Arg.Set_int tcp_port, "PORT listen on 127.0.0.1:PORT");
+    ("--scheme", Arg.Set_string scheme, "NAME SMR scheme (mp|hp|he|ibr|ebr|none)");
+    ("--ds", Arg.Set_string ds, "NAME structure (list|skiplist|bst|hash)");
+    ("--shards", Arg.Set_int shards, "N shard domains (default 2)");
+    ("--batch", Arg.Set_int batch, "B SET ops per SMR batch window (default 32)");
+    ("--ring", Arg.Set_int ring, "N request-ring capacity per shard (default 1024)");
+    ("--init", Arg.Set_int init_size, "N pre-populated keys (default 4096)");
+    ("--key-range", Arg.Set_int key_range, "N key universe (default 2*init)");
+    ("--max-conns", Arg.Set_int max_conns, "N concurrent connections (default 64)");
+    ("--duration", Arg.Set_float duration, "S exit after S seconds (default: run forever)");
+    ("--no-recovery", Arg.Set no_recovery, " disable the crash-recovery supervisor");
+  ]
+
+let usage = "mpserver --unix PATH [--tcp PORT] [options]"
+
+(* One connection: read → pump (parse/execute/render) → flush, until
+   EOF, quit, or the stop flag. The parser's fill window is the read
+   buffer, so bytes go socket → parser with one copy total. *)
+let serve_conn service stop fd =
+  let conn = Frontend.Conn.create service in
+  let p = Frontend.Conn.parser conn in
+  (try
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with _ -> () (* Unix-domain sockets have no Nagle *));
+  (try
+     while (not (Atomic.get stop)) && not (Frontend.Conn.closed conn) do
+       if Frontend.Parser.free_space p = 0 then
+         (* pathological: a line longer than the whole buffer; the
+            parser resyncs via its own bounded stash, so just pump *)
+         ignore (Frontend.Conn.pump conn : int)
+       else begin
+         (* block at most briefly so the stop flag stays live *)
+         let readable, _, _ = Unix.select [ fd ] [] [] 0.5 in
+         if readable <> [] then begin
+           let n =
+             Unix.read fd (Frontend.Parser.buffer p) (Frontend.Parser.write_off p)
+               (Frontend.Parser.free_space p)
+           in
+           if n = 0 then raise Exit; (* peer closed *)
+           Frontend.Parser.fill p n;
+           ignore (Frontend.Conn.pump conn : int);
+           let out = Frontend.Conn.out conn in
+           if Buffer.length out > 0 then begin
+             let s = Buffer.contents out in
+             let len = String.length s in
+             let off = ref 0 in
+             while !off < len do
+               off := !off + Unix.write_substring fd s !off (len - !off)
+             done
+           end
+         end
+       end
+     done
+   with Exit | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_on sockaddr =
+  let dom = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd sockaddr;
+  Unix.listen fd 64;
+  fd
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a))) usage;
+  if !unix_path = "" && !tcp_port = 0 then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let spare_tids = if !no_recovery then 0 else 1 in
+  let threads = !shards + spare_tids in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Instances.make (Instances.ds_of_name !ds) (Instances.scheme_of_name !scheme)
+  in
+  let config = Smr_core.Config.default ~threads in
+  let range = if !key_range > 0 then !key_range else 2 * !init_size in
+  let capacity = (!init_size * 4) + (threads * 65536) in
+  let set = SET.create ~threads ~capacity config in
+  let s0 = SET.session set ~tid:0 in
+  let rng = Mp_util.Rng.create 7 in
+  let inserted = ref 0 in
+  while !inserted < !init_size do
+    if SET.insert s0 ~key:(Mp_util.Rng.below rng range) ~value:1 then incr inserted
+  done;
+  SET.flush s0;
+  let recovery =
+    if !no_recovery then None else Some { Recovery.default with spare_tids }
+  in
+  let service =
+    Service.create ?recovery
+      (module SET)
+      set ~shards:!shards ~batch:!batch ~ring_capacity:!ring
+  in
+  Service.start service;
+  let stop = Atomic.make false in
+  let on_signal _ = Atomic.set stop true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle on_signal));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle on_signal));
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let listeners =
+    (if !unix_path <> "" then begin
+       (try Unix.unlink !unix_path with Unix.Unix_error _ -> ());
+       [ listen_on (Unix.ADDR_UNIX !unix_path) ]
+     end
+     else [])
+    @
+    if !tcp_port > 0 then
+      [ listen_on (Unix.ADDR_INET (Unix.inet_addr_loopback, !tcp_port)) ]
+    else []
+  in
+  let t_deadline =
+    if !duration > 0.0 then Unix.gettimeofday () +. !duration else infinity
+  in
+  (* Connection domains, swept on completion. [alive] mirrors slot
+     occupancy; a finished connection marks its flag and the accept
+     loop joins it on the next pass. *)
+  let conns : (unit Domain.t * bool Atomic.t) option array =
+    Array.make (max 1 !max_conns) None
+  in
+  let sweep ~final =
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Some (d, done_flag) when final || Atomic.get done_flag ->
+          Domain.join d;
+          conns.(i) <- None
+        | _ -> ())
+      conns
+  in
+  let accept_loop () =
+    while (not (Atomic.get stop)) && Unix.gettimeofday () < t_deadline do
+      let timeout =
+        if t_deadline = infinity then 0.25
+        else Float.max 0.01 (Float.min 0.25 (t_deadline -. Unix.gettimeofday ()))
+      in
+      let ready =
+        try
+          let r, _, _ = Unix.select listeners [] [] timeout in
+          r
+        with Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      sweep ~final:false;
+      List.iter
+        (fun lfd ->
+          match Unix.accept lfd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ -> (
+            (* find a free slot; refuse the connection when full *)
+            let slot = ref (-1) in
+            Array.iteri (fun i s -> if !slot < 0 && s = None then slot := i) conns;
+            match !slot with
+            | -1 -> Unix.close fd
+            | i ->
+              let done_flag = Atomic.make false in
+              let d =
+                Domain.spawn (fun () ->
+                    serve_conn service stop fd;
+                    Atomic.set done_flag true)
+              in
+              conns.(i) <- Some (d, done_flag)))
+        ready
+    done
+  in
+  (try accept_loop () with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  Atomic.set stop true;
+  sweep ~final:true;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  if !unix_path <> "" then (try Unix.unlink !unix_path with Unix.Unix_error _ -> ());
+  Service.stop service;
+  let st = Service.stats service in
+  let smr = SET.smr_stats set in
+  Printf.printf
+    "{\"server\":\"mpserver\",\"scheme\":\"%s\",\"ds\":\"%s\",\"shards\":%d,\"batch\":%d,\"ops\":%d,\"batches\":%d,\"max_batch\":%d,\"rejected\":%d,\"oom\":%d,\"shed_busy\":%d,\"client_spins\":%d,\"client_backoffs\":%d,\"crash_events\":%d,\"wasted_peak\":%d,\"violations\":%d}\n"
+    !scheme !ds !shards !batch st.Service.ops st.Service.batches
+    st.Service.max_batch st.Service.rejected st.Service.oom st.Service.shed_busy
+    st.Service.client_spins st.Service.client_backoffs st.Service.crash_events
+    smr.Smr_core.Smr_intf.wasted_peak (SET.violations set)

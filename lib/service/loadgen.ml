@@ -72,6 +72,14 @@ type spec = {
   mode : mode;
   deadline_s : float; (* per-request deadline; 0 = none *)
   max_retries : int; (* retry budget per request (idempotence-aware) *)
+  chain : int;
+      (* closed loop only: submit this many requests per round as
+         per-shard chains (one tail CAS + one coalesced wait per chain)
+         instead of per-slot submit/poll. 1 = exactly the per-slot
+         path; in chain mode client-side retries/cancels are off
+         (deadlines still ride the wire, so the server sheds busy) and
+         latency records one sample per round. Must be at most half
+         the ring capacity. *)
 }
 
 type result = {
@@ -338,6 +346,97 @@ let closed_client service spec ~pipeline ~idx ~t_start ~t_measure ~t_stop tl =
   done;
   drain_all service spec w tl ~mget ~t_measure ~t_stop
 
+(* Chained closed loop: each round generates [chain] requests, buckets
+   them by owning shard, submits one chain per non-empty shard (a
+   single tail CAS each), then waits once per chain on its last slot
+   and harvests all replies — the per-request transport cost (CAS,
+   wakeup, reply spin) is paid once per chain. Replies are classified
+   per slot with the same tallies as the per-slot path, so the
+   conservation law submitted = completed_reqs + rejected + busy + oom
+   holds exactly at [warmup_s = 0] (no client-side retries or cancels
+   in chain mode). *)
+let chained_client service spec ~chain ~idx ~t_start ~t_measure ~t_stop tl =
+  let rng = Rng.split ~seed:spec.seed ~tid:idx in
+  let keys =
+    match spec.zipf_alpha with
+    | Some alpha -> Keygen.zipf ~range:spec.key_range ~alpha
+    | None -> Keygen.uniform ~range:spec.key_range
+  in
+  ignore t_start;
+  let mget = max 1 spec.mget in
+  let shards = Service.shards service in
+  (* Per-shard buckets in one flat array: shard [s] owns
+     [s * chain, s * chain + counts.(s)). *)
+  let ops = Array.make (shards * chain) 0 in
+  let keys_a = Array.make (shards * chain) 0 in
+  let values = Array.make (shards * chain) 0 in
+  let replies = Array.make (shards * chain) 0 in
+  let counts = Array.make shards 0 in
+  let tickets = Array.make shards 0 in
+  while Unix.gettimeofday () < t_stop do
+    Array.fill counts 0 shards 0;
+    for _ = 1 to chain do
+      let op = pick_op spec rng in
+      let key = Keygen.next keys rng in
+      let shard = Service.shard_of_key service key in
+      let i = (shard * chain) + counts.(shard) in
+      ops.(i) <- op;
+      keys_a.(i) <- key;
+      values.(i) <- (if op = Service.op_mget then mget else key);
+      counts.(shard) <- counts.(shard) + 1
+    done;
+    let t0 = Unix.gettimeofday () in
+    let deadline_us = deadline_us_of spec ~t0 in
+    let in_win = t0 >= t_measure in
+    for s = 0 to shards - 1 do
+      let n = counts.(s) in
+      if n > 0 then begin
+        (* Ring full is transient while the service runs (the consumer
+           drains); block with the shared pause discipline. *)
+        let spins = ref 0 in
+        let t =
+          ref
+            (Service.try_submit_chain service ~deadline_us ~shard:s ~n ~ops
+               ~keys:keys_a ~values ~off:(s * chain))
+        in
+        while !t < 0 do
+          if in_win then tl.ring_full <- tl.ring_full + 1;
+          pause spins;
+          t :=
+            Service.try_submit_chain service ~deadline_us ~shard:s ~n ~ops
+              ~keys:keys_a ~values ~off:(s * chain)
+        done;
+        tickets.(s) <- !t
+      end
+    done;
+    for s = 0 to shards - 1 do
+      let n = counts.(s) in
+      if n > 0 then begin
+        Service.await_chain service ~shard:s ~ticket:tickets.(s) ~n;
+        Service.harvest_chain service ~shard:s ~ticket:tickets.(s) ~n ~replies
+          ~off:(s * chain)
+      end
+    done;
+    let now = Unix.gettimeofday () in
+    if now >= t_measure then begin
+      tl.submitted <- tl.submitted + chain;
+      for s = 0 to shards - 1 do
+        for j = 0 to counts.(s) - 1 do
+          let r = replies.((s * chain) + j) in
+          if r = Service.reply_busy then tl.busy <- tl.busy + 1
+          else if r = Service.reply_oom then tl.oom <- tl.oom + 1
+          else if r = Service.reply_rejected then tl.rejected <- tl.rejected + 1
+          else begin
+            tl.completed <-
+              tl.completed + (if r >= Service.reply_mget_base then mget else 1);
+            tl.completed_reqs <- tl.completed_reqs + 1
+          end
+        done
+      done;
+      Histogram.record tl.hist (now -. t0)
+    end
+  done
+
 let open_client service spec ~rate ~window ~idx ~t_start ~t_measure ~t_stop tl =
   let rng = Rng.split ~seed:spec.seed ~tid:idx in
   let keys =
@@ -423,6 +522,9 @@ let run ?(tick = fun () -> ()) service spec =
   let spawn idx =
     Domain.spawn (fun () ->
         (match spec.mode with
+        | Closed _ when spec.chain > 1 ->
+          chained_client service spec ~chain:spec.chain ~idx ~t_start ~t_measure
+            ~t_stop tallies.(idx)
         | Closed { pipeline } ->
           closed_client service spec ~pipeline:(max 1 pipeline) ~idx ~t_start ~t_measure
             ~t_stop tallies.(idx)
@@ -469,5 +571,167 @@ let run ?(tick = fun () -> ()) service spec =
     retries = !retries;
     elapsed_s;
     throughput = (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+    latency;
+  }
+
+(* -- socket mode (memcached-text front-end) ------------------------------- *)
+
+(** Drive an {!Frontend}-served [mpserver] over its byte protocol
+    instead of the in-process rings: each client opens one Unix-domain
+    connection and runs a closed loop of pipelined batches —
+    [sock_chain] text commands written in one flush, replies drained
+    until every command's terminal line arrived. The tallies map onto
+    {!result} the obvious way: a reply terminal is a completed request
+    ([HITS] counts [sock_mget] operations), [SERVER_ERROR out of
+    memory] is an [oom], any other error line a [rejected]; latency is
+    one sample per batch. *)
+type socket_spec = {
+  sock_path : string; (* Unix-domain socket path of a running mpserver *)
+  sock_clients : int;
+  sock_duration_s : float;
+  sock_warmup_s : float;
+  sock_read_pct : int;
+  sock_insert_pct : int; (* remainder = deletes *)
+  sock_mget : int; (* reads become [mget <key> <n>] when > 1 *)
+  sock_key_range : int;
+  sock_seed : int;
+  sock_chain : int; (* commands pipelined per batch *)
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let socket_client sspec ~idx ~t_measure ~t_stop tl =
+  let rng = Rng.split ~seed:sspec.sock_seed ~tid:idx in
+  let keys = Keygen.uniform ~range:sspec.sock_key_range in
+  let mget = max 1 sspec.sock_mget in
+  let chain = max 1 sspec.sock_chain in
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX sspec.sock_path);
+  let out = Buffer.create 4096 in
+  let inbuf = Bytes.create 65536 in
+  let line = Buffer.create 256 in
+  let expect_data = ref false in
+  (try
+     while Unix.gettimeofday () < t_stop do
+       Buffer.clear out;
+       for _ = 1 to chain do
+         let roll = Rng.below rng 100 in
+         let key = Keygen.next keys rng in
+         if roll < sspec.sock_read_pct then
+           if mget > 1 then
+             Buffer.add_string out (Printf.sprintf "mget %d %d\r\n" key mget)
+           else Buffer.add_string out (Printf.sprintf "get %d\r\n" key)
+         else if roll < sspec.sock_read_pct + sspec.sock_insert_pct then begin
+           let data = string_of_int key in
+           Buffer.add_string out
+             (Printf.sprintf "set %d 0 0 %d\r\n%s\r\n" key (String.length data)
+                data)
+         end
+         else Buffer.add_string out (Printf.sprintf "delete %d\r\n" key)
+       done;
+       let t0 = Unix.gettimeofday () in
+       write_all fd (Buffer.contents out);
+       (* Drain until every command's terminal line arrived. A VALUE
+          line announces one data line to skip; everything else is one
+          command's terminal. *)
+       let terminals = ref 0 in
+       let ok_reqs = ref 0 and ok_ops = ref 0 and rej = ref 0 and oomc = ref 0 in
+       while !terminals < chain do
+         let r = Unix.read fd inbuf 0 (Bytes.length inbuf) in
+         if r = 0 then failwith "Loadgen.run_socket: server closed the connection";
+         for i = 0 to r - 1 do
+           let c = Bytes.get inbuf i in
+           if c = '\n' then begin
+             let l = Buffer.contents line in
+             Buffer.clear line;
+             let l =
+               let n = String.length l in
+               if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+             in
+             if !expect_data then expect_data := false
+             else if String.starts_with ~prefix:"VALUE " l then
+               expect_data := true
+             else begin
+               incr terminals;
+               if
+                 l = "END" || l = "STORED" || l = "NOT_STORED" || l = "DELETED"
+                 || l = "NOT_FOUND"
+               then begin
+                 incr ok_reqs;
+                 incr ok_ops
+               end
+               else if String.starts_with ~prefix:"HITS" l then begin
+                 incr ok_reqs;
+                 ok_ops := !ok_ops + mget
+               end
+               else if l = "SERVER_ERROR out of memory" then incr oomc
+               else incr rej
+             end
+           end
+           else Buffer.add_char line c
+         done
+       done;
+       let now = Unix.gettimeofday () in
+       if now >= t_measure then begin
+         tl.submitted <- tl.submitted + chain;
+         tl.completed <- tl.completed + !ok_ops;
+         tl.completed_reqs <- tl.completed_reqs + !ok_reqs;
+         tl.rejected <- tl.rejected + !rej;
+         tl.oom <- tl.oom + !oomc;
+         Histogram.record tl.hist (now -. t0)
+       end
+     done
+   with e ->
+     Unix.close fd;
+     raise e);
+  write_all fd "quit\r\n";
+  Unix.close fd
+
+(** Closed-loop socket load against a running [mpserver]; blocks until
+    the duration elapses. One connection (and one domain) per client. *)
+let run_socket sspec =
+  let clients = max 1 sspec.sock_clients in
+  let tallies = Array.init clients (fun _ -> tally_create ()) in
+  let t_start = Unix.gettimeofday () in
+  let t_measure = t_start +. sspec.sock_warmup_s in
+  let t_stop = t_start +. sspec.sock_duration_s in
+  let domains =
+    Array.init clients (fun idx ->
+        Domain.spawn (fun () ->
+            socket_client sspec ~idx ~t_measure ~t_stop tallies.(idx)))
+  in
+  Array.iter Domain.join domains;
+  let latency = Histogram.create () in
+  let submitted = ref 0 and completed = ref 0 and completed_reqs = ref 0 in
+  let rejected = ref 0 and oom = ref 0 in
+  Array.iter
+    (fun tl ->
+      Histogram.merge_into ~into:latency tl.hist;
+      submitted := !submitted + tl.submitted;
+      completed := !completed + tl.completed;
+      completed_reqs := !completed_reqs + tl.completed_reqs;
+      rejected := !rejected + tl.rejected;
+      oom := !oom + tl.oom)
+    tallies;
+  let elapsed_s = sspec.sock_duration_s -. sspec.sock_warmup_s in
+  {
+    submitted = !submitted;
+    completed = !completed;
+    completed_reqs = !completed_reqs;
+    rejected = !rejected;
+    busy = 0;
+    oom = !oom;
+    drops = 0;
+    deadline_exceeded = 0;
+    ring_full = 0;
+    retries = 0;
+    elapsed_s;
+    throughput =
+      (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
     latency;
   }

@@ -41,6 +41,15 @@ type spec = {
           exponential backoff, 20 µs doubling capped at 1 ms; retries
           keep the original [t0] and never start past the run clock or
           the request deadline. *)
+  chain : int;
+      (** Closed loop only (ignored by [Open]): when [> 1], each round
+          submits this many requests as per-shard {e chains}
+          ({!Service.try_submit_chain} — one tail CAS and one coalesced
+          reply wait per chain) instead of per-slot submit/poll. [1] is
+          exactly the per-slot path. Chain mode disables client-side
+          retries and cancels (wire deadlines still shed busy
+          server-side); latency records one sample per round; must be
+          at most half the ring capacity. *)
 }
 
 type result = {
@@ -66,3 +75,30 @@ type result = {
 (** Run against a started service; blocks until done. [?tick] runs
     every ~2 ms on the calling thread (watchdog sampler hook). *)
 val run : ?tick:(unit -> unit) -> Service.t -> spec -> result
+
+(** {2 Socket mode}
+
+    Drive a running [mpserver] over the memcached-text byte protocol
+    ({!Frontend}) instead of the in-process rings: per client, one
+    Unix-domain connection running a closed loop of pipelined batches
+    of [sock_chain] commands (one write, replies drained to their
+    terminal lines). Tallies map onto {!result}: each terminal is a
+    completed request ([HITS] counts [sock_mget] operations),
+    [SERVER_ERROR out of memory] an [oom], other error lines
+    [rejected]; latency is one sample per batch; [busy]/[drops]/
+    [deadline_exceeded]/[ring_full]/[retries] stay 0. *)
+
+type socket_spec = {
+  sock_path : string; (* Unix-domain socket path of a running mpserver *)
+  sock_clients : int;
+  sock_duration_s : float;
+  sock_warmup_s : float;
+  sock_read_pct : int;
+  sock_insert_pct : int; (* remainder = deletes *)
+  sock_mget : int; (* reads become [mget <key> <n>] when > 1 *)
+  sock_key_range : int;
+  sock_seed : int;
+  sock_chain : int; (* commands pipelined per batch *)
+}
+
+val run_socket : socket_spec -> result

@@ -43,12 +43,40 @@
     producer spinning on its reply does not steal the line the consumer
     is completing a neighbouring slot through.
 
+    {e Chains.} A producer may claim [n] consecutive slots with a single
+    tail CAS ({!try_submit_chain}) — the magazine idiom of the mempool's
+    chain-batched free list, applied to requests. The chain's slots are
+    published in {e reverse} order, head last, so a consumer that
+    observes the head submitted observes the whole chain submitted and
+    can drain it in one wakeup; each slot carries a "remaining in chain"
+    word ([n - i] at the i-th slot) telling the consumer how far the
+    contiguous run extends even if it takes the chain over mid-way
+    (crash recovery). Replies are {e coalesced}: because the single
+    consumer completes slots in cursor order, the chain's {e last} slot
+    completing implies every earlier slot completed — the client waits
+    on one sequence word per chain ({!chain_done} / {!await_chain})
+    instead of spinning per slot, then harvests all replies and acks all
+    slots at once ({!harvest_chain}). The memory-ordering argument: the
+    consumer's payload write of reply [i] precedes (program order, one
+    domain) its seq-word release of slot [i], which precedes its CAS on
+    the last slot; the client's acquire read of the last slot's seq word
+    therefore orders after every reply write in the chain. Across a
+    crash takeover the same holds through the [Domain.join] edge: the
+    replacement's completions happen-after everything the corpse wrote.
+
+    Blocking waits ({!await}, {!await_chain}) are adaptive: a short
+    phase of tight reads, then [Domain.cpu_relax], then exponential
+    sleep backoff — a pure spin on an oversubscribed host burns exactly
+    the timeslice the consumer needs. The phases are tallied into the
+    ring's {!stats} ([client_spins]/[client_backoffs]) so burned CPU is
+    a measured quantity, not noise.
+
     Submitting, serving, polling and cancelling allocate nothing ([-1]
     sentinels instead of options): the reply path of a request is a
     "reply slot", not a message. *)
 
 (* Payload words per slot. *)
-let stride = 6
+let stride = 7
 
 type t = {
   capacity : int;
@@ -56,9 +84,12 @@ type t = {
   seq : int Atomic.t array; (* spaced: slot i at [Padding.spaced_index i] *)
   payload : int array;
       (* [stride] plain ints per slot:
-         op, key, value, reply, generation, deadline_us *)
+         op, key, value, reply, generation, deadline_us, chain-remaining *)
   tail : int Atomic.t; (* producers' ticket counter *)
   generation : int Atomic.t; (* bumped by the recovery supervisor *)
+  wait_stats : int Atomic.t array;
+      (* spaced; [0] = client spins (relax iterations), [1] = client
+         backoffs (sleeps) — flushed once per completed blocking wait *)
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
@@ -81,6 +112,7 @@ let create ~capacity =
     payload = Array.make (capacity * stride) 0;
     tail = Atomic.make 0;
     generation = Atomic.make 0;
+    wait_stats = Mp_util.Padding.atomic_int_array 2;
   }
 
 let capacity t = t.capacity
@@ -123,12 +155,63 @@ let rec try_submit ?(deadline_us = 0) t ~op ~key ~value =
       t.payload.(b + 2) <- value;
       t.payload.(b + 4) <- Atomic.get t.generation;
       t.payload.(b + 5) <- deadline_us;
+      t.payload.(b + 6) <- 1;
       Atomic.set s (pos + 1);
       pos
     end
     else try_submit ~deadline_us t ~op ~key ~value (* lost the ticket race *)
   else if v < pos then -1 (* previous lap's occupant not yet acked: full *)
   else try_submit ~deadline_us t ~op ~key ~value (* stale tail read *)
+
+(** Claim [n] consecutive slots with one tail CAS and publish a whole
+    request chain: requests [i = 0 .. n-1] are read from
+    [ops.(off + i)] / [keys.(off + i)] / [values.(off + i)]. Returns
+    the first ticket ([>= 0]; the chain occupies tickets
+    [ticket .. ticket + n - 1]), or [-1] when the ring does not have
+    [n] free contiguous slots. Slots are published head-last, so the
+    consumer sees either no chain or the whole chain; the payload
+    protocol (per-slot generation stamp, deadline, chain-remaining
+    word) is byte-for-byte the single-submit protocol at [n = 1].
+    [n] must be at most half the capacity, so one chain can never
+    deadlock against its own unacked previous lap. *)
+let rec try_submit_chain ?(deadline_us = 0) t ~n ~ops ~keys ~values ~off =
+  if n < 1 || n > t.capacity / 2 then
+    invalid_arg "Request_ring.try_submit_chain: n outside [1, capacity/2]";
+  let pos = Atomic.get t.tail in
+  (* Every slot of [pos, pos + n) must be free this lap. Slots ack out
+     of order (each producer acks its own), so the whole span is
+     checked, not just the head. *)
+  let rec scan i =
+    if i >= n then 0
+    else
+      let v = Atomic.get (seq_at t (pos + i)) in
+      if v = pos + i then scan (i + 1)
+      else if v < pos + i then -1 (* occupied by an unacked previous lap *)
+      else 1 (* stale tail read *)
+  in
+  match scan 0 with
+  | -1 -> -1
+  | 1 -> try_submit_chain ~deadline_us t ~n ~ops ~keys ~values ~off
+  | _ ->
+    if Atomic.compare_and_set t.tail pos (pos + n) then begin
+      (* The span is ours: a slot observed free can only be claimed
+         through a tail CAS, and ours won. Publish tail-first so the
+         head's submitted edge is the last write the consumer can see. *)
+      let gen = Atomic.get t.generation in
+      for i = n - 1 downto 0 do
+        let p = pos + i in
+        let b = base t p in
+        t.payload.(b) <- ops.(off + i);
+        t.payload.(b + 1) <- keys.(off + i);
+        t.payload.(b + 2) <- values.(off + i);
+        t.payload.(b + 4) <- gen;
+        t.payload.(b + 5) <- deadline_us;
+        t.payload.(b + 6) <- n - i;
+        Atomic.set (seq_at t p) (p + 1)
+      done;
+      pos
+    end
+    else try_submit_chain ~deadline_us t ~n ~ops ~keys ~values ~off
 
 (** Poll the reply for [ticket]: the reply code ([>= 0], acking the slot
     for reuse) or [-1] while still pending. Each ticket must be polled
@@ -199,3 +282,113 @@ let[@inline] complete t ~pos reply =
 
 (** Free a {!cancelled} slot at the cursor position. *)
 let[@inline] discard t ~pos = Atomic.set (seq_at t pos) (pos + t.capacity)
+
+(** How many requests remain in the contiguous chain starting at the
+    cursor position (inclusive): [1] for a single submit, [n - i] at the
+    i-th slot of an n-chain. Valid under the same window as {!op}. A
+    consumer may use it to widen one wakeup's drain to the whole chain. *)
+let[@inline] chain_len t ~pos = t.payload.(base t pos + 6)
+
+(* -- coalesced chain completion ------------------------------------------- *)
+
+(** Has the whole chain [ticket .. ticket + n - 1] been completed? Only
+    the {e last} slot's sequence word is read: the single consumer
+    completes slots in cursor order, so the last slot completed implies
+    every slot completed (and the acquire read here orders the caller
+    after every reply write in the chain — see the header). Sound across
+    crash takeover because the replacement consumer starts after
+    [Domain.join] on the corpse. Do not mix with per-slot {!poll} or
+    {!cancel} on the same chain. *)
+let[@inline] chain_done t ~ticket ~n =
+  Atomic.get (seq_at t (ticket + n - 1)) = ticket + n + 1
+
+(** Harvest a completed chain: copy the [n] replies into
+    [replies.(off + i)] and ack all [n] slots for the ring's next lap.
+    Call only after {!chain_done} returned [true] (or {!await_chain}
+    returned). Replies are read before any slot is acked, so a racing
+    next-lap producer can never overwrite an unread reply. *)
+let harvest_chain t ~ticket ~n ~replies ~off =
+  for i = 0 to n - 1 do
+    replies.(off + i) <- t.payload.(base t (ticket + i) + 3)
+  done;
+  for i = 0 to n - 1 do
+    let p = ticket + i in
+    Atomic.set (seq_at t p) (p + t.capacity)
+  done
+
+(* -- adaptive blocking waits ---------------------------------------------- *)
+
+(* Wait phases: [spin_reads] tight re-reads, then [relax_budget]
+   iterations of [Domain.cpu_relax], then exponential sleep backoff from
+   [backoff_base_s] doubling to [backoff_cap_s]. On an oversubscribed
+   host (shards + clients > cores) the sleep phase is what yields the
+   timeslice the consumer needs to make progress. *)
+let spin_reads = 64
+let relax_budget = 512
+let backoff_base_s = 0.000001
+let backoff_cap_s = 0.001
+
+(* Wait until the slot holding [ticket]'s *last-slot* position reaches
+   [target]; tally relax iterations and sleeps into [wait_stats]. *)
+let wait_seq t ~pos ~target =
+  let s = seq_at t pos in
+  let rec tight i =
+    if Atomic.get s = target then (0, 0)
+    else if i > 0 then tight (i - 1)
+    else relax 0
+  and relax r =
+    if Atomic.get s = target then (r, 0)
+    else if r < relax_budget then begin
+      Domain.cpu_relax ();
+      relax (r + 1)
+    end
+    else backoff r 0 backoff_base_s
+  and backoff r b d =
+    if Atomic.get s = target then (r, b)
+    else begin
+      Unix.sleepf d;
+      backoff r (b + 1) (Float.min (d *. 2.) backoff_cap_s)
+    end
+  in
+  let relaxes, sleeps = tight spin_reads in
+  if relaxes > 0 then begin
+    let c = t.wait_stats.(Mp_util.Padding.spaced_index 0) in
+    Atomic.set c (Atomic.get c + relaxes)
+  end;
+  if sleeps > 0 then begin
+    let c = t.wait_stats.(Mp_util.Padding.spaced_index 1) in
+    Atomic.set c (Atomic.get c + sleeps)
+  end
+
+(** Block until [ticket] is completed and return its reply (acking the
+    slot): {!poll} with the adaptive spin → [cpu_relax] → sleep-backoff
+    wait. The submitting client is the only legal caller. *)
+let await t ~ticket =
+  wait_seq t ~pos:ticket ~target:(ticket + 2);
+  let r = t.payload.(base t ticket + 3) in
+  Atomic.set (seq_at t ticket) (ticket + t.capacity);
+  r
+
+(** Block until the whole chain [ticket .. ticket + n - 1] is completed
+    (one wait on the last slot's sequence word — see {!chain_done});
+    follow with {!harvest_chain}. *)
+let await_chain t ~ticket ~n =
+  let last = ticket + n - 1 in
+  wait_seq t ~pos:last ~target:(last + 2)
+
+(* -- stats ---------------------------------------------------------------- *)
+
+type stats = {
+  client_spins : int;  (** [Domain.cpu_relax] iterations inside waits *)
+  client_backoffs : int;  (** sleeps taken inside waits *)
+}
+
+(** Cumulative wait tallies. The counters are updated with plain
+    read-modify-write (flushed once per blocking wait); under concurrent
+    waiters they are low-loss approximations, good enough for the
+    burned-CPU telemetry they exist for. *)
+let stats t =
+  {
+    client_spins = Atomic.get t.wait_stats.(Mp_util.Padding.spaced_index 0);
+    client_backoffs = Atomic.get t.wait_stats.(Mp_util.Padding.spaced_index 1);
+  }

@@ -33,6 +33,26 @@ val bump_generation : t -> unit
     them. *)
 val try_submit : ?deadline_us:int -> t -> op:int -> key:int -> value:int -> int
 
+(** Claim [n] consecutive slots with a single tail CAS and publish a
+    whole request chain read from [ops/keys/values.(off + i)],
+    [i = 0 .. n-1]. Returns the first ticket (the chain occupies
+    tickets [ticket .. ticket + n - 1]) or [-1] when the ring lacks [n]
+    free contiguous slots. Published head-last: a consumer that sees
+    the head sees the whole chain. At [n = 1] the slot protocol is
+    byte-for-byte {!try_submit}'s. Raises [Invalid_argument] when [n]
+    is outside [1, capacity/2]. Wait for the chain with {!await_chain}
+    (or poll {!chain_done}) and collect replies with {!harvest_chain} —
+    never with per-slot {!poll}/{!cancel}. *)
+val try_submit_chain :
+  ?deadline_us:int ->
+  t ->
+  n:int ->
+  ops:int array ->
+  keys:int array ->
+  values:int array ->
+  off:int ->
+  int
+
 (** Reply for [ticket] ([>= 0], frees the slot) or [-1] while pending.
     Poll each ticket to completion exactly once — or abandon it with
     {!cancel}, never both. *)
@@ -44,6 +64,44 @@ val poll : t -> ticket:int -> int
     reply code [>= 0] if the consumer completed first (the cancel then
     acted as the final poll and freed the slot). *)
 val cancel : t -> ticket:int -> int
+
+(** {2 Coalesced chain completion (the submitting client)}
+
+    One wait per chain instead of one per slot: the single consumer
+    completes slots in cursor order, so the chain's last slot completed
+    implies every slot completed, and the acquire read of that one
+    sequence word orders the client after every reply write in the
+    chain. *)
+
+(** Has the whole chain [ticket .. ticket + n - 1] completed? *)
+val chain_done : t -> ticket:int -> n:int -> bool
+
+(** Copy the [n] replies into [replies.(off + i)] and ack all slots.
+    Only after {!chain_done} is [true] / {!await_chain} returned. *)
+val harvest_chain : t -> ticket:int -> n:int -> replies:int array -> off:int -> unit
+
+(** {2 Adaptive blocking waits}
+
+    Tight reads, then [Domain.cpu_relax], then exponential sleep
+    backoff (1 µs doubling, 1 ms cap) — tallied into {!stats}. *)
+
+(** Block until [ticket] completes; returns the reply and acks the slot
+    (a blocking {!poll}). *)
+val await : t -> ticket:int -> int
+
+(** Block until the whole chain completes; follow with
+    {!harvest_chain}. *)
+val await_chain : t -> ticket:int -> n:int -> unit
+
+(** {2 Wait telemetry} *)
+
+type stats = {
+  client_spins : int;  (** [cpu_relax] iterations inside blocking waits *)
+  client_backoffs : int;  (** sleeps taken inside blocking waits *)
+}
+
+(** Cumulative (approximate under concurrent waiters). *)
+val stats : t -> stats
 
 (** {2 The consumer (the single shard domain)}
 
@@ -68,6 +126,11 @@ val stamp : t -> pos:int -> int
 
 (** The request's absolute deadline in microseconds (0 = none). *)
 val deadline_us : t -> pos:int -> int
+
+(** Requests remaining in the contiguous chain starting at [pos]
+    (inclusive); [1] for a single submit. Same validity window as
+    {!op}. *)
+val chain_len : t -> pos:int -> int
 
 (** Publish the reply and hand the slot back to its submitter. [false]
     when a racing {!cancel} won: the reply was dropped and the slot

@@ -211,6 +211,15 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
       match SET.batch_enter s with
       | exception Mp_util.Fault.Crashed _ -> die ()
       | () ->
+        (* One wakeup drains at least the whole contiguous chain at the
+           cursor (published head-last, so if the head is ready the rest
+           is too): the window budget below still rolls every B ops, so
+           chains longer than B amortize the wakeup without ever
+           widening a protected window past B. *)
+        let limit =
+          let n = Request_ring.chain_len ring ~pos:!pos in
+          if n > batch then n else batch
+        in
         let reqs = ref 0 in
         let window_ops = ref 0 in
         let dead_here = ref false in
@@ -230,7 +239,7 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
           end
         in
         while
-          (not !dead_here) && !reqs < batch
+          (not !dead_here) && !reqs < limit
           && Request_ring.ready ring ~pos:!pos
           && Request_ring.stamp ring ~pos:!pos = Request_ring.generation ring
           && not (past_deadline ring ~pos:!pos)
@@ -389,6 +398,7 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
 
 let shards t = t.shards
 let batch t = t.batch
+let ring_capacity t = Request_ring.capacity t.rings.(0)
 
 (* -- the supervisor (recovery only) -------------------------------------- *)
 
@@ -524,6 +534,25 @@ let stop t =
 let[@inline] try_submit ?(deadline_us = 0) t ~shard ~op ~key ~value =
   Request_ring.try_submit t.rings.(shard) ~op ~key ~value ~deadline_us
 
+(** Submit a whole chain to one shard with a single tail CAS: requests
+    [i = 0 .. n-1] read from [ops/keys/values.(off + i)]. Returns the
+    first ticket or [-1] (ring lacks [n] contiguous free slots). Wait
+    with {!await_chain} / {!chain_done} and collect with
+    {!harvest_chain} — never per-slot poll/cancel. *)
+let[@inline] try_submit_chain ?(deadline_us = 0) t ~shard ~n ~ops ~keys ~values
+    ~off =
+  Request_ring.try_submit_chain t.rings.(shard) ~deadline_us ~n ~ops ~keys
+    ~values ~off
+
+let[@inline] chain_done t ~shard ~ticket ~n =
+  Request_ring.chain_done t.rings.(shard) ~ticket ~n
+
+let[@inline] harvest_chain t ~shard ~ticket ~n ~replies ~off =
+  Request_ring.harvest_chain t.rings.(shard) ~ticket ~n ~replies ~off
+
+let[@inline] await_chain t ~shard ~ticket ~n =
+  Request_ring.await_chain t.rings.(shard) ~ticket ~n
+
 let[@inline] poll t ~shard ~ticket = Request_ring.poll t.rings.(shard) ~ticket
 
 (** Abandon a ticket (deadline path): [-1] if the cancel won (never
@@ -531,17 +560,12 @@ let[@inline] poll t ~shard ~ticket = Request_ring.poll t.rings.(shard) ~ticket
     reply if the shard completed first. *)
 let[@inline] cancel t ~shard ~ticket = Request_ring.cancel t.rings.(shard) ~ticket
 
-(** Blocking reply wait (spin-then-sleep). Only meaningful while the
-    service is running: shards answer every submitted request before
-    they exit, so this cannot hang across a clean [stop]. *)
-let await t ~shard ~ticket =
-  let spins = ref 0 in
-  let r = ref (poll t ~shard ~ticket) in
-  while !r < 0 do
-    pause spins;
-    r := poll t ~shard ~ticket
-  done;
-  !r
+(** Blocking reply wait — the ring's adaptive spin → [cpu_relax] →
+    sleep-backoff wait ({!Request_ring.await}), tallied in
+    {!stats.client_spins} / {!stats.client_backoffs}. Only meaningful
+    while the service is running: shards answer every submitted request
+    before they exit, so this cannot hang across a clean [stop]. *)
+let await t ~shard ~ticket = Request_ring.await t.rings.(shard) ~ticket
 
 (* -- post-run statistics ------------------------------------------------- *)
 
@@ -556,6 +580,8 @@ type stats = {
   cancelled : int; (* producer-cancelled slots discarded by consumers *)
   crash_events : int; (* shard crashes over the run (recovered or not) *)
   crashed_shards : int; (* shards dead right now (unrecovered) *)
+  client_spins : int; (* cpu_relax iterations inside client await waits *)
+  client_backoffs : int; (* sleeps taken inside client await waits *)
 }
 
 let stats t =
@@ -577,6 +603,14 @@ let stats t =
     crash_events = Atomic.get t.crash_events;
     crashed_shards =
       Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.dead;
+    client_spins =
+      Array.fold_left
+        (fun acc r -> acc + (Request_ring.stats r).Request_ring.client_spins)
+        0 t.rings;
+    client_backoffs =
+      Array.fold_left
+        (fun acc r -> acc + (Request_ring.stats r).Request_ring.client_backoffs)
+        0 t.rings;
   }
 
 (** Recovery telemetry, [None] when the service was created without a

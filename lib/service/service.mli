@@ -78,6 +78,9 @@ val stop : t -> unit
 val shards : t -> int
 val batch : t -> int
 
+(** Per-shard request-ring capacity (chains must stay ≤ half of it). *)
+val ring_capacity : t -> int
+
 (** {2 Client side (any domain)} *)
 
 (** The shard owning [key]. *)
@@ -92,6 +95,36 @@ val shard_of_key : t -> int -> int
 val try_submit :
   ?deadline_us:int -> t -> shard:int -> op:int -> key:int -> value:int -> int
 
+(** Submit a whole chain to one shard with a single tail CAS: requests
+    [i = 0 .. n-1] read from [ops/keys/values.(off + i)], all routed to
+    [shard]. First ticket, or [-1] when the ring lacks [n] contiguous
+    free slots. Chains complete as a unit: wait with {!await_chain} (or
+    poll {!chain_done}) and collect all replies with {!harvest_chain} —
+    never per-slot {!poll}/{!cancel}. *)
+val try_submit_chain :
+  ?deadline_us:int ->
+  t ->
+  shard:int ->
+  n:int ->
+  ops:int array ->
+  keys:int array ->
+  values:int array ->
+  off:int ->
+  int
+
+(** Has the whole chain completed? (One read of the last slot's
+    sequence word — reply coalescing.) *)
+val chain_done : t -> shard:int -> ticket:int -> n:int -> bool
+
+(** Copy the chain's [n] replies into [replies.(off + i)] and free all
+    slots. Only after {!chain_done} / {!await_chain}. *)
+val harvest_chain :
+  t -> shard:int -> ticket:int -> n:int -> replies:int array -> off:int -> unit
+
+(** Block (adaptive spin-then-backoff) until the whole chain
+    completes. *)
+val await_chain : t -> shard:int -> ticket:int -> n:int -> unit
+
 (** Reply code [>= 0], or [-1] while pending (frees the slot when it
     answers; poll each ticket to completion exactly once, or abandon it
     with {!cancel} — never both). *)
@@ -103,7 +136,8 @@ val poll : t -> shard:int -> ticket:int -> int
     cancel then acted as the final poll). *)
 val cancel : t -> shard:int -> ticket:int -> int
 
-(** Blocking {!poll} (spin-then-sleep). *)
+(** Blocking {!poll} — adaptive spin → [cpu_relax] → sleep backoff,
+    tallied in {!type-stats}. *)
 val await : t -> shard:int -> ticket:int -> int
 
 (** {2 Post-run statistics} (read after {!stop}) *)
@@ -119,6 +153,8 @@ type stats = {
   cancelled : int; (* producer-cancelled slots discarded by consumers *)
   crash_events : int; (* shard crashes over the run (recovered or not) *)
   crashed_shards : int; (* shards dead right now (unrecovered) *)
+  client_spins : int; (* cpu_relax iterations inside client await waits *)
+  client_backoffs : int; (* sleeps taken inside client await waits *)
 }
 
 val stats : t -> stats

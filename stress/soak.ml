@@ -189,9 +189,15 @@ let service_fault_round scheme_mod ~scheme ~properties ~seed =
         key_range = range;
         zipf_alpha = None;
         seed;
-        mode = Loadgen.Open { rate = 30_000.0; window = 32 };
+        (* Alternate by seed between the open-loop per-slot path and the
+           chained closed-loop path, so fault plans also fire while a
+           shard is mid-chain (the coalesced-completion takeover edge). *)
+        mode =
+          (if seed mod 2 = 0 then Loadgen.Open { rate = 30_000.0; window = 32 }
+           else Loadgen.Closed { pipeline = 8 });
         deadline_s = 0.0;
         max_retries = 0;
+        chain = (if seed mod 2 = 0 then 1 else 1 + (seed mod 8));
       }
   in
   Service.stop svc;
@@ -267,6 +273,7 @@ let chaos_round scheme_mod ~scheme ~properties ~seed =
       mode = Loadgen.Open { rate = 20_000.0; window = 32 };
       deadline_s = 0.05;
       max_retries = 3;
+      chain = 1;
     }
   in
   let run ~faulted =

@@ -230,6 +230,164 @@ let ring_no_lost_no_dup () =
     Alcotest.(check int) (Printf.sprintf "producer %d: payload intact" tid) expect sum.(tid)
   done
 
+let ring_chain_lifecycle () =
+  let r = Ring.create ~capacity:8 in
+  let ops = [| 1; 2; 3 |] and keys = [| 10; 20; 30 |] and values = [| 100; 200; 300 |] in
+  (try
+     ignore (Ring.try_submit_chain r ~n:5 ~ops ~keys ~values ~off:0 : int);
+     Alcotest.fail "n > capacity/2 must be rejected"
+   with Invalid_argument _ -> ());
+  let t0 = Ring.try_submit_chain r ~n:3 ~ops ~keys ~values ~off:0 in
+  Alcotest.(check int) "chain ticket is the head slot" 0 t0;
+  (* published head-last: the head being ready means the whole chain is *)
+  for pos = 0 to 2 do
+    Alcotest.(check bool) (Printf.sprintf "slot %d ready" pos) true (Ring.ready r ~pos)
+  done;
+  Alcotest.(check int) "head records the chain length" 3 (Ring.chain_len r ~pos:0);
+  Alcotest.(check int) "middle slot counts down" 2 (Ring.chain_len r ~pos:1);
+  Alcotest.(check int) "tail slot closes the chain" 1 (Ring.chain_len r ~pos:2);
+  Alcotest.(check int) "payload routed per slot" 20 (Ring.key r ~pos:1);
+  Alcotest.(check int) "op per slot" 3 (Ring.op r ~pos:2);
+  ignore (Ring.complete r ~pos:0 7 : bool);
+  Alcotest.(check bool) "head alone is not done" false (Ring.chain_done r ~ticket:t0 ~n:3);
+  ignore (Ring.complete r ~pos:1 8 : bool);
+  Alcotest.(check bool) "middle is not done" false (Ring.chain_done r ~ticket:t0 ~n:3);
+  ignore (Ring.complete r ~pos:2 9 : bool);
+  Alcotest.(check bool) "last slot completes the chain" true (Ring.chain_done r ~ticket:t0 ~n:3);
+  let replies = Array.make 3 (-1) in
+  Ring.harvest_chain r ~ticket:t0 ~n:3 ~replies ~off:0;
+  Alcotest.(check (array int)) "replies in submit order" [| 7; 8; 9 |] replies;
+  (* harvest acked every slot: two max-width chains fit (one on fresh
+     slots, one crossing into the recycled ones), then the ring is full *)
+  let o4 = Array.make 4 0 in
+  Alcotest.(check int) "fresh slots" 3 (Ring.try_submit_chain r ~n:4 ~ops:o4 ~keys:o4 ~values:o4 ~off:0);
+  Alcotest.(check int) "recycled slots" 7 (Ring.try_submit_chain r ~n:4 ~ops:o4 ~keys:o4 ~values:o4 ~off:0);
+  Alcotest.(check int) "full ring refuses a chain" (-1)
+    (Ring.try_submit_chain r ~n:1 ~ops:o4 ~keys:o4 ~values:o4 ~off:0)
+
+(* chain = 1 must be byte-for-byte the per-slot protocol: same tickets,
+   same consumer-visible words, same reply/recycle behaviour. *)
+let ring_chain_one_equals_single () =
+  let a = Ring.create ~capacity:4 and b = Ring.create ~capacity:4 in
+  for i = 1 to 6 do
+    let op = i land 3 and key = 10 * i and value = 100 * i in
+    let ta = Ring.try_submit a ~deadline_us:i ~op ~key ~value in
+    let tb =
+      Ring.try_submit_chain b ~deadline_us:i ~n:1 ~ops:[| op |] ~keys:[| key |]
+        ~values:[| value |] ~off:0
+    in
+    Alcotest.(check int) "same ticket" ta tb;
+    Alcotest.(check bool) "both ready" (Ring.ready a ~pos:ta) (Ring.ready b ~pos:tb);
+    Alcotest.(check int) "same op" (Ring.op a ~pos:ta) (Ring.op b ~pos:tb);
+    Alcotest.(check int) "same key" (Ring.key a ~pos:ta) (Ring.key b ~pos:tb);
+    Alcotest.(check int) "same value" (Ring.value a ~pos:ta) (Ring.value b ~pos:tb);
+    Alcotest.(check int) "same stamp" (Ring.stamp a ~pos:ta) (Ring.stamp b ~pos:tb);
+    Alcotest.(check int) "same deadline" (Ring.deadline_us a ~pos:ta) (Ring.deadline_us b ~pos:tb);
+    Alcotest.(check int) "singleton chain" 1 (Ring.chain_len b ~pos:tb);
+    Alcotest.(check int) "same chain word" (Ring.chain_len a ~pos:ta) (Ring.chain_len b ~pos:tb);
+    ignore (Ring.complete a ~pos:ta (key + 1) : bool);
+    ignore (Ring.complete b ~pos:tb (key + 1) : bool);
+    (* a coalesced wait on a 1-chain and a per-slot poll agree *)
+    Alcotest.(check bool) "1-chain done" true (Ring.chain_done b ~ticket:tb ~n:1);
+    let reply_b = Array.make 1 (-1) in
+    Ring.harvest_chain b ~ticket:tb ~n:1 ~replies:reply_b ~off:0;
+    Alcotest.(check int) "same reply" (Ring.poll a ~ticket:ta) reply_b.(0)
+  done
+
+let ring_await_stats () =
+  let r = Ring.create ~capacity:4 in
+  let t = Ring.try_submit r ~op:0 ~key:1 ~value:0 in
+  let d =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.005;
+        ignore (Ring.complete r ~pos:t 42 : bool))
+  in
+  Alcotest.(check int) "await returns the reply" 42 (Ring.await r ~ticket:t);
+  Domain.join d;
+  let st = Ring.stats r in
+  Alcotest.(check bool) "adaptive wait tallied" true
+    (st.Ring.client_spins + st.Ring.client_backoffs > 0);
+  Alcotest.(check bool) "5 ms pushed past the spin phases" true (st.Ring.client_backoffs > 0)
+
+(* Multi-producer chained no-lost/no-dup: random chain depths, blocking
+   chained submits, coalesced awaits. The consumer is the same
+   slot-at-a-time loop as the per-slot test — chains must not change the
+   consumer's cursor contract. *)
+let ring_chain_no_lost_no_dup () =
+  let producers = 3 and chains_per_producer = 600 and max_chain = 8 in
+  let r = Ring.create ~capacity:64 in
+  let served = Atomic.make 0 in
+  let submitted = Array.make producers 0 in
+  let seen = Array.make producers 0 in
+  let sum = Array.make producers 0 in
+  let stop = Atomic.make false in
+  let consumer =
+    Domain.spawn (fun () ->
+        let pos = ref 0 in
+        let spins = ref 0 in
+        while not (Atomic.get stop) do
+          if Ring.ready r ~pos:!pos then begin
+            spins := 0;
+            let key = Ring.key r ~pos:!pos and tid = Ring.op r ~pos:!pos in
+            seen.(tid) <- seen.(tid) + 1;
+            sum.(tid) <- sum.(tid) + key;
+            ignore (Ring.complete r ~pos:!pos (key + 1) : bool);
+            incr pos;
+            Atomic.incr served
+          end
+          else if !spins < 64 then begin
+            incr spins;
+            Domain.cpu_relax ()
+          end
+          else Unix.sleepf 0.0001
+        done)
+  in
+  let bad_replies = Atomic.make 0 in
+  let prods =
+    Array.init producers (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Mp_util.Rng.create (0x51ab + tid) in
+            let ops = Array.make max_chain tid in
+            let keys = Array.make max_chain 0 in
+            let values = Array.make max_chain 0 in
+            let replies = Array.make max_chain 0 in
+            for c = 1 to chains_per_producer do
+              let n = 1 + Mp_util.Rng.below rng max_chain in
+              for i = 0 to n - 1 do
+                keys.(i) <- (tid * 1_000_000) + (c * 10) + i
+              done;
+              let ticket = ref (Ring.try_submit_chain r ~n ~ops ~keys ~values ~off:0) in
+              let spins = ref 0 in
+              while !ticket < 0 do
+                if !spins < 64 then begin
+                  incr spins;
+                  Domain.cpu_relax ()
+                end
+                else Unix.sleepf 0.0001;
+                ticket := Ring.try_submit_chain r ~n ~ops ~keys ~values ~off:0
+              done;
+              submitted.(tid) <- submitted.(tid) + n;
+              Ring.await_chain r ~ticket:!ticket ~n;
+              Ring.harvest_chain r ~ticket:!ticket ~n ~replies ~off:0;
+              for i = 0 to n - 1 do
+                if replies.(i) <> keys.(i) + 1 then Atomic.incr bad_replies
+              done
+            done))
+  in
+  Array.iter Domain.join prods;
+  let total = Array.fold_left ( + ) 0 submitted in
+  while Atomic.get served < total do
+    Unix.sleepf 0.0001
+  done;
+  Atomic.set stop true;
+  Domain.join consumer;
+  Alcotest.(check int) "every coalesced reply routed to its slot" 0 (Atomic.get bad_replies);
+  for tid = 0 to producers - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "producer %d: no lost, no dup" tid)
+      submitted.(tid) seen.(tid)
+  done
+
 (* -- 3. service end-to-end ------------------------------------------------ *)
 
 let make_hash = Mp_harness.Instances.make Mp_harness.Instances.Hash_ds
@@ -243,8 +401,8 @@ let check_percentile_order h =
   Alcotest.(check bool) "p99 <= p99.9" true (p99 <= p999);
   Alcotest.(check bool) "p99.9 <= max" true (p999 <= Histogram.max_ns h)
 
-let service_round ?(mget = 1) (module SET : Dstruct.Set_intf.SET) ~shards ~batch ~mode
-    ~duration () =
+let service_round ?(mget = 1) ?(chain = 1) (module SET : Dstruct.Set_intf.SET)
+    ~shards ~batch ~mode ~duration () =
   let config = Config.default ~threads:shards in
   let set =
     SET.create ~threads:shards ~capacity:(8192 + (shards * 4096)) ~check_access:true config
@@ -271,6 +429,7 @@ let service_round ?(mget = 1) (module SET : Dstruct.Set_intf.SET) ~shards ~batch
         mode;
         deadline_s = 0.0;
         max_retries = 0;
+        chain;
       }
   in
   Service.stop svc;
@@ -349,6 +508,9 @@ let fault_service_round seed =
         mode = Loadgen.Closed { pipeline = 8 };
         deadline_s = 0.0;
         max_retries = 0;
+        (* Alternate per-slot and chained clients, so fault plans also
+           fire against in-flight chains. *)
+        chain = (if seed mod 2 = 0 then 1 else 1 + (seed mod 4));
       }
   in
   Service.stop svc;
@@ -413,6 +575,10 @@ let () =
         [
           Alcotest.test_case "slot lifecycle" `Quick ring_lifecycle;
           Alcotest.test_case "no lost, no dup (3 producers)" `Slow ring_no_lost_no_dup;
+          Alcotest.test_case "chain lifecycle" `Quick ring_chain_lifecycle;
+          Alcotest.test_case "chain of 1 = per-slot protocol" `Quick ring_chain_one_equals_single;
+          Alcotest.test_case "await tallies spins and backoffs" `Quick ring_await_stats;
+          Alcotest.test_case "chained no lost, no dup (3 producers)" `Slow ring_chain_no_lost_no_dup;
         ] );
       ( "service",
         [
@@ -420,6 +586,9 @@ let () =
             (service_round (make_hash (module Mp.Margin_ptr)) ~shards:2 ~batch:8 ~mget:4
                ~mode:(Loadgen.Closed { pipeline = 8 }) ~duration:0.25);
           Alcotest.test_case "multi-get replies and window rollover" `Quick mget_reply;
+          Alcotest.test_case "chained closed loop, hash × mp, B=8, chain=8" `Slow
+            (service_round (make_hash (module Mp.Margin_ptr)) ~chain:8 ~shards:2 ~batch:8
+               ~mode:(Loadgen.Closed { pipeline = 8 }) ~duration:0.25);
           Alcotest.test_case "closed loop, list × hp, B=1" `Slow
             (service_round (make_list (module Smr_schemes.Hp)) ~shards:2 ~batch:1
                ~mode:(Loadgen.Closed { pipeline = 4 }) ~duration:0.2);
