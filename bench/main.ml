@@ -11,7 +11,7 @@
 
    Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7a fig7bc stall crash
    micro pipe alloc ablation-index ablation-epoch ext-zipf ext-hash
-   ext-queue latency service *)
+   ext-queue latency service elastic transport *)
 
 module Config = Smr_core.Config
 module Workload = Mp_harness.Workload
@@ -294,7 +294,7 @@ let fig7bc () =
 let watchdog_for sname ~config ~threads ~size_at_arm =
   let (module S : Smr_core.Smr_intf.S) = Instances.scheme_of_name sname in
   Mp_harness.Watchdog.spec_for ~scheme:sname ~properties:S.properties ~config ~threads
-    ~size_at_arm
+    ~size_at_arm ()
 
 let fmt_verdict (r : Runner.result) =
   match r.Runner.watchdog with
@@ -640,6 +640,9 @@ let pipe_result ~pairs ~total_ops ~throughput ~alloc_words ~promoted ~minor_gcs 
     alloc_words_per_op = per_op alloc_words;
     promoted_words_per_op = per_op promoted;
     minor_gcs;
+    arenas_attached = 0;
+    arenas_detached = 0;
+    resident_slots = 0;
   }
 
 let pipe () =
@@ -1079,6 +1082,9 @@ let run_service ?zipf ?(mget = 1) ?(chain = 1) ?(clients = 2) ds sname ~shards
       alloc_words_per_op = 0.0;
       promoted_words_per_op = 0.0;
       minor_gcs = 0;
+      arenas_attached = Mempool.Core.arenas_attached (SET.pool set);
+      arenas_detached = Mempool.Core.arenas_detached (SET.pool set);
+      resident_slots = Mempool.Core.resident_slots (SET.pool set);
     }
   in
   (note ~ds:(ds_name ds) ~scheme:sname r, st)
@@ -1169,6 +1175,173 @@ let service () =
       ];
     ]
 
+(* -- Extension: elastic pool spike/decay ----------------------------------- *)
+
+(* Spike/decay through the sharded service over an elastic pool
+   (max_arenas = 4, one arena far smaller than the spike's working set),
+   with the autoscale policy domain armed. The spike phase is
+   insert-heavy open-loop: the pool must grow on demand, absorbing
+   transient exhaustion as alloc stalls and never replying OOM below
+   max_arenas. The decay phase is remove-heavy: the autoscale target
+   falls and the drains it requests must bring the footprint back. A
+   post-stop settle sweep completes any drain still pending, so the
+   reported residency is the steady decayed state. One spike row and one
+   decay row per scheme land in the JSON (mix names svc_elastic_spike /
+   svc_elastic_decay); the decay row's arena counters are the end-state
+   ones. *)
+let run_elastic sname =
+  let module Service = Mp_service.Service in
+  let module Loadgen = Mp_service.Loadgen in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Instances.make Instances.Hash_ds (Instances.scheme_of_name sname)
+  in
+  let shards = match !service_shards with Some n -> n | None -> 2 in
+  let capacity = 4096 and max_arenas = 4 in
+  (* 1.5 arenas of keys: the spike's working set cannot fit arena 0, and
+     two arenas of headroom keep transients clear of hard exhaustion. *)
+  let range = capacity * 3 / 2 in
+  let config = Config.with_max_arenas (Config.default ~threads:shards) max_arenas in
+  let set = SET.create ~threads:shards ~capacity config in
+  let pool = SET.pool set in
+  let s0 = SET.session set ~tid:0 in
+  for k = 0 to 255 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  SET.flush s0;
+  let stats0 = SET.smr_stats set in
+  let traversed0 = SET.traversed set in
+  let svc =
+    Service.create ~autoscale:Service.default_autoscale
+      (module SET)
+      set ~shards ~batch:8 ~ring_capacity:1024
+  in
+  Service.start svc;
+  let peak_arenas = ref (Mempool.Core.attached_arenas pool) in
+  let wasted_sum = ref 0.0 and wasted_samples = ref 0 and wasted_max = ref 0 in
+  let tick () =
+    (* The draining arena's parked slots are waste until the detach. *)
+    let w =
+      (SET.smr_stats set).Smr_core.Smr_intf.wasted + Mempool.Core.detaching_slots pool
+    in
+    wasted_sum := !wasted_sum +. float_of_int w;
+    incr wasted_samples;
+    if w > !wasted_max then wasted_max := w;
+    let n = Mempool.Core.attached_arenas pool in
+    if n > !peak_arenas then peak_arenas := n
+  in
+  let phase ~duration_s ~rate ~read_pct ~insert_pct ~seed =
+    Loadgen.run ~tick svc
+      {
+        Loadgen.clients = 2;
+        duration_s;
+        warmup_s = 0.0;
+        read_pct;
+        insert_pct;
+        mget = 1;
+        key_range = range;
+        zipf_alpha = None;
+        seed;
+        mode = Loadgen.Open { rate; window = 32 };
+        deadline_s = 0.0;
+        max_retries = 0;
+        chain = 1;
+      }
+  in
+  let spike_s = if full then 2.0 else 0.8 in
+  let decay_s = if full then 3.0 else 1.2 in
+  let spike = phase ~duration_s:spike_s ~rate:60_000.0 ~read_pct:5 ~insert_pct:90 ~seed:0xE1A5 in
+  let arenas_at_spike_end = Mempool.Core.attached_arenas pool in
+  let decay = phase ~duration_s:decay_s ~rate:40_000.0 ~read_pct:20 ~insert_pct:0 ~seed:0xDECA in
+  Service.stop svc;
+  (* Settle: complete any drain still pending — the exiting workers have
+     handed their magazines back, so a single-threaded remove sweep plus
+     flush-driven scans gets every straggler parked and detached. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let k = ref 0 in
+  while Mempool.Core.attached_arenas pool > 1 && Unix.gettimeofday () < deadline do
+    ignore (Mempool.Core.request_shrink pool : int option);
+    for _ = 1 to 512 do
+      ignore (SET.remove s0 !k : bool);
+      k := (!k + 1) mod range
+    done;
+    SET.flush s0;
+    Mempool.Core.release_local pool ~tid:0
+  done;
+  let st = Service.stats svc in
+  let stats1 = SET.smr_stats set in
+  let traversed = SET.traversed set - traversed0 in
+  let fences = stats1.Smr_core.Smr_intf.fences - stats0.Smr_core.Smr_intf.fences in
+  let mk (lg : Loadgen.result) name =
+    {
+      Runner.spec_threads = shards;
+      mix_name = name;
+      total_ops = lg.Loadgen.completed;
+      throughput = lg.Loadgen.throughput;
+      wasted_avg =
+        (if !wasted_samples = 0 then 0.0
+         else !wasted_sum /. float_of_int !wasted_samples);
+      wasted_max = !wasted_max;
+      wasted_peak = stats1.Smr_core.Smr_intf.wasted_peak;
+      fences;
+      traversed;
+      fences_per_node =
+        (if traversed = 0 then 0.0 else float_of_int fences /. float_of_int traversed);
+      scan_passes =
+        stats1.Smr_core.Smr_intf.scan_passes - stats0.Smr_core.Smr_intf.scan_passes;
+      scan_time_s =
+        stats1.Smr_core.Smr_intf.scan_time_s -. stats0.Smr_core.Smr_intf.scan_time_s;
+      violations = SET.violations set;
+      oom = st.Service.oom > 0;
+      alloc_stalls = st.Service.alloc_stalls;
+      ring_full = lg.Loadgen.ring_full;
+      deadline_exceeded = lg.Loadgen.deadline_exceeded;
+      crashed = [];
+      pinning_tids = SET.pinning_tids set;
+      watchdog = None;
+      final_size = SET.size set;
+      latency = Some lg.Loadgen.latency;
+      alloc_words_per_op = 0.0;
+      promoted_words_per_op = 0.0;
+      minor_gcs = 0;
+      arenas_attached = Mempool.Core.arenas_attached pool;
+      arenas_detached = Mempool.Core.arenas_detached pool;
+      resident_slots = Mempool.Core.resident_slots pool;
+    }
+  in
+  let rs = note ~ds:(ds_name Instances.Hash_ds) ~scheme:sname (mk spike "svc_elastic_spike") in
+  let rd = note ~ds:(ds_name Instances.Hash_ds) ~scheme:sname (mk decay "svc_elastic_decay") in
+  (rs, rd, st, arenas_at_spike_end, !peak_arenas)
+
+let elastic () =
+  let rows =
+    List.map
+      (fun sname ->
+        let rs, rd, st, at_spike_end, peak = run_elastic sname in
+        let module Service = Mp_service.Service in
+        [
+          sname;
+          string_of_int peak;
+          string_of_int at_spike_end;
+          string_of_int rd.Runner.arenas_attached;
+          string_of_int rd.Runner.arenas_detached;
+          string_of_int rd.Runner.resident_slots;
+          string_of_int st.Service.live_peak;
+          string_of_int st.Service.alloc_stalls;
+          string_of_int st.Service.oom;
+          Report.fmt_throughput rs.Runner.throughput;
+          Report.fmt_throughput rd.Runner.throughput;
+        ])
+      [ "mp"; "hp"; "ebr"; "he"; "ibr" ]
+  in
+  Report.table
+    ~title:
+      "Elastic pool: spike/decay through the service (cap 4096/arena, max 4 arenas, \
+       autoscale on; residency after settle)"
+    ~header:
+      [ "scheme"; "peak arenas"; "at spike end"; "grows"; "detaches"; "resident";
+        "live peak"; "stalls"; "oom"; "spike tput"; "decay tput" ]
+    rows
+
 (* -- Extension: pipelined transport (chained rings, socket front-end) ------ *)
 
 (* --socket PATH points the transport experiment at a running mpserver's
@@ -1225,6 +1398,9 @@ let transport_socket path =
         alloc_words_per_op = 0.0;
         promoted_words_per_op = 0.0;
         minor_gcs = 0;
+        arenas_attached = 0;
+        arenas_detached = 0;
+        resident_slots = 0;
       }
     in
     (note ~ds:"socket" ~scheme:"socket" r, lg)
@@ -1350,6 +1526,7 @@ let experiments =
     ("ext-queue", ext_queue);
     ("latency", latency);
     ("service", service);
+    ("elastic", elastic);
     ("transport", transport);
   ]
 

@@ -28,6 +28,8 @@ let key_range = ref 0 (* 0 = 2 * init *)
 let max_conns = ref 64
 let duration = ref 0.0 (* 0 = run until signalled *)
 let no_recovery = ref false
+let max_arenas = ref 1
+let autoscale = ref false
 
 let args =
   [
@@ -43,6 +45,12 @@ let args =
     ("--max-conns", Arg.Set_int max_conns, "N concurrent connections (default 64)");
     ("--duration", Arg.Set_float duration, "S exit after S seconds (default: run forever)");
     ("--no-recovery", Arg.Set no_recovery, " disable the crash-recovery supervisor");
+    ( "--max-arenas",
+      Arg.Set_int max_arenas,
+      "N elastic pool: grow up to N arenas on demand (default 1 = fixed)" );
+    ( "--autoscale",
+      Arg.Set autoscale,
+      " run the shrink policy domain (needs --max-arenas > 1)" );
   ]
 
 let usage = "mpserver --unix PATH [--tcp PORT] [options]"
@@ -107,7 +115,11 @@ let () =
   let (module SET : Dstruct.Set_intf.SET) =
     Instances.make (Instances.ds_of_name !ds) (Instances.scheme_of_name !scheme)
   in
-  let config = Smr_core.Config.default ~threads in
+  let config =
+    Smr_core.Config.with_max_arenas
+      (Smr_core.Config.default ~threads)
+      (max 1 !max_arenas)
+  in
   let range = if !key_range > 0 then !key_range else 2 * !init_size in
   let capacity = (!init_size * 4) + (threads * 65536) in
   let set = SET.create ~threads ~capacity config in
@@ -121,8 +133,11 @@ let () =
   let recovery =
     if !no_recovery then None else Some { Recovery.default with spare_tids }
   in
+  let scaler =
+    if !autoscale && !max_arenas > 1 then Some Service.default_autoscale else None
+  in
   let service =
-    Service.create ?recovery
+    Service.create ?recovery ?autoscale:scaler
       (module SET)
       set ~shards:!shards ~batch:!batch ~ring_capacity:!ring
   in
@@ -205,8 +220,10 @@ let () =
   let st = Service.stats service in
   let smr = SET.smr_stats set in
   Printf.printf
-    "{\"server\":\"mpserver\",\"scheme\":\"%s\",\"ds\":\"%s\",\"shards\":%d,\"batch\":%d,\"ops\":%d,\"batches\":%d,\"max_batch\":%d,\"rejected\":%d,\"oom\":%d,\"shed_busy\":%d,\"client_spins\":%d,\"client_backoffs\":%d,\"crash_events\":%d,\"wasted_peak\":%d,\"violations\":%d}\n"
+    "{\"server\":\"mpserver\",\"scheme\":\"%s\",\"ds\":\"%s\",\"shards\":%d,\"batch\":%d,\"ops\":%d,\"batches\":%d,\"max_batch\":%d,\"rejected\":%d,\"oom\":%d,\"alloc_stalls\":%d,\"shed_busy\":%d,\"client_spins\":%d,\"client_backoffs\":%d,\"crash_events\":%d,\"wasted_peak\":%d,\"live_peak\":%d,\"arenas_attached\":%d,\"arenas_detached\":%d,\"resident_slots\":%d,\"violations\":%d}\n"
     !scheme !ds !shards !batch st.Service.ops st.Service.batches
-    st.Service.max_batch st.Service.rejected st.Service.oom st.Service.shed_busy
-    st.Service.client_spins st.Service.client_backoffs st.Service.crash_events
-    smr.Smr_core.Smr_intf.wasted_peak (SET.violations set)
+    st.Service.max_batch st.Service.rejected st.Service.oom st.Service.alloc_stalls
+    st.Service.shed_busy st.Service.client_spins st.Service.client_backoffs
+    st.Service.crash_events smr.Smr_core.Smr_intf.wasted_peak st.Service.live_peak
+    st.Service.arenas_attached st.Service.arenas_detached st.Service.resident_slots
+    (SET.violations set)

@@ -386,7 +386,26 @@ let empty th =
       end
     end
   in
-  Reclaimer.scan th.rsv ~keep
+  Reclaimer.scan th.rsv ~keep;
+  (* Arena detach barrier. MP pins through two channels: fallback hazards
+     name node ids directly (checked against a fresh snapshot), while a
+     margin only protects a node when its owner's announced epoch covers
+     the node's lifetime (Thm 4.2). Every node of a fully-parked arena
+     died at or before the stamp, so once every announcement postdates
+     the stamp no margin/epoch pair can vouch for one — the margins
+     themselves need no per-arena test. *)
+  Detach.poll s.pool
+    ~stamp:(fun () ->
+      let e = Epoch.current s.epoch in
+      Epoch.advance s.epoch;
+      e)
+    ~quiescent:(fun ~base ~size ~stamp ->
+      Epoch.min_announced s.epoch > stamp
+      && begin
+           Reservation.snapshot s.hps th.hp_snap;
+           Reservation.sort th.hp_snap;
+           not (Reservation.exists_in_range th.hp_snap ~lo:base ~hi:(base + size - 1))
+         end)
 
 let retire th id =
   let s = th.shared in

@@ -94,7 +94,8 @@ let create ~threads ~capacity ?(check_access = false) ?(anchor_step = 100)
     ?(stall_epochs = 3) config =
   let config = Config.validate config in
   let pool =
-    Mempool.create ~capacity ~threads ~check_access (fun _ ->
+    Mempool.create ~capacity ~threads ~check_access ~max_arenas:config.Config.max_arenas
+        (fun _ ->
         { key = 0; value = 0; next = Atomic.make Handle.null })
   in
   let head = Mempool.alloc pool ~tid:0 in
@@ -527,6 +528,7 @@ let smr_stats t = Counters.stats t.counters
 let frozen_nodes t = Sc.sum t.frozen_count
 let violations t = Mempool.violations t.pool
 let live_nodes t = Mempool.live_count t.pool
+let pool t = Mempool.core t.pool
 let flush s =
   flush_trav s;
   empty s
@@ -580,5 +582,6 @@ module As_set : Set_intf.SET = struct
      is nothing to adopt. *)
   let adopt _ ~tid:_ = ()
   let live_nodes = live_nodes
+  let pool = pool
   let flush = flush
 end

@@ -62,7 +62,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let create ~threads ~capacity ?(check_access = false) ?(buckets = 256) config =
     assert (buckets > 0 && buckets land (buckets - 1) = 0);
     let pool =
-      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+      Mempool.create ~capacity ~threads ~check_access ~max_arenas:config.Config.max_arenas
+        (fun _ ->
           { key = 0; value = 0; next = Atomic.make Handle.null })
     in
     let smr =
@@ -266,6 +267,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let pinning_tids t = S.pinning_tids t.smr
   let adopt t ~tid = S.adopt t.smr ~tid
   let live_nodes t = Mempool.live_count t.pool
+  let pool t = Mempool.core t.pool
   let flush s =
     flush_trav s;
     S.flush s.th

@@ -38,7 +38,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
 
   let create ~threads ~capacity ?(check_access = false) config =
     let pool =
-      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+      Mempool.create ~capacity ~threads ~check_access ~max_arenas:config.Config.max_arenas
+        (fun _ ->
           { value = 0; next = Atomic.make Handle.null })
     in
     let smr =
@@ -155,5 +156,6 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let smr_stats t = S.stats t.smr
   let violations t = Mempool.violations t.pool
   let live_nodes t = Mempool.live_count t.pool
+  let pool t = Mempool.core t.pool
   let flush s = S.flush s.th
 end

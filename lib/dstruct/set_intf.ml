@@ -69,6 +69,12 @@ module type SET = sig
   (** Nodes currently allocated (live + retired). *)
   val live_nodes : t -> int
 
+  (** The structure's backing node pool (payload-agnostic layer) — the
+      harness and service read elasticity telemetry
+      ({!Mempool.Core.resident_slots}, {!Mempool.Core.last_alloc_hard},
+      ...) and drive shrink policy through it. *)
+  val pool : t -> Mempool.Core.t
+
   (** Force reclamation passes on the given session (teardown/tests). *)
   val flush : session -> unit
 

@@ -70,7 +70,8 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let create ~threads ~capacity ?(check_access = false) config =
     let max_level = default_max_level ~capacity in
     let pool =
-      Mempool.create ~capacity ~threads ~check_access (fun _ ->
+      Mempool.create ~capacity ~threads ~check_access ~max_arenas:config.Config.max_arenas
+        (fun _ ->
           {
             key = 0;
             value = 0;
@@ -435,6 +436,7 @@ module Make (S : Smr_core.Smr_intf.S) = struct
   let pinning_tids t = S.pinning_tids t.smr
   let adopt t ~tid = S.adopt t.smr ~tid
   let live_nodes t = Mempool.live_count t.pool
+  let pool t = Mempool.core t.pool
   let flush s =
     flush_trav s;
     S.flush s.th

@@ -80,6 +80,36 @@ let[@inline] idx_upper_bound (h : t) = (idx16 h lsl precision) lor ((1 lsl preci
 (** idx16 under which a full 32-bit index is packed. *)
 let[@inline] idx16_of_index index = (index lsr precision) land idx16_mask
 
+(* -- arena/offset split --------------------------------------------------- *)
+
+(* The elastic mempool carves the 32-bit node-id space into fixed-size
+   arenas: id = (arena lsl off_bits) lor offset. The split is pure id
+   arithmetic — link words, idx16 packing and the incarnation tag are
+   untouched, which is what lets arenas attach and detach without any
+   change to the protection protocols that consume handles. [off_bits]
+   is chosen per pool (smallest width holding one arena's slot count). *)
+
+(** Arena index of a slot id under an [off_bits]-wide offset field. *)
+let[@inline] arena_of_id ~off_bits id = id lsr off_bits
+
+(** Offset of a slot id inside its arena. *)
+let[@inline] offset_of_id ~off_bits id = id land ((1 lsl off_bits) - 1)
+
+(** Pack an (arena, offset) pair back into a slot id. Asserts the pair
+    round-trips (offset fits the field and the id stays usable). *)
+let[@inline] id_of_arena ~off_bits ~arena ~offset =
+  assert (arena >= 0 && offset >= 0 && offset < 1 lsl off_bits);
+  let id = (arena lsl off_bits) lor offset in
+  assert (id <= max_id);
+  id
+
+(** Largest arena count an [off_bits]-wide offset field supports while
+    every slot id of every arena (each of [arena_slots] slots) stays at
+    or below {!max_id}. *)
+let max_arenas_for ~off_bits ~arena_slots =
+  if arena_slots < 1 || arena_slots > 1 lsl off_bits then 0
+  else ((max_id - arena_slots + 1) asr off_bits) + 1
+
 let pp fmt (h : t) =
   if is_null h then Format.fprintf fmt "null/%d" (mark h)
   else Format.fprintf fmt "#%d[idx16=%#x,mark=%d]" (id h) (idx16 h) (mark h)

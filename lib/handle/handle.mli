@@ -53,5 +53,24 @@ val idx_upper_bound : t -> int
 (** The idx16 under which a full 32-bit index packs. Monotone. *)
 val idx16_of_index : int -> int
 
+(** {2 Arena/offset split}
+
+    The elastic mempool carves the node-id space into fixed-size arenas:
+    [id = (arena lsl off_bits) lor offset]. Pure id arithmetic — link
+    words, idx16 packing and the incarnation tag are untouched. *)
+
+(** Arena index of a slot id. *)
+val arena_of_id : off_bits:int -> int -> int
+
+(** Offset of a slot id inside its arena. *)
+val offset_of_id : off_bits:int -> int -> int
+
+(** Pack an (arena, offset) pair into a slot id (asserts round-trip). *)
+val id_of_arena : off_bits:int -> arena:int -> offset:int -> int
+
+(** Largest arena count for which every slot id of every arena (each
+    holding [arena_slots] slots) stays at or below {!max_id}. *)
+val max_arenas_for : off_bits:int -> arena_slots:int -> int
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -112,6 +112,11 @@ type result = {
           The zero-allocation read path shows up here as ~0. *)
   promoted_words_per_op : float;  (** survivors of the minor GC, per op *)
   minor_gcs : int;  (** minor collections across workers in the window *)
+  arenas_attached : int;
+      (** elastic pool: arenas attached under load during the run (0 for
+          fixed-size pools) *)
+  arenas_detached : int;  (** elastic pool: arena detaches completed *)
+  resident_slots : int;  (** pool slots still mapped at the end of the run *)
 }
 
 let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
@@ -199,7 +204,18 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
       | () -> if attempts > 0 then Mp_util.Backoff.reset backoff
       | exception Mempool.Exhausted ->
         incr my_stalls;
-        if attempts >= spec.alloc_retry || Atomic.get phase >= 2 then begin
+        (* Hard exhaustion — the pool already at max_arenas with no grow
+           or drain in flight — cannot be satisfied by waiting for an
+           arena attach, so only a handful of backoffs (absorbing slots
+           hiding in other threads' magazines) are spent before giving
+           up rather than the whole retry schedule. Transient
+           exhaustion, the only kind a fixed-size pool has, keeps the
+           full backoff budget as before. *)
+        if
+          attempts >= spec.alloc_retry
+          || Atomic.get phase >= 2
+          || (attempts >= 8 && Mempool.Core.last_alloc_hard (SET.pool t) ~tid)
+        then begin
           Atomic.set oom true;
           raise Mempool.Exhausted
         end;
@@ -268,9 +284,15 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
   (* Main thread samples wasted memory while the clock runs. *)
   let t_start = Unix.gettimeofday () in
   let wasted_sum = ref 0.0 and wasted_samples = ref 0 and wasted_max = ref 0 in
+  let pool = SET.pool t in
   while Unix.gettimeofday () -. t_start < spec.duration_s && not (Atomic.get oom) do
     Unix.sleepf 0.002;
-    let w = (SET.smr_stats t).Smr_core.Smr_intf.wasted in
+    (* A draining arena's parked slots are committed-but-unusable memory:
+       they count as wasted until the SMR barrier completes the detach
+       (the watchdog's elastic_slack widens the ceiling to match). *)
+    let w =
+      (SET.smr_stats t).Smr_core.Smr_intf.wasted + Mempool.Core.detaching_slots pool
+    in
     wasted_sum := !wasted_sum +. float_of_int w;
     incr wasted_samples;
     if w > !wasted_max then wasted_max := w;
@@ -348,6 +370,9 @@ let run (module SET : Dstruct.Set_intf.SET) (spec : spec) : result =
     alloc_words_per_op = per_op !alloc_words;
     promoted_words_per_op = per_op !promoted;
     minor_gcs = !minor_gcs;
+    arenas_attached = Mempool.Core.arenas_attached pool;
+    arenas_detached = Mempool.Core.arenas_detached pool;
+    resident_slots = Mempool.Core.resident_slots pool;
   }
 
 (* -- machine-readable results --------------------------------------------- *)
@@ -388,7 +413,7 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
   in
   let json_int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]" in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"wasted_peak\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"ring_full\":%d,\"deadline_exceeded\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d}"
+    "{\"experiment\":\"%s\",\"ds\":\"%s\",\"scheme\":\"%s\",\"threads\":%d,\"mix\":\"%s\",\"total_ops\":%d,\"throughput\":%s,\"wasted_avg\":%s,\"wasted_max\":%d,\"wasted_peak\":%d,\"fences\":%d,\"traversed\":%d,\"fences_per_node\":%s,\"scan_passes\":%d,\"scan_time_s\":%s,\"violations\":%d,\"oom\":%b,\"alloc_stalls\":%d,\"ring_full\":%d,\"deadline_exceeded\":%d,\"crashed\":%s,\"pinning_tids\":%s,%s,\"final_size\":%d,\"lat_p50_ns\":%d,\"lat_p99_ns\":%d,\"lat_p999_ns\":%d,\"lat_max_ns\":%d,\"alloc_words_per_op\":%s,\"promoted_words_per_op\":%s,\"minor_gcs\":%d,\"arenas_attached\":%d,\"arenas_detached\":%d,\"resident_slots\":%d}"
     (json_escape experiment) (json_escape ds) (json_escape scheme) r.spec_threads
     (json_escape r.mix_name) r.total_ops (json_float r.throughput) (json_float r.wasted_avg)
     r.wasted_max r.wasted_peak r.fences r.traversed (json_float r.fences_per_node) r.scan_passes
@@ -398,6 +423,7 @@ let result_to_json ?(experiment = "") ?(ds = "") ?(scheme = "") (r : result) =
     (Watchdog.json_fields r.watchdog)
     r.final_size lat_p50 lat_p99 lat_p999 lat_max
     (json_float r.alloc_words_per_op) (json_float r.promoted_words_per_op) r.minor_gcs
+    r.arenas_attached r.arenas_detached r.resident_slots
 
 (** Version of the JSON layout emitted by {!results_to_json} (and the
     soak harness, which mirrors it). 2 = the versioned envelope itself

@@ -40,9 +40,15 @@ let batch_slack ~(config : Smr_core.Config.t) ~threads =
   threads * threshold
 
 let spec_for ~scheme ~(properties : Smr_core.Smr_intf.properties)
-    ~(config : Smr_core.Config.t) ~threads ~size_at_arm =
+    ~(config : Smr_core.Config.t) ~threads ?(elastic_slack = 0) ~size_at_arm () =
   let slots = config.slots in
-  let slack = batch_slack ~config ~threads in
+  (* Elastic pools drain at most one arena at a time, and every parked
+     slot of the draining arena counts as wasted until the SMR barrier
+     lets the detach complete — so the declared per-arena ceilings hold
+     with exactly one arena of slack added on top, never a
+     scheduling-dependent term. [elastic_slack] is that arena size (0 for
+     fixed-size pools). *)
+  let slack = batch_slack ~config ~threads + elastic_slack in
   match properties.wasted_memory with
   | Smr_core.Smr_intf.Bounded ->
     (* HP: each of the K = slots × threads announcement slots pins one

@@ -16,13 +16,20 @@ type spec = {
     class's "size at stall". Pass the key-range times the structure's
     nodes-per-key factor (2 for the BST's routers), not the prefill
     size: churn can grow the structure past what existed at arm time.
-    Ignored for Bounded schemes. *)
+    Ignored for Bounded schemes. [elastic_slack] widens the bound by one
+    arena's slot count for elastic pools ([max_arenas > 1]): the at most
+    one draining arena's parked slots count as wasted until the SMR
+    barrier completes the detach, so samples must include
+    {!Mempool.Core.detaching_slots} and the ceiling gains exactly that
+    per-arena term. *)
 val spec_for :
   scheme:string ->
   properties:Smr_core.Smr_intf.properties ->
   config:Smr_core.Config.t ->
   threads:int ->
+  ?elastic_slack:int ->
   size_at_arm:int ->
+  unit ->
   spec
 
 type t

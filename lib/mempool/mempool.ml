@@ -1,4 +1,4 @@
-(** Manual-memory node pool.
+(** Manual-memory node pool — now an elastic multi-arena allocator.
 
     OCaml is garbage-collected, so this pool simulates the C/C++ manual
     memory management environment the SMR problem lives in: node payloads
@@ -14,16 +14,50 @@
     practice of reserving extra space during node allocation. ['a t] adds
     the client data structure's node payloads on top.
 
+    {2 Arenas}
+
+    Memory is organized as a chain of up to [max_arenas] fixed-size arenas
+    of [capacity] slots each, in the style of Blelloch & Wei's
+    constant-time fixed-size allocator: a slot's id is
+    [(arena lsl off_bits) lor offset] (see {!Handle.arena_of_id}), so link
+    words, idx16 packing, UAF checking and the incarnation ABA tag are
+    exactly as in the single-arena pool. With the default [max_arenas = 1]
+    the pool behaves identically to its fixed-size predecessor.
+
+    Elasticity is online. When allocation finds every reachable free list
+    empty and the pool is below [max_arenas], one thread attaches a fresh
+    arena (payload hook first, then its slots are published as chains) and
+    allocation continues — no locks on the hot path, the attach itself is
+    serialized by a single CAS flag. Shrinking is a two-phase drain:
+    {!Core.request_shrink} marks the highest arena as draining, after which
+    its slots are routed out of circulation ("parked") as they surface —
+    the arena's own chain stack is scrubbed, and the alloc/free fast paths
+    lazily capture strays for the cost of one predictable branch. Once
+    every slot of the arena is parked, the arena is *detachable*; actually
+    unmapping it (dropping payloads and free-list arrays) is gated through
+    the SMR layer ({!Smr_core.Detach}): a scheme completes the detach from
+    its scan path exactly when no reservation can still reach a node in the
+    arena. The metadata words ([state]/[index]/[birth]/[death]/
+    [incarnation]) persist as a shim after detach, so stale handles keep
+    failing validation and the UAF detector keeps counting.
+
+    {2 Free lists}
+
     Allocation is thread-partitioned for scalability: each thread owns two
     private free-list magazines (no synchronization) and exchanges whole
-    [fair_share]-length chains with a global lock-free stack of chains
-    whose top word carries an ABA version tag. A spill publishes an entire
+    [fair_share]-length chains with per-arena lock-free stacks of chains
+    whose top words carry ABA version tags. A spill publishes an entire
     chain with one CAS and a refill claims one with one CAS — magazine
-    batching in the style of Blelloch & Wei's constant-time fixed-size
-    allocator — instead of one CAS per slot. Slots are linked through side
-    arrays, so free lists and chains allocate nothing. The legacy per-slot
-    transfer survives as [Per_slot] (chains of length one) so the batching
-    win stays measurable (`bench/main.exe pipe`). *)
+    batching in the style of Blelloch & Wei — instead of one CAS per slot.
+    Chains on an arena's stack are homogeneous (all slots of that arena),
+    which is what makes a drain complete: a magazine that mixed slots from
+    several arenas is partitioned at spill time (amortized O(1) per free;
+    single-arena pools never mix and keep the one-CAS spill). Refill scans
+    arenas lowest-first, concentrating load in low arenas so high arenas
+    go idle and become drainable. Slots are linked through side arrays, so
+    free lists and chains allocate nothing. The legacy per-slot transfer
+    survives as [Per_slot] (chains of length one) so the batching win
+    stays measurable (`bench/main.exe pipe`). *)
 
 exception Exhausted
 
@@ -32,12 +66,18 @@ let state_free = 0
 let state_live = 1
 let state_retired = 2
 
-(** Granularity of traffic through the global free list: [Chained] moves
+(** Granularity of traffic through the global free lists: [Chained] moves
     whole [fair_share]-length chains per CAS; [Per_slot] is the legacy
     one-CAS-per-slot Treiber stack, kept for comparison benchmarks. *)
 type transfer = Chained | Per_slot
 
 module Core = struct
+  (* Magazine arena tags: which arena the magazine's slots belong to.
+     [tag_none] while empty, [tag_mixed] once slots of two arenas met —
+     a mixed spill partitions the chain per arena (the rare path). *)
+  let tag_none = -1
+  let tag_mixed = -2
+
   (* Per-thread free lists: an active magazine ([head]) that alloc pops
      and free pushes, plus a full spare magazine that delays the global
      round-trip. Rotating a full active list into the spare keeps its
@@ -50,28 +90,75 @@ module Core = struct
     mutable head : int; (* active magazine, -1 = empty *)
     mutable count : int;
     mutable tail : int; (* last slot of the active magazine, -1 when empty *)
+    mutable arena : int; (* arena tag of the active magazine *)
     mutable spare_head : int; (* full spare magazine, -1 = none *)
     mutable spare_count : int;
     mutable spare_tail : int;
+    mutable spare_arena : int;
+    mutable last_hard : bool;
+        (* the last exhaustion this thread saw was *hard*: the pool is at
+           [max_arenas] with no grow or drain in flight, so backoff-and-
+           retry cannot be satisfied by an arena attach (see
+           {!last_alloc_hard}) *)
+    mutable live : int; (* this thread's allocs - frees; may go negative *)
+    mutable peak : int;
+        (* high-water mark of [live]; mirrored into the shared
+           [live_peak] stripe only when it rises, so steady-state allocs
+           pay two plain field updates instead of striped-counter reads *)
+    (* scratch for partitioning a mixed chain at spill time; owned by the
+       magazine's thread, so plain arrays *)
+    scr_head : int array;
+    scr_tail : int array;
+    scr_len : int array;
     mutable pad_0 : int;
     mutable pad_1 : int;
-    mutable pad_2 : int;
   }
 
-  type t = {
-    capacity : int;
-    threads : int;
-    transfer : transfer;
+  (* One fixed-size arena. The metadata arrays ([state] .. [incarnation])
+     are the post-detach shim: they persist for the life of the pool so
+     stale ids keep resolving to validating-but-failing metadata (and the
+     incarnation clock never rewinds across a detach/re-attach cycle).
+     The free-list arrays and the payloads (held by ['a t]) are what a
+     detach actually unmaps. *)
+  type arena = {
+    base : int; (* first slot id of this arena *)
+    size : int;
     state : int array;
     index : int array; (* 32-bit MP index *)
     birth : int array; (* birth epoch *)
     death : int array; (* retirement epoch *)
     incarnation : int array; (* bumped on every free; detects slot reuse *)
-    stack_next : int array; (* intra-chain free-list links, -1 terminated *)
-    chain_next : int array; (* by chain head: next chain in the global stack *)
-    chain_len : int array; (* by chain head: slots in this chain *)
-    chain_tail : int array; (* by chain head: last slot of this chain *)
-    global_top : int Atomic.t; (* (version << 33) lor (head + 1); 0 in low bits = empty *)
+    mutable stack_next : int array; (* free-list links (full ids), -1 terminated *)
+    mutable chain_next : int array; (* by chain-head offset: next chain head id *)
+    mutable chain_len : int array; (* by chain-head offset: slots in this chain *)
+    mutable chain_tail : int array; (* by chain-head offset: last slot id *)
+    top : int Atomic.t; (* (version << 33) lor (head + 1); 0 in low bits = empty *)
+    parked_top : int Atomic.t; (* Treiber list of parked slots (id + 1); 0 = empty *)
+    parked : int Atomic.t; (* slots routed out of circulation by a drain *)
+  }
+
+  type t = {
+    capacity : int; (* slots per arena *)
+    threads : int;
+    transfer : transfer;
+    max_arenas : int;
+    elastic : bool;
+        (* [max_arenas > 1]. A fixed pool can never grow or drain, so
+           the hot paths skip every draining check behind this immutable
+           branch — alloc/free in the single-arena steady state cost
+           what they did before elasticity existed. *)
+    off_bits : int; (* id = (arena lsl off_bits) lor offset *)
+    off_mask : int;
+    arenas : arena array; (* length max_arenas; a shared dummy until attached *)
+    attached : int Atomic.t; (* arenas [0, attached) are attached *)
+    growing : bool Atomic.t; (* serializes arena attach *)
+    draining : int Atomic.t; (* arena being drained; -1 none, -2 detach completing *)
+    detach_stamp : int Atomic.t; (* SMR epoch stamped at full park; -1 unset *)
+    mutable grow_hook : int -> unit; (* payload attach, before slots publish *)
+    mutable detach_hook : int -> unit; (* payload drop, at detach *)
+    grows : int Atomic.t; (* arenas attached beyond the initial one *)
+    shrinks : int Atomic.t; (* arenas detached *)
+    resident : int Atomic.t; (* slots of currently attached arenas *)
     locals : local array;
     fair_share : int; (* magazine size: chain length and overflow trigger *)
     check_access : bool;
@@ -89,51 +176,157 @@ module Core = struct
   let top_id_plus1 top = top land id_plus1_mask
   let top_version top = top lsr 33
 
-  (* -- global stack of chains (version-tagged against ABA) --------------- *)
+  let[@inline] arena_of t id = Array.unsafe_get t.arenas (id lsr t.off_bits)
+  let[@inline] off_of t id = id land t.off_mask
+
+  (* -- per-arena stacks of chains (version-tagged against ABA) ------------ *)
 
   (* A chain is a [stack_next]-linked slot list, [head] through [tail]
      (whose link is -1), with its length and tail memoized at the head.
      Pushing or popping one is a single CAS on the tagged top word
-     regardless of length. *)
+     regardless of length. Chains on an arena's stack hold only that
+     arena's slots (the homogeneity invariant a drain relies on). *)
 
-  let rec global_push_chain t ~head ~tail ~len =
-    let top = Atomic.get t.global_top in
-    t.chain_next.(head) <- top_id_plus1 top - 1;
-    t.chain_len.(head) <- len;
-    t.chain_tail.(head) <- tail;
+  let rec arena_push_chain t a ~head ~tail ~len =
+    let off = off_of t head in
+    let top = Atomic.get a.top in
+    a.chain_next.(off) <- top_id_plus1 top - 1;
+    a.chain_len.(off) <- len;
+    a.chain_tail.(off) <- tail;
     let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(head + 1) in
-    if not (Atomic.compare_and_set t.global_top top top') then
-      global_push_chain t ~head ~tail ~len
+    if not (Atomic.compare_and_set a.top top top') then arena_push_chain t a ~head ~tail ~len
 
   (* Pop a whole chain; returns its head or -1. [chain_len]/[chain_tail]
      at the head stay valid for the winner: they are only rewritten by the
      next push of that head, which requires winning it first. Reading
      [chain_next] of a head another thread already claimed may yield a
      stale link, but then the top word moved and the CAS fails. *)
-  let rec global_pop_chain t =
-    let top = Atomic.get t.global_top in
+  let rec arena_pop_chain t a =
+    let top = Atomic.get a.top in
     let head_plus1 = top_id_plus1 top in
     if head_plus1 = 0 then -1
     else begin
       let head = head_plus1 - 1 in
-      let next = t.chain_next.(head) in
+      let next = a.chain_next.(off_of t head) in
       let top' = top_pack ~version:(top_version top + 1) ~id_plus1:(next + 1) in
-      if Atomic.compare_and_set t.global_top top top' then head else global_pop_chain t
+      if Atomic.compare_and_set a.top top top' then head else arena_pop_chain t a
     end
 
-  (* Spill a fully-known chain: one CAS when chained, one per slot in the
-     legacy mode (each slot becomes a length-1 chain). *)
-  let spill t ~head ~tail ~len =
-    match t.transfer with
-    | Chained -> global_push_chain t ~head ~tail ~len
-    | Per_slot ->
+  (* -- drain/park machinery ------------------------------------------------ *)
+
+  (* Push the parked list back onto the arena's chain stack. Used when a
+     drain is cancelled, and by a parker that lost a race with the
+     cancellation (see [park]): whoever exchanges the list owns its
+     slots, so each slot is re-published exactly once. *)
+  let rescue_parked t a =
+    let chain_cap = match t.transfer with Chained -> t.fair_share | Per_slot -> 1 in
+    let id = ref (Atomic.exchange a.parked_top 0 - 1) in
+    let rescued = ref 0 in
+    let chain_head = ref (-1) and chain_tail = ref (-1) and chain_len = ref 0 in
+    let flush_chain () =
+      if !chain_len > 0 then begin
+        arena_push_chain t a ~head:!chain_head ~tail:!chain_tail ~len:!chain_len;
+        chain_head := -1;
+        chain_tail := -1;
+        chain_len := 0
+      end
+    in
+    while !id >= 0 do
+      let next = a.stack_next.(off_of t !id) in
+      a.stack_next.(off_of t !id) <- !chain_head;
+      if !chain_head < 0 then chain_tail := !id;
+      chain_head := !id;
+      incr chain_len;
+      incr rescued;
+      if !chain_len >= chain_cap then flush_chain ();
+      id := next
+    done;
+    flush_chain ();
+    if !rescued > 0 then ignore (Atomic.fetch_and_add a.parked (- !rescued) : int)
+
+  (* Route one free slot of a draining arena out of circulation. The
+     caller owns the slot (it popped it, freed it, or claimed its chain),
+     so each slot parks at most once. The post-park re-check closes the
+     cancellation race: a parker that read [draining = k] before a
+     concurrent cancel re-publishes the list itself, so no slot is ever
+     stranded. *)
+  let rec park t a id =
+    let top = Atomic.get a.parked_top in
+    a.stack_next.(off_of t id) <- top - 1;
+    if Atomic.compare_and_set a.parked_top top (id + 1) then begin
+      Atomic.incr a.parked;
+      if Atomic.get t.draining <> id lsr t.off_bits then rescue_parked t a
+    end
+    else park t a id
+
+  (* Capture every chain still on a draining arena's stack. Called by
+     [request_shrink] and re-run on every detach poll, so chains spilled
+     concurrently with the drain request are captured too. *)
+  let scrub_stack t a =
+    let head = ref (arena_pop_chain t a) in
+    while !head >= 0 do
+      let id = ref !head in
+      while !id >= 0 do
+        let next = a.stack_next.(off_of t !id) in
+        park t a !id;
+        id := next
+      done;
+      head := arena_pop_chain t a
+    done
+
+  (* -- spill --------------------------------------------------------------- *)
+
+  (* Publish a chain known to hold only arena [head lsr off_bits] slots:
+     one CAS when chained, one per slot in the legacy mode. A chain of a
+     draining arena leaves circulation instead. *)
+  let spill_chain t ~head ~tail ~len =
+    let a = arena_of t head in
+    if t.elastic && Atomic.get t.draining = head lsr t.off_bits then begin
       let id = ref head in
       while !id >= 0 do
-        let next = t.stack_next.(!id) in
-        t.stack_next.(!id) <- -1;
-        global_push_chain t ~head:!id ~tail:!id ~len:1;
+        let next = a.stack_next.(off_of t !id) in
+        park t a !id;
         id := next
       done
+    end
+    else
+      match t.transfer with
+      | Chained -> arena_push_chain t a ~head ~tail ~len
+      | Per_slot ->
+        let id = ref head in
+        while !id >= 0 do
+          let next = a.stack_next.(off_of t !id) in
+          a.stack_next.(off_of t !id) <- -1;
+          arena_push_chain t a ~head:!id ~tail:!id ~len:1;
+          id := next
+        done
+
+  (* Spill a magazine. Homogeneous (the overwhelmingly common case, and
+     the only case for a single-arena pool): one chain push. Mixed:
+     partition the chain per arena through the thread-local scratch
+     arrays — one extra touch per slot, amortized over the [fair_share]
+     frees that filled the magazine — then push each part. *)
+  let spill t l ~head ~tail ~len ~tag =
+    if tag >= 0 then spill_chain t ~head ~tail ~len
+    else begin
+      Array.fill l.scr_head 0 t.max_arenas (-1);
+      Array.fill l.scr_len 0 t.max_arenas 0;
+      let id = ref head in
+      while !id >= 0 do
+        let a = arena_of t !id in
+        let next = a.stack_next.(off_of t !id) in
+        let k = !id lsr t.off_bits in
+        if l.scr_head.(k) < 0 then l.scr_tail.(k) <- !id;
+        a.stack_next.(off_of t !id) <- l.scr_head.(k);
+        l.scr_head.(k) <- !id;
+        l.scr_len.(k) <- l.scr_len.(k) + 1;
+        id := next
+      done;
+      for k = 0 to t.max_arenas - 1 do
+        if l.scr_head.(k) >= 0 then
+          spill_chain t ~head:l.scr_head.(k) ~tail:l.scr_tail.(k) ~len:l.scr_len.(k)
+      done
+    end
 
   (** When set, a detected use-after-free raises instead of counting, so
       tests can pinpoint the offending access (set via MP_TRAP_UAF=1). *)
@@ -157,42 +350,85 @@ module Core = struct
       Mutex.unlock history_lock
     end
 
-  let create ~capacity ~threads ?(transfer = Chained) ?fair_share ?(check_access = false) () =
+  let mk_arena ~base ~size =
+    {
+      base;
+      size;
+      state = Array.make size state_free;
+      index = Array.make size 0;
+      birth = Array.make size 0;
+      death = Array.make size 0;
+      incarnation = Array.make size 0;
+      stack_next = Array.make size (-1);
+      chain_next = Array.make size (-1);
+      chain_len = Array.make size 0;
+      chain_tail = Array.make size (-1);
+      top = Atomic.make (top_pack ~version:0 ~id_plus1:0);
+      parked_top = Atomic.make 0;
+      parked = Atomic.make 0;
+    }
+
+  let create ~capacity ~threads ?(transfer = Chained) ?fair_share ?(check_access = false)
+      ?(max_arenas = 1) () =
     if capacity > Handle.max_id then invalid_arg "Mempool.create: capacity too large";
     if capacity < threads then invalid_arg "Mempool.create: capacity < threads";
+    if max_arenas < 1 then invalid_arg "Mempool.create: max_arenas must be >= 1";
+    (* Smallest offset field holding one arena. *)
+    let off_bits =
+      let b = ref 0 in
+      while 1 lsl !b < capacity do
+        incr b
+      done;
+      !b
+    in
+    if max_arenas > Handle.max_arenas_for ~off_bits ~arena_slots:capacity then
+      invalid_arg "Mempool.create: max_arenas * capacity exceeds the handle id space";
     let fair_share =
       match fair_share with
       | Some f when f >= 1 -> f
       | Some _ -> invalid_arg "Mempool.create: fair_share must be positive"
       | None -> max 64 (capacity / (threads * 2))
     in
+    let arena0 = mk_arena ~base:0 ~size:capacity in
+    let dummy = mk_arena ~base:0 ~size:0 in
     let t =
       {
         capacity;
         threads;
         transfer;
-        state = Array.make capacity state_free;
-        index = Array.make capacity 0;
-        birth = Array.make capacity 0;
-        death = Array.make capacity 0;
-        incarnation = Array.make capacity 0;
-        stack_next = Array.make capacity (-1);
-        chain_next = Array.make capacity (-1);
-        chain_len = Array.make capacity 0;
-        chain_tail = Array.make capacity (-1);
-        global_top = Atomic.make (top_pack ~version:0 ~id_plus1:0);
+        max_arenas;
+        elastic = max_arenas > 1;
+        off_bits;
+        off_mask = (1 lsl off_bits) - 1;
+        arenas = Array.init max_arenas (fun k -> if k = 0 then arena0 else dummy);
+        attached = Atomic.make 1;
+        growing = Atomic.make false;
+        draining = Atomic.make (-1);
+        detach_stamp = Atomic.make (-1);
+        grow_hook = ignore;
+        detach_hook = ignore;
+        grows = Atomic.make 0;
+        shrinks = Atomic.make 0;
+        resident = Atomic.make capacity;
         locals =
           Array.init threads (fun _ ->
               {
                 head = -1;
                 count = 0;
                 tail = -1;
+                arena = tag_none;
                 spare_head = -1;
                 spare_count = 0;
                 spare_tail = -1;
+                spare_arena = tag_none;
+                last_hard = false;
+                live = 0;
+                peak = 0;
+                scr_head = Array.make max_arenas (-1);
+                scr_tail = Array.make max_arenas (-1);
+                scr_len = Array.make max_arenas 0;
                 pad_0 = 0;
                 pad_1 = 0;
-                pad_2 = 0;
               });
         fair_share;
         check_access;
@@ -203,7 +439,7 @@ module Core = struct
       }
     in
     (* Seed each local free list with its fair share; everything else goes
-       to the global stack — as fair_share-length chains — so any thread
+       to arena 0's stack — as fair_share-length chains — so any thread
        can reach it. A slot parked in another thread's local magazines is
        still unreachable until that thread spills, so [Exhausted] is a
        per-thread-visibility condition, not a global-emptiness one. *)
@@ -212,7 +448,7 @@ module Core = struct
     let chain_cap = match transfer with Chained -> fair_share | Per_slot -> 1 in
     let flush_chain () =
       if !chain_len > 0 then begin
-        global_push_chain t ~head:!chain_head ~tail:!chain_tail ~len:!chain_len;
+        arena_push_chain t arena0 ~head:!chain_head ~tail:!chain_tail ~len:!chain_len;
         chain_head := -1;
         chain_tail := -1;
         chain_len := 0
@@ -221,14 +457,15 @@ module Core = struct
     for id = capacity - 1 downto 0 do
       let l = t.locals.(!seeded mod threads) in
       if l.count < t.fair_share && !seeded < threads * t.fair_share then begin
-        t.stack_next.(id) <- l.head;
+        arena0.stack_next.(id) <- l.head;
         if l.head < 0 then l.tail <- id;
         l.head <- id;
         l.count <- l.count + 1;
+        l.arena <- 0;
         incr seeded
       end
       else begin
-        t.stack_next.(id) <- !chain_head;
+        arena0.stack_next.(id) <- !chain_head;
         if !chain_head < 0 then chain_tail := id;
         chain_head := id;
         incr chain_len;
@@ -241,130 +478,400 @@ module Core = struct
   let capacity t = t.capacity
   let threads t = t.threads
   let fair_share t = t.fair_share
+  let off_bits t = t.off_bits
+  let max_arenas t = t.max_arenas
+  let attached_arenas t = Atomic.get t.attached
+  let arenas_attached t = Atomic.get t.grows
+  let arenas_detached t = Atomic.get t.shrinks
+  let resident_slots t = Atomic.get t.resident
+
+  let detaching_slots t =
+    let d = Atomic.get t.draining in
+    if d < 0 then 0 else Atomic.get t.arenas.(d).parked
+
+  let set_grow_hook t f = t.grow_hook <- f
+  let set_detach_hook t f = t.detach_hook <- f
+
+  (* -- grow ---------------------------------------------------------------- *)
+
+  (* Attach arena [k]: payloads first (via the hook), slots published as
+     chains after, so a popper that reaches a new slot through the stack's
+     release/acquire pair always finds its payload and metadata in place.
+     A re-attached arena (grown back after a detach) keeps its metadata
+     shim — the incarnation clock continues, so handles minted before the
+     detach still fail validation against post-re-attach incarnations
+     exactly as they would across an ordinary free/re-alloc. *)
+  let attach_arena t k =
+    let base = k lsl t.off_bits in
+    let a =
+      let existing = t.arenas.(k) in
+      if existing.size > 0 then begin
+        existing.stack_next <- Array.make existing.size (-1);
+        existing.chain_next <- Array.make existing.size (-1);
+        existing.chain_len <- Array.make existing.size 0;
+        existing.chain_tail <- Array.make existing.size (-1);
+        existing
+      end
+      else begin
+        let a = mk_arena ~base ~size:t.capacity in
+        t.arenas.(k) <- a;
+        a
+      end
+    in
+    t.grow_hook k;
+    let chain_cap = match t.transfer with Chained -> t.fair_share | Per_slot -> 1 in
+    let chain_head = ref (-1) and chain_tail = ref (-1) and chain_len = ref 0 in
+    let flush_chain () =
+      if !chain_len > 0 then begin
+        arena_push_chain t a ~head:!chain_head ~tail:!chain_tail ~len:!chain_len;
+        chain_head := -1;
+        chain_tail := -1;
+        chain_len := 0
+      end
+    in
+    for off = a.size - 1 downto 0 do
+      let id = base + off in
+      a.stack_next.(off) <- !chain_head;
+      if !chain_head < 0 then chain_tail := id;
+      chain_head := id;
+      incr chain_len;
+      if !chain_len >= chain_cap then flush_chain ()
+    done;
+    flush_chain ();
+    ignore (Atomic.fetch_and_add t.resident a.size : int);
+    Atomic.incr t.grows;
+    (* Publish last: threads iterate stacks [0, attached). *)
+    Atomic.incr t.attached
+
+  (* One thread attaches; contenders see a transient exhaustion and back
+     off into their retry schedule. Growing is mutually exclusive with
+     draining (Dekker on the two flags): allocation pressure first cancels
+     an in-flight drain, then grows on retry. *)
+  let try_grow t =
+    if t.max_arenas = 1 then false
+    else if Atomic.get t.attached >= t.max_arenas then false
+    else if not (Atomic.compare_and_set t.growing false true) then false
+    else begin
+      let ok = Atomic.get t.draining < 0 && Atomic.get t.attached < t.max_arenas in
+      if ok then attach_arena t (Atomic.get t.attached);
+      Atomic.set t.growing false;
+      ok
+    end
+
+  (* -- shrink -------------------------------------------------------------- *)
+
+  (** Start draining the highest attached arena (arena 0 never detaches:
+      sentinels live there). At most one drain at a time; returns the
+      draining arena's index, or [None] if the pool cannot shrink right
+      now. The drain completes asynchronously through the SMR detach
+      barrier ({!detach_ready}/{!complete_detach}). *)
+  let request_shrink t =
+    let n = Atomic.get t.attached in
+    if n <= 1 then None
+    else begin
+      let k = n - 1 in
+      if not (Atomic.compare_and_set t.draining (-1) k) then None
+      else if Atomic.get t.growing || Atomic.get t.attached - 1 <> k then begin
+        (* Lost the Dekker race with a concurrent grow: k may no longer
+           be the topmost arena. Undo. *)
+        Atomic.set t.draining (-1);
+        None
+      end
+      else begin
+        Atomic.set t.detach_stamp (-1);
+        scrub_stack t t.arenas.(k);
+        Some k
+      end
+    end
+
+  (** Abort an in-flight drain, returning every parked slot to
+      circulation. Called on allocation pressure (a spike mid-shrink must
+      win) and available to policy code. False if no drain was in flight
+      or the detach already entered completion. *)
+  let cancel_shrink t =
+    let k = Atomic.get t.draining in
+    if k < 0 then false
+    else if not (Atomic.compare_and_set t.draining k (-1)) then false
+    else begin
+      Atomic.set t.detach_stamp (-1);
+      rescue_parked t t.arenas.(k);
+      true
+    end
+
+  (** The draining arena once every one of its slots is parked:
+      [(arena, base, size)]. Re-scrubs the arena's stack first, so chains
+      that raced the drain request are captured by whoever polls. This is
+      the condition under which the SMR layer may start its quiescence
+      protocol; [None] while slots are still in circulation (live,
+      retired, or hiding in magazines). *)
+  let detach_ready t =
+    let k = Atomic.get t.draining in
+    if k < 0 then None
+    else begin
+      let a = t.arenas.(k) in
+      scrub_stack t a;
+      if Atomic.get a.parked = a.size then Some (k, a.base, a.size) else None
+    end
+
+  (** Epoch stamp for the detach grace period: -1 until an SMR scheme
+      stamps it (once per drain) after observing {!detach_ready}. *)
+  let detach_stamp t = Atomic.get t.detach_stamp
+
+  let set_detach_stamp t v = ignore (Atomic.compare_and_set t.detach_stamp (-1) v : bool)
+
+  (** Finish the detach: unmap the arena (payload hook + free-list arrays
+      dropped; the metadata shim persists) and retire its index from the
+      attached range. Caller is the SMR layer, after its quiescence check
+      passed. False if the drain was cancelled concurrently. *)
+  let complete_detach t k =
+    if not (Atomic.compare_and_set t.draining k (-2)) then false
+    else begin
+      let a = t.arenas.(k) in
+      assert (Atomic.get t.attached = k + 1);
+      assert (Atomic.get a.parked = a.size);
+      (* Retire the index first: refills stop visiting the arena, and the
+         stack is empty (every slot is parked), so nothing races the
+         array drops below. *)
+      Atomic.set t.attached k;
+      Atomic.set a.parked_top 0;
+      Atomic.set a.parked 0;
+      a.stack_next <- [||];
+      a.chain_next <- [||];
+      a.chain_len <- [||];
+      a.chain_tail <- [||];
+      t.detach_hook k;
+      ignore (Atomic.fetch_and_add t.resident (-a.size) : int);
+      Atomic.incr t.shrinks;
+      Atomic.set t.detach_stamp (-1);
+      Atomic.set t.draining (-1);
+      true
+    end
 
   (* -- alloc / free ------------------------------------------------------ *)
 
   (* Make the active magazine non-empty: promote the spare, else claim a
-     whole chain from the global stack (one CAS). False when both local
-     magazines and the global stack are empty. *)
+     whole chain (one CAS) from the lowest-numbered arena stack holding
+     one — the low-first bias that lets high arenas go idle. False when
+     both local magazines and every reachable stack are empty. *)
   let try_refill t l =
     if l.spare_head >= 0 then begin
       l.head <- l.spare_head;
       l.count <- l.spare_count;
       l.tail <- l.spare_tail;
+      l.arena <- l.spare_arena;
       l.spare_head <- -1;
       l.spare_count <- 0;
       l.spare_tail <- -1;
+      l.spare_arena <- tag_none;
       true
     end
     else begin
-      let head = global_pop_chain t in
-      if head < 0 then false
+      let n = if t.elastic then Atomic.get t.attached else 1 in
+      let d = if t.elastic then Atomic.get t.draining else -1 in
+      let rec go k =
+        if k >= n then false
+        else if k = d then go (k + 1)
+        else begin
+          let a = t.arenas.(k) in
+          let head = arena_pop_chain t a in
+          if head < 0 then go (k + 1)
+          else begin
+            l.head <- head;
+            l.count <- a.chain_len.(off_of t head);
+            l.tail <- a.chain_tail.(off_of t head);
+            l.arena <- k;
+            true
+          end
+        end
+      in
+      go 0
+    end
+
+  (* Pop the head of a non-empty active magazine and mark it live.
+     Returns -1 if the magazine drained away under parking (every popped
+     slot belonged to the draining arena) — the caller falls back to the
+     refill path. *)
+  let rec take t ~tid l =
+    let id = l.head in
+    let a = arena_of t id in
+    let off = off_of t id in
+    l.head <- a.stack_next.(off);
+    l.count <- l.count - 1;
+    if l.head < 0 then l.tail <- -1;
+    if t.elastic && Atomic.get t.draining = id lsr t.off_bits then begin
+      (* Stray slot of a draining arena surfacing from a magazine: it
+         leaves circulation here instead of being handed out. *)
+      park t a id;
+      if l.head >= 0 then take t ~tid l else -1
+    end
+    else begin
+      assert (a.state.(off) = state_free);
+      a.state.(off) <- state_live;
+      a.index.(off) <- 0;
+      Mp_util.Striped_counter.incr t.allocs ~tid;
+      (* Live count can only rise on an alloc, so this is the one place
+         the high-water mark needs lifting. The per-tid difference may go
+         negative (slots are freed by the retiring thread, not always the
+         allocating one); [l.peak] floors at 0 and the sum of per-thread
+         peaks still dominates every instantaneous global live count —
+         the right direction for a capacity ceiling. The shared stripe
+         the sampler reads is written only when the peak actually rises
+         (a plateau in steady state), keeping the hot path to two plain
+         field updates. *)
+      l.live <- l.live + 1;
+      if l.live > l.peak then begin
+        l.peak <- l.live;
+        Mp_util.Striped_counter.max_to t.live_peak ~tid l.live
+      end;
+      id
+    end
+
+  (* Every reachable free list is empty. Try, in order: cancelling an
+     in-flight drain (a spike mid-shrink reclaims the parked slots),
+     attaching a fresh arena. If neither applies the exhaustion is hard —
+     no pool-side event can produce a slot; only another thread spilling
+     its magazines can. *)
+  let rec alloc_slow t ~tid l =
+    if try_refill t l then begin
+      let id = take t ~tid l in
+      if id >= 0 then id else alloc_slow t ~tid l
+    end
+    else begin
+      let progressed =
+        (Atomic.get t.draining >= 0 && cancel_shrink t) || try_grow t
+      in
+      if progressed then alloc_slow t ~tid l
       else begin
-        l.head <- head;
-        l.count <- t.chain_len.(head);
-        l.tail <- t.chain_tail.(head);
-        true
+        l.last_hard <-
+          t.max_arenas > 1
+          && Atomic.get t.attached >= t.max_arenas
+          && (not (Atomic.get t.growing))
+          && Atomic.get t.draining < 0;
+        raise Exhausted
       end
     end
 
-  (* Pop the head of a non-empty active magazine and mark it live. *)
-  let take t ~tid l =
-    let id = l.head in
-    l.head <- t.stack_next.(id);
-    l.count <- l.count - 1;
-    if l.head < 0 then l.tail <- -1;
-    assert (t.state.(id) = state_free);
-    t.state.(id) <- state_live;
-    t.index.(id) <- 0;
-    Mp_util.Striped_counter.incr t.allocs ~tid;
-    (* Live count can only rise on an alloc, so this is the one place
-       the high-water mark needs lifting. The per-tid difference may go
-       negative (slots are freed by the retiring thread, not always the
-       allocating one); the peak stripe floors at 0 and the sum of
-       stripe peaks still dominates every instantaneous global live
-       count — the right direction for a capacity ceiling. *)
-    Mp_util.Striped_counter.max_to t.live_peak ~tid
-      (Mp_util.Striped_counter.get t.allocs ~tid - Mp_util.Striped_counter.get t.frees ~tid);
-    id
-
-  (** Pop a free slot for thread [tid]; refills a whole chain from the
-      global stack when both local magazines are empty. Raises
-      {!Exhausted} if no slot is reachable. *)
+  (** Pop a free slot for thread [tid]; refills a whole chain from an
+      arena stack when both local magazines are empty, attaching a fresh
+      arena when below [max_arenas]. Raises {!Exhausted} if no slot is
+      reachable. *)
   let alloc t ~tid =
     let l = t.locals.(tid) in
     if l.head < 0 then begin
       Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_refill;
-      if not (try_refill t l) then raise Exhausted
-    end;
-    take t ~tid l
+      alloc_slow t ~tid l
+    end
+    else begin
+      let id = take t ~tid l in
+      if id >= 0 then id else alloc_slow t ~tid l
+    end
 
   (** Non-raising {!alloc}: [None] when no slot is reachable, so callers
       can degrade into backpressure (retry with backoff, count the stall)
       instead of unwinding. *)
-  let alloc_opt t ~tid =
-    let l = t.locals.(tid) in
-    if l.head < 0 then begin
-      Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_refill;
-      if not (try_refill t l) then None else Some (take t ~tid l)
-    end
-    else Some (take t ~tid l)
+  let alloc_opt t ~tid = match alloc t ~tid with id -> Some id | exception Exhausted -> None
+
+  (** Was this thread's last {!Exhausted} (or [None]) a {e hard}
+      exhaustion — the pool at [max_arenas] with no grow or drain in
+      flight, so waiting out a backoff schedule cannot be satisfied by an
+      arena attach? Always false for fixed-size ([max_arenas = 1]) pools,
+      whose exhaustion has always been backpressure (slots may be hiding
+      in other threads' magazines). Callers use it to fail fast to an
+      out-of-memory reply instead of burning the full retry budget. *)
+  let last_alloc_hard t ~tid = t.locals.(tid).last_hard
 
   (** Return slot [id] to thread [tid]'s free lists. A full active
       magazine rotates into the spare; a displaced full spare is spilled
-      to the global stack as one chain (a single CAS per [fair_share]
-      frees on the chained path). *)
+      to its arena's stack as one chain (a single CAS per [fair_share]
+      frees on the chained path). A slot of a draining arena leaves
+      circulation instead of entering the magazine. *)
   let free t ~tid id =
-    assert (t.state.(id) <> state_free);
+    let a = arena_of t id in
+    let off = off_of t id in
+    assert (a.state.(off) <> state_free);
     record_history id "free";
-    t.state.(id) <- state_free;
-    t.incarnation.(id) <- t.incarnation.(id) + 1;
+    a.state.(off) <- state_free;
+    a.incarnation.(off) <- a.incarnation.(off) + 1;
     Mp_util.Striped_counter.incr t.frees ~tid;
     let l = t.locals.(tid) in
-    if l.count >= t.fair_share then begin
-      if l.spare_head >= 0 then begin
-        Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_spill;
-        spill t ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count
+    l.live <- l.live - 1;
+    if t.elastic && Atomic.get t.draining = id lsr t.off_bits then park t a id
+    else begin
+      if l.count >= t.fair_share then begin
+        if l.spare_head >= 0 then begin
+          Mp_util.Fault.hit ~tid Mp_util.Fault.Mempool_spill;
+          spill t l ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count
+            ~tag:l.spare_arena
+        end;
+        l.spare_head <- l.head;
+        l.spare_count <- l.count;
+        l.spare_tail <- l.tail;
+        l.spare_arena <- l.arena;
+        l.head <- -1;
+        l.count <- 0;
+        l.tail <- -1;
+        l.arena <- tag_none
       end;
-      l.spare_head <- l.head;
-      l.spare_count <- l.count;
-      l.spare_tail <- l.tail;
+      a.stack_next.(off) <- l.head;
+      if l.head < 0 then begin
+        l.tail <- id;
+        l.arena <- id lsr t.off_bits
+      end
+      else if l.arena <> id lsr t.off_bits then l.arena <- tag_mixed;
+      l.head <- id;
+      l.count <- l.count + 1
+    end
+
+  (** Return thread [tid]'s magazines to shared circulation. For a worker
+      that is exiting: a drain cannot complete while free slots of the
+      draining arena sit in a magazine no thread will ever pop again.
+      Owner-only discipline — call it from the exiting thread itself, or
+      from a successor strictly after the owner stopped (e.g. after
+      joining its domain). Idempotent. *)
+  let release_local t ~tid =
+    let l = t.locals.(tid) in
+    if l.head >= 0 then begin
+      spill t l ~head:l.head ~tail:l.tail ~len:l.count ~tag:l.arena;
       l.head <- -1;
       l.count <- 0;
-      l.tail <- -1
+      l.tail <- -1;
+      l.arena <- tag_none
     end;
-    t.stack_next.(id) <- l.head;
-    if l.head < 0 then l.tail <- id;
-    l.head <- id;
-    l.count <- l.count + 1
+    if l.spare_head >= 0 then begin
+      spill t l ~head:l.spare_head ~tail:l.spare_tail ~len:l.spare_count ~tag:l.spare_arena;
+      l.spare_head <- -1;
+      l.spare_count <- 0;
+      l.spare_tail <- -1;
+      l.spare_arena <- tag_none
+    end
 
   (* -- metadata accessors ------------------------------------------------ *)
 
-  let[@inline] state t id = t.state.(id)
-  let[@inline] is_free t id = t.state.(id) = state_free
+  let[@inline] state t id = (arena_of t id).state.(off_of t id)
+  let[@inline] is_free t id = state t id = state_free
 
   let mark_retired t id =
-    assert (t.state.(id) = state_live);
+    assert (state t id = state_live);
     record_history id "retire";
-    t.state.(id) <- state_retired
+    (arena_of t id).state.(off_of t id) <- state_retired
 
-  let[@inline] index t id = t.index.(id)
-  let set_index t id v = t.index.(id) <- v
-  let[@inline] birth t id = t.birth.(id)
-  let set_birth t id v = t.birth.(id) <- v
-  let[@inline] death t id = t.death.(id)
-  let set_death t id v = t.death.(id) <- v
-  let[@inline] incarnation t id = t.incarnation.(id)
+  let[@inline] index t id = (arena_of t id).index.(off_of t id)
+  let set_index t id v = (arena_of t id).index.(off_of t id) <- v
+  let[@inline] birth t id = (arena_of t id).birth.(off_of t id)
+  let set_birth t id v = (arena_of t id).birth.(off_of t id) <- v
+  let[@inline] death t id = (arena_of t id).death.(off_of t id)
+  let set_death t id v = (arena_of t id).death.(off_of t id) <- v
+  let[@inline] incarnation t id = (arena_of t id).incarnation.(off_of t id)
 
   (** Canonical (unmarked) handle for slot [id], embedding the top 16 bits
       of its MP index. *)
   let handle t id =
-    Handle.make ~inc:t.incarnation.(id) ~id ~idx16:(Handle.idx16_of_index t.index.(id))
-      ~mark:0 ()
+    Handle.make ~inc:(incarnation t id) ~id ~idx16:(Handle.idx16_of_index (index t id)) ~mark:0
+      ()
 
   (** Record a use-after-free access to slot [id] if it is free. *)
   let[@inline] note_access t id =
-    if t.check_access && t.state.(id) = state_free then begin
+    if t.check_access && state t id = state_free then begin
       Atomic.incr t.violations;
       if !trap_on_violation then begin
         (match Hashtbl.find_opt history id with
@@ -392,37 +899,61 @@ module Core = struct
 
   (* -- testing hooks ----------------------------------------------------- *)
 
-  let debug_top_word t = Atomic.get t.global_top
+  (* The debug chain hooks address arena 0 — the arena the original
+     single-stack invariants (ABA tagging, top-word monotonicity) are
+     stated over. *)
+  let debug_top_word t = Atomic.get t.arenas.(0).top
 
   let debug_pop_chain t =
-    let head = global_pop_chain t in
-    if head < 0 then None else Some (head, t.chain_tail.(head), t.chain_len.(head))
+    let a = t.arenas.(0) in
+    let head = arena_pop_chain t a in
+    if head < 0 then None
+    else Some (head, a.chain_tail.(off_of t head), a.chain_len.(off_of t head))
 
-  let debug_push_chain t ~head ~tail ~len = global_push_chain t ~head ~tail ~len
-  let debug_next_free t id = t.stack_next.(id)
+  let debug_push_chain t ~head ~tail ~len = arena_push_chain t t.arenas.(0) ~head ~tail ~len
+  let debug_next_free t id = (arena_of t id).stack_next.(off_of t id)
 end
 
+(* Payloads are per arena, attached and dropped through the Core hooks.
+   [payloads.(k)] is published before arena [k]'s slots are pushed (the
+   stack CAS pair orders the plain stores), and emptied at detach: a
+   use-after-free into a detached arena therefore raises — the honest
+   analog of dereferencing an unmapped page. *)
 type 'a t = {
   core : Core.t;
-  payload : 'a array;
+  payloads : 'a array array;
+  off_bits : int;
+  off_mask : int;
 }
 
 let create ~capacity ~threads ?(transfer = Chained) ?fair_share ?(check_access = false)
-    make_payload =
-  let core = Core.create ~capacity ~threads ~transfer ?fair_share ~check_access () in
-  { core; payload = Array.init capacity make_payload }
+    ?(max_arenas = 1) make_payload =
+  let core =
+    Core.create ~capacity ~threads ~transfer ?fair_share ~check_access ~max_arenas ()
+  in
+  let off_bits = Core.off_bits core in
+  let payloads = Array.make max_arenas [||] in
+  payloads.(0) <- Array.init capacity make_payload;
+  Core.set_grow_hook core (fun k ->
+      if Array.length payloads.(k) = 0 then begin
+        let base = k lsl off_bits in
+        payloads.(k) <- Array.init capacity (fun off -> make_payload (base + off))
+      end);
+  Core.set_detach_hook core (fun k -> payloads.(k) <- [||]);
+  { core; payloads; off_bits; off_mask = (1 lsl off_bits) - 1 }
 
 let core t = t.core
-let capacity t = t.core.Core.capacity
+let capacity t = Core.capacity t.core
 
 (** Payload of slot [id]. With [check_access], accessing a free slot is
     recorded as a use-after-free violation (the access still returns the
-    stale payload, as real hardware would). *)
+    stale payload, as real hardware would — unless the slot's arena was
+    detached, in which case the "page" is gone and the access raises). *)
 let[@inline] get t id =
   Core.note_access t.core id;
-  t.payload.(id)
+  t.payloads.(id lsr t.off_bits).(id land t.off_mask)
 
-let[@inline] unsafe_get t id = t.payload.(id)
+let[@inline] unsafe_get t id = t.payloads.(id lsr t.off_bits).(id land t.off_mask)
 
 let alloc t ~tid = Core.alloc t.core ~tid
 let alloc_opt t ~tid = Core.alloc_opt t.core ~tid

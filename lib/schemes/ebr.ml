@@ -128,7 +128,15 @@ let handle_of th id = Mempool.Core.handle th.shared.pool id
 let empty th =
   let s = th.shared in
   let min_active = Epoch.min_announced s.epoch in
-  Reclaimer.scan th.rsv ~keep:(fun id -> Mempool.Core.death s.pool id >= min_active)
+  Reclaimer.scan th.rsv ~keep:(fun id -> Mempool.Core.death s.pool id >= min_active);
+  (* Arena detach barrier. Stamp the epoch current at full park; the
+     arena is unmappable once every active thread has announced a newer
+     epoch (idle = +inf passes): such readers started after every arena
+     node was unlinked and parked slots are never re-allocated, so no
+     path into the arena can exist for them. *)
+  Detach.poll s.pool
+    ~stamp:(fun () -> Epoch.current s.epoch)
+    ~quiescent:(fun ~base:_ ~size:_ ~stamp -> Epoch.min_announced s.epoch > stamp)
 
 let retire th id =
   let s = th.shared in

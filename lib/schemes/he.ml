@@ -137,7 +137,25 @@ let empty th =
   Reclaimer.scan th.rsv ~keep:(fun id ->
       Reservation.exists_in_range th.snap
         ~lo:(Mempool.Core.birth s.pool id)
-        ~hi:(Mempool.Core.death s.pool id))
+        ~hi:(Mempool.Core.death s.pool id));
+  (* Arena detach barrier. Stamp-and-advance the era clock at full park;
+     the arena is unmappable once every published era postdates the
+     stamp: later eras were published after every arena slot was freed,
+     and a protect that published an older era re-validates against the
+     moved clock before use, so a stale era cannot mature into an arena
+     access. *)
+  Detach.poll s.pool
+    ~stamp:(fun () ->
+      let e = Epoch.current s.epoch in
+      Epoch.advance s.epoch;
+      e)
+    ~quiescent:(fun ~base:_ ~size:_ ~stamp ->
+      Reservation.snapshot s.res th.snap;
+      let ok = ref true in
+      for i = 0 to th.snap.Reservation.len - 1 do
+        if th.snap.Reservation.vals.(i) <= stamp then ok := false
+      done;
+      !ok)
 
 let retire th id =
   let s = th.shared in

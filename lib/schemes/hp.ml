@@ -127,7 +127,17 @@ let handle_of th id = Mempool.Core.handle th.shared.pool id
 let empty th =
   Reservation.snapshot th.shared.res th.snap;
   Reservation.sort th.snap;
-  Reclaimer.scan th.rsv ~keep:(fun id -> Reservation.mem th.snap id)
+  Reclaimer.scan th.rsv ~keep:(fun id -> Reservation.mem th.snap id);
+  (* Arena detach barrier: hazards validate after publication, so a stale
+     handle into a fully-freed arena cannot survive its validation — the
+     arena is unmappable as soon as one fresh snapshot shows no hazard
+     inside it. No grace period, hence the constant stamp. *)
+  Detach.poll th.shared.pool
+    ~stamp:(fun () -> 0)
+    ~quiescent:(fun ~base ~size ~stamp:_ ->
+      Reservation.snapshot th.shared.res th.snap;
+      Reservation.sort th.snap;
+      not (Reservation.exists_in_range th.snap ~lo:base ~hi:(base + size - 1)))
 
 let retire th id =
   Reclaimer.retire th.rsv id;

@@ -167,7 +167,24 @@ let empty th =
     in
     conflict 0
   in
-  Reclaimer.scan th.rsv ~keep
+  Reclaimer.scan th.rsv ~keep;
+  (* Arena detach barrier. Stamp-and-advance at full park; the arena is
+     unmappable once every active reader's lower endpoint postdates the
+     stamp (idle intervals are empty and filtered from the occupied-only
+     snapshot): such readers started after every arena slot was freed,
+     and parked slots are never re-allocated. *)
+  Detach.poll s.pool
+    ~stamp:(fun () ->
+      let e = Epoch.current s.epoch in
+      Epoch.advance s.epoch;
+      e)
+    ~quiescent:(fun ~base:_ ~size:_ ~stamp ->
+      Reservation.snapshot s.lower th.snap_lo;
+      let ok = ref true in
+      for i = 0 to th.snap_lo.Reservation.len - 1 do
+        if th.snap_lo.Reservation.vals.(i) <= stamp then ok := false
+      done;
+      !ok)
 
 let retire th id =
   let s = th.shared in

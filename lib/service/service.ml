@@ -104,6 +104,31 @@ let[@inline] pause spins =
     up from 1. *)
 let dead_hb = -1
 
+(* Bounded backoff a shard spends on a *transient* pool exhaustion
+   before answering [reply_oom] — slots may be hiding in other shards'
+   magazines, or an arena attach may be in flight. Hard exhaustion (the
+   pool at max_arenas with nothing in flight, {!Mempool.Core.last_alloc_hard})
+   skips the schedule: waiting cannot produce an arena. *)
+let oom_retries = 32
+
+(** Elastic-pool autoscale policy ({!create}'s [?autoscale]): a policy
+    domain samples the pool's live count every [sample_interval_s],
+    folds a high-water mark per decision window of [decay_ticks]
+    samples, and derives [arena_target] — the arenas needed to hold that
+    windowed live peak plus [headroom_pct] percent. Growth is
+    demand-driven on the alloc path and needs no policy; the policy's
+    job is the other direction: when the pool holds more arenas than the
+    target for a full window, it requests a drain of the topmost arena
+    (completion stays gated through the SMR scan barrier, and allocation
+    pressure auto-cancels the drain if the spike returns). *)
+type autoscale = {
+  sample_interval_s : float;
+  decay_ticks : int;
+  headroom_pct : int;
+}
+
+let default_autoscale = { sample_interval_s = 0.001; decay_ticks = 100; headroom_pct = 25 }
+
 type t = {
   shards : int;
   batch : int;
@@ -113,6 +138,10 @@ type t = {
   adopt_tid : int -> unit;
   mutable domains : unit Domain.t array; (* by shard; entries replaced on respawn *)
   mutable supervisor : unit Domain.t option;
+  pool : Mempool.Core.t; (* the structure's node pool (elasticity telemetry/policy) *)
+  autoscale : autoscale option;
+  mutable scaler : unit Domain.t option;
+  arena_target : int Atomic.t; (* last autoscale decision; attached count without one *)
   joined : bool array; (* by shard: supervisor already joined this corpse *)
   recovery : Recovery.t option;
   hb : int Atomic.t array; (* spaced; [dead_hb] = corpse awaiting takeover *)
@@ -131,6 +160,7 @@ type t = {
   max_batch : int array;
   rejected : int array;
   oom : int array;
+  stalls : int array; (* transient pool-exhaustion retries absorbed as backpressure *)
   stale : int array; (* dead-incarnation requests rejected by a replacement *)
   shed : int array; (* past-deadline requests answered busy *)
   cancelled : int array; (* producer-cancelled slots discarded *)
@@ -155,10 +185,11 @@ let[@inline] past_deadline ring ~pos =
   let d = Request_ring.deadline_us ring ~pos in
   d > 0 && now_us () > d
 
-let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a)
+let create ?recovery ?autoscale (type a) (module SET : Dstruct.Set_intf.SET with type t = a)
     (set : a) ~shards ~batch ~ring_capacity =
   let recovery = Option.map (fun cfg -> Recovery.create ~shards cfg) recovery in
   let recovery_on = Option.is_some recovery in
+  let pool = SET.pool set in
   let rings = Array.init shards (fun _ -> Request_ring.create ~capacity:ring_capacity) in
   let stop = Atomic.make false in
   let dead = Array.make shards false in
@@ -167,7 +198,7 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
   let cursors = Padding.atomic_int_array shards in
   let spaced () = Array.make (Padding.spaced_length shards) 0 in
   let ops = spaced () and batches = spaced () and max_batch = spaced () in
-  let rejected = spaced () and oom = spaced () in
+  let rejected = spaced () and oom = spaced () and stalls = spaced () in
   let stale = spaced () and shed = spaced () and cancelled = spaced () in
   let worker shard tid () =
     let s = SET.session set ~tid in
@@ -178,8 +209,9 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
     let spins = ref 0 in
     let beat = ref 0 in
     let my_ops = ref 0 and my_batches = ref 0 and my_max = ref 0 in
-    let my_rejected = ref 0 and my_oom = ref 0 in
+    let my_rejected = ref 0 and my_oom = ref 0 and my_stalls = ref 0 in
     let my_stale = ref 0 and my_shed = ref 0 and my_cancelled = ref 0 in
+    let oom_backoff = Mp_util.Backoff.create () in
     let alive = ref true in
     (* [exiting] only under recovery: the crashed worker leaves its
        domain so the supervisor can join it and take over; without
@@ -267,24 +299,46 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
             else begin
               budget ();
               if !dead_here then reply_rejected
-              else
-                match
-                  (match op with
-                  | 0 (* op_contains *) -> SET.contains s key
-                  | 1 (* op_insert *) -> SET.insert s ~key ~value
-                  | 2 (* op_remove *) -> SET.remove s key
-                  | _ -> false)
-                with
-                | ok ->
-                  incr window_ops;
-                  incr my_ops;
-                  if ok then reply_true else reply_false
-                | exception Mempool.Exhausted ->
-                  incr my_oom;
-                  reply_oom
-                | exception Mp_util.Fault.Crashed _ ->
-                  dead_here := true;
-                  reply_rejected
+              else begin
+                (* Pool exhaustion: transient exhaustion (slots hiding
+                   in other threads' magazines, a grow or drain-cancel
+                   in flight) is backpressure — retry under bounded
+                   backoff; the failed insert left the structure
+                   unchanged. Hard exhaustion (at max_arenas, nothing in
+                   flight) answers [reply_oom] immediately: no pool-side
+                   event can produce a slot, so burning the schedule
+                   would only stall the whole ring behind this
+                   request. *)
+                let rec exec attempts =
+                  match
+                    (match op with
+                    | 0 (* op_contains *) -> SET.contains s key
+                    | 1 (* op_insert *) -> SET.insert s ~key ~value
+                    | 2 (* op_remove *) -> SET.remove s key
+                    | _ -> false)
+                  with
+                  | ok ->
+                    if attempts > 0 then Mp_util.Backoff.reset oom_backoff;
+                    incr window_ops;
+                    incr my_ops;
+                    if ok then reply_true else reply_false
+                  | exception Mempool.Exhausted ->
+                    incr my_stalls;
+                    if attempts >= oom_retries || Mempool.Core.last_alloc_hard pool ~tid
+                    then begin
+                      incr my_oom;
+                      reply_oom
+                    end
+                    else begin
+                      Mp_util.Backoff.once oom_backoff;
+                      exec (attempts + 1)
+                    end
+                  | exception Mp_util.Fault.Crashed _ ->
+                    dead_here := true;
+                    reply_rejected
+                in
+                exec 0
+              end
             end
           in
           if not (Request_ring.complete ring ~pos:!pos reply) then incr my_cancelled;
@@ -357,12 +411,16 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
       done
     end;
     if !alive then SET.flush s;
+    (* Hand the magazines back on the way out: a pending arena drain
+       must not stall on free slots no thread will ever pop again. *)
+    Mempool.Core.release_local pool ~tid;
     let i = Padding.spaced_index shard in
     ops.(i) <- ops.(i) + !my_ops;
     batches.(i) <- batches.(i) + !my_batches;
     if !my_max > max_batch.(i) then max_batch.(i) <- !my_max;
     rejected.(i) <- rejected.(i) + !my_rejected;
     oom.(i) <- oom.(i) + !my_oom;
+    stalls.(i) <- stalls.(i) + !my_stalls;
     stale.(i) <- stale.(i) + !my_stale;
     shed.(i) <- shed.(i) + !my_shed;
     cancelled.(i) <- cancelled.(i) + !my_cancelled;
@@ -379,6 +437,10 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
     adopt_tid = (fun tid -> SET.adopt set ~tid);
     domains = [||];
     supervisor = None;
+    pool;
+    autoscale;
+    scaler = None;
+    arena_target = Atomic.make (Mempool.Core.attached_arenas pool);
     joined = Array.make shards false;
     recovery;
     hb;
@@ -391,6 +453,7 @@ let create ?recovery (type a) (module SET : Dstruct.Set_intf.SET with type t = a
     max_batch;
     rejected;
     oom;
+    stalls;
     stale;
     shed;
     cancelled;
@@ -511,14 +574,57 @@ let supervise t st () =
     end
   done
 
+(* -- elastic autoscale (policy domain) ------------------------------------ *)
+
+(* See {!type-autoscale}. One decision per [decay_ticks] samples: derive
+   [arena_target] from the window's live-count high-water mark (plus
+   headroom) and request a drain when the pool holds more arenas than
+   the target. At most one drain runs at a time ([request_shrink] is a
+   no-op while one is in flight), detach completion stays gated through
+   the SMR scan barrier, and a returning spike auto-cancels the drain on
+   the alloc path — so the policy can afford to be simple-minded. The
+   window peak re-seeds from the current live count, which is how the
+   target decays after a spike even though the pool's own [live_peak]
+   counter is a run-wide high-water mark. *)
+let autoscale_loop t (cfg : autoscale) () =
+  let pool = t.pool in
+  let cap = Mempool.Core.capacity pool in
+  let max_arenas = Mempool.Core.max_arenas pool in
+  let peak = ref 0 in
+  let tick = ref 0 in
+  while not (Atomic.get t.stop) do
+    Unix.sleepf cfg.sample_interval_s;
+    let live = Mempool.Core.live_count pool in
+    if live > !peak then peak := live;
+    incr tick;
+    if !tick >= cfg.decay_ticks then begin
+      let need = !peak + (!peak * cfg.headroom_pct / 100) in
+      let target = min max_arenas (max 1 ((need + cap - 1) / cap)) in
+      Atomic.set t.arena_target target;
+      if Mempool.Core.attached_arenas pool > target then
+        ignore (Mempool.Core.request_shrink pool : int option);
+      tick := 0;
+      peak := live
+    end
+  done
+
 let start t =
   t.domains <- Array.init t.shards (fun shard -> Domain.spawn (t.worker shard t.shard_tid.(shard)));
+  (match t.autoscale with
+  | Some cfg when Mempool.Core.max_arenas t.pool > 1 ->
+    t.scaler <- Some (Domain.spawn (autoscale_loop t cfg))
+  | _ -> ());
   match t.recovery with
   | Some st -> t.supervisor <- Some (Domain.spawn (supervise t st))
   | None -> ()
 
 let stop t =
   Atomic.set t.stop true;
+  (match t.scaler with
+  | Some d ->
+    Domain.join d;
+    t.scaler <- None
+  | None -> ());
   (match t.supervisor with
   | Some d ->
     Domain.join d;
@@ -575,6 +681,7 @@ type stats = {
   max_batch : int; (* most operations any single window served *)
   rejected : int; (* requests answered rejected (dead shard, final drain) *)
   oom : int; (* requests refused on pool exhaustion *)
+  alloc_stalls : int; (* transient-exhaustion retries absorbed as backpressure *)
   stale_rejected : int; (* dead-incarnation requests rejected by replacements *)
   shed_busy : int; (* past-deadline requests answered busy, not executed *)
   cancelled : int; (* producer-cancelled slots discarded by consumers *)
@@ -582,6 +689,11 @@ type stats = {
   crashed_shards : int; (* shards dead right now (unrecovered) *)
   client_spins : int; (* cpu_relax iterations inside client await waits *)
   client_backoffs : int; (* sleeps taken inside client await waits *)
+  live_peak : int; (* pool live-count high-water mark over the run *)
+  arenas_attached : int; (* elastic pool: arenas attached under load *)
+  arenas_detached : int; (* elastic pool: arena detaches completed *)
+  resident_slots : int; (* pool slots still mapped *)
+  arena_target : int; (* last autoscale decision (attached count without one) *)
 }
 
 let stats t =
@@ -597,6 +709,7 @@ let stats t =
     max_batch = maxv t.max_batch;
     rejected = sum t.rejected;
     oom = sum t.oom;
+    alloc_stalls = sum t.stalls;
     stale_rejected = sum t.stale;
     shed_busy = sum t.shed;
     cancelled = sum t.cancelled;
@@ -611,6 +724,11 @@ let stats t =
       Array.fold_left
         (fun acc r -> acc + (Request_ring.stats r).Request_ring.client_backoffs)
         0 t.rings;
+    live_peak = Mempool.Core.live_peak t.pool;
+    arenas_attached = Mempool.Core.arenas_attached t.pool;
+    arenas_detached = Mempool.Core.arenas_detached t.pool;
+    resident_slots = Mempool.Core.resident_slots t.pool;
+    arena_target = Atomic.get t.arena_target;
   }
 
 (** Recovery telemetry, [None] when the service was created without a

@@ -42,6 +42,25 @@ val reply_mget_base : int
 
 (** {2 Lifecycle} *)
 
+(** Elastic-pool autoscale policy: a policy domain samples the pool's
+    live count every [sample_interval_s], folds a high-water mark per
+    window of [decay_ticks] samples, and sets [arena_target] = arenas
+    needed for that peak plus [headroom_pct] percent. When the pool
+    holds more arenas than the target it requests a drain of the
+    topmost arena (SMR-gated completion; allocation pressure
+    auto-cancels). Growth needs no policy — it is demand-driven on the
+    alloc path. Ignored unless the structure's pool has
+    [max_arenas > 1]. *)
+type autoscale = {
+  sample_interval_s : float;
+  decay_ticks : int;
+  headroom_pct : int;
+}
+
+(** [sample_interval_s = 1ms], [decay_ticks = 100] (one decision per
+    ~100 ms window), [headroom_pct = 25]. *)
+val default_autoscale : autoscale
+
 (** [create (module SET) set ~shards ~batch ~ring_capacity] builds the
     service over an existing structure. [batch] is the maximum SET
     operations per batch window (1 = exactly the un-batched
@@ -59,6 +78,7 @@ val reply_mget_base : int
     tids. *)
 val create :
   ?recovery:Recovery.config ->
+  ?autoscale:autoscale ->
   (module Dstruct.Set_intf.SET with type t = 'a) ->
   'a ->
   shards:int ->
@@ -147,7 +167,8 @@ type stats = {
   batches : int; (* batch windows opened *)
   max_batch : int; (* most operations any single window served *)
   rejected : int;
-  oom : int;
+  oom : int; (* requests refused on (hard or budget-exhausted) pool exhaustion *)
+  alloc_stalls : int; (* transient-exhaustion retries absorbed as backpressure *)
   stale_rejected : int; (* dead-incarnation requests rejected by replacements *)
   shed_busy : int; (* past-deadline requests answered busy, not executed *)
   cancelled : int; (* producer-cancelled slots discarded by consumers *)
@@ -155,6 +176,11 @@ type stats = {
   crashed_shards : int; (* shards dead right now (unrecovered) *)
   client_spins : int; (* cpu_relax iterations inside client await waits *)
   client_backoffs : int; (* sleeps taken inside client await waits *)
+  live_peak : int; (* pool live-count high-water mark over the run *)
+  arenas_attached : int; (* elastic pool: arenas attached under load *)
+  arenas_detached : int; (* elastic pool: arena detaches completed *)
+  resident_slots : int; (* pool slots still mapped *)
+  arena_target : int; (* last autoscale decision (attached count without one) *)
 }
 
 val stats : t -> stats

@@ -26,6 +26,10 @@ type t = {
   margin : int;  (** width of the interval protected by one margin pointer *)
   max_index : int;  (** largest assignable MP index *)
   index_policy : index_policy;
+  max_arenas : int;
+      (** Arena growth bound for the elastic mempool: the pool may attach
+          up to this many [capacity]-slot arenas under allocation
+          pressure. 1 (the default) keeps the pool fixed-size. *)
 }
 
 (** USE_HP sentinel index: nodes stamped with it must be protected by
@@ -47,6 +51,7 @@ let default ~threads =
     margin = 1 lsl 20;
     max_index = max_sentinel_index;
     index_policy = Midpoint;
+    max_arenas = 1;
   }
 
 let with_slots t slots = { t with slots }
@@ -54,9 +59,11 @@ let with_index_policy t index_policy = { t with index_policy }
 let with_margin t margin = { t with margin }
 let with_empty_freq t empty_freq = { t with empty_freq }
 let with_epoch_freq t epoch_freq = { t with epoch_freq }
+let with_max_arenas t max_arenas = { t with max_arenas }
 
 let validate t =
   if t.slots <= 0 then invalid_arg "Config: slots must be positive";
+  if t.max_arenas < 1 then invalid_arg "Config: max_arenas must be >= 1";
   if t.empty_freq <= 0 then invalid_arg "Config: empty_freq must be positive";
   if t.epoch_freq <= 0 then invalid_arg "Config: epoch_freq must be positive";
   if t.margin < 1 lsl Handle.precision then

@@ -15,6 +15,8 @@ type t = {
   margin : int;  (** width of the interval one margin pointer protects *)
   max_index : int;  (** largest assignable MP index *)
   index_policy : index_policy;
+  max_arenas : int;
+      (** elastic-mempool growth bound (1 = fixed-size, the default) *)
 }
 
 (** The reserved index marking nodes that must be hazard-pointer
@@ -36,6 +38,7 @@ val with_index_policy : t -> index_policy -> t
 val with_margin : t -> int -> t
 val with_empty_freq : t -> int -> t
 val with_epoch_freq : t -> int -> t
+val with_max_arenas : t -> int -> t
 
 (** Checks invariants (margin >= 2^16, positive frequencies, ...);
     raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,44 @@
+(** SMR-gated arena detach barrier.
+
+    A draining arena (see {!Mempool.Core.request_shrink}) may only be
+    unmapped once no reservation — hazard/hazard-era slot, IBR/EBR epoch,
+    MP margin — can still reach a node inside it. Rather than inventing a
+    second safety protocol, each scheme polls this barrier at the end of
+    its scan ([empty]), reusing the reservation snapshot it just took:
+
+    - [stamp ()] is called exactly once per drain, the first time a scan
+      observes the arena fully parked ({!Mempool.Core.detach_ready}). For
+      epoch-based schemes it reads (and typically advances past) the
+      current global epoch, opening the grace period; validation-based
+      schemes need no grace period and stamp a constant.
+    - [quiescent ~base ~size ~stamp] decides, from the scheme's own scan
+      state, whether any reservation could still cover a slot in
+      [[base, base + size)]. When it returns true the detach completes.
+
+    Why scan-time evidence suffices: a drain only reaches the fully-parked
+    state after every slot of the arena was freed, and the structures
+    unlink a node before retiring it, so by stamp time no live node links
+    into the arena. Parked slots are never re-allocated, so no *new* path
+    into the arena can form afterwards. For validating schemes (HP/HE/MP)
+    any reader that still holds a stale handle fails its post-protect
+    validation — the snapshot check is only needed for readers caught
+    mid-protect. For epoch schemes, a reader announcing an epoch above the
+    stamp started after every unlink, hence cannot find an arena node; the
+    quiescence condition [min announced > stamp] therefore bounds the last
+    possible reacher. Crashed threads hold their announcement until
+    recovery adoption clears it, stalling (never unsafely completing) the
+    detach — exactly the behavior the crash soak exercises. *)
+
+(** Poll the barrier for [pool]. Cheap no-op unless a drain has reached
+    the fully-parked state. Call at the end of a scan, while the scan's
+    snapshot is still valid (both closures are only invoked on the cold
+    detach path). *)
+let poll pool ~(stamp : unit -> int) ~(quiescent : base:int -> size:int -> stamp:int -> bool)
+    =
+  match Mempool.Core.detach_ready pool with
+  | None -> ()
+  | Some (k, base, size) ->
+    let s = Mempool.Core.detach_stamp pool in
+    if s < 0 then Mempool.Core.set_detach_stamp pool (stamp ())
+    else if quiescent ~base ~size ~stamp:s then
+      ignore (Mempool.Core.complete_detach pool k : bool)

@@ -5,6 +5,7 @@
      dune exec stress/soak.exe -- [minutes]
      dune exec stress/soak.exe -- --faults SEED [--rounds N] [--json FILE]
      dune exec stress/soak.exe -- --chaos SEED [--rounds N] [--json FILE]
+     dune exec stress/soak.exe -- --elastic SEED [--rounds N] [--json FILE]
 
    With --faults, every round arms a seeded random fault plan
    (Mp_util.Fault.random_plan): interior stalls, yield storms and at most
@@ -25,7 +26,14 @@
    request conservation — every submitted request answered exactly once
    (completed, rejected, busy, oom or deadline_exceeded), (c) at least
    one recovery actually happening, and (d) wasted memory returning to
-   within 10% of a fault-free baseline run after the last recovery. *)
+   within 10% of a fault-free baseline run after the last recovery.
+
+   With --elastic, every round runs the service over an elastic pool
+   (max_arenas = 4): an insert spike must grow it past one arena with no
+   OOM reply, a shard crash mid-spike stalls (but must not wedge) the
+   decay phase's autoscale-driven drains until the tid is adopted, and
+   after the decay every drain must complete — the footprint returns to
+   within one arena of pre-spike, under the per-arena waste bound. *)
 
 module Fault = Mp_util.Fault
 module Watchdog = Mp_harness.Watchdog
@@ -98,7 +106,7 @@ let fault_round (module SET : Dstruct.Set_intf.SET) ~scheme ~properties ~seed =
   let wd =
     (* live ceiling: up to [range] keys, ×2 for the BST's routers *)
     Watchdog.create
-      (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range))
+      (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range) ())
   in
   Fault.arm ~threads plan;
   let finished = Atomic.make 0 in
@@ -167,7 +175,7 @@ let service_fault_round scheme_mod ~scheme ~properties ~seed =
   let plan = Fault.random_plan ~seed ~threads:shards in
   let wd =
     Watchdog.create
-      (Watchdog.spec_for ~scheme ~properties ~config ~threads:shards ~size_at_arm:(2 * range))
+      (Watchdog.spec_for ~scheme ~properties ~config ~threads:shards ~size_at_arm:(2 * range) ())
   in
   Fault.arm ~threads:shards plan;
   let svc = Service.create (module SET) t ~shards ~batch ~ring_capacity:128 in
@@ -288,7 +296,7 @@ let chaos_round scheme_mod ~scheme ~properties ~seed =
     SET.flush s0;
     let wd =
       Watchdog.create
-        (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range))
+        (Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:(2 * range) ())
     in
     if faulted then begin
       (* Crash inside the protect/validate window (retire for leaky,
@@ -393,12 +401,218 @@ let chaos_cell_json c =
     (p 99.9)
     (Watchdog.json_fields (Some c.c_watchdog))
 
+(* -- elastic: spike → grow → crash → adopt → decay → shrink --------------- *)
+
+type elastic_cell = {
+  e_scheme : string;
+  e_seed : int;
+  e_capacity : int;
+  e_max_arenas : int;
+  e_grown : int; (* arenas attached under load *)
+  e_detached : int; (* arena detaches completed *)
+  e_peak_arenas : int;
+  e_resident_final : int;
+  e_live_peak : int;
+  e_stalls : int;
+  e_oom : int;
+  e_crashes : int;
+  e_recoveries : int;
+  e_settle_s : float;
+  e_conservation_ok : bool;
+  e_watchdog : Watchdog.verdict;
+}
+
+(* One elastic round: a hash-table service over an elastic pool
+   (max_arenas = 4, one arena far smaller than the spike's working set)
+   with the recovery supervisor and the autoscale policy domain armed.
+
+   Phase 1 (spike): an insert-heavy open-loop workload pushes the live
+   count well past one arena — the pool must grow on demand, absorbing
+   transient exhaustion as alloc stalls and never replying OOM below
+   [max_arenas]. A deterministic plan crashes shard 1 inside a
+   protect/validate window mid-spike; its published reservations must
+   stall — never unsafely complete, never wedge — any drain in flight
+   until the supervisor adopts the dead tid. Phase 2 (decay): a
+   remove-heavy workload shrinks the working set; the autoscale domain
+   lowers its target and requests drains of the topmost arena. Phase 3
+   (settle, after [Service.stop] — the exiting workers have handed their
+   magazines back): a single thread removes the remaining keys and
+   churns scans until every pending drain detaches.
+
+   Judged on (a) the per-arena waste bound holding, with the draining
+   arena's parked slots counted into every sample, (b) UAF silence,
+   (c) request conservation through both loadgen phases, (d) at least
+   one arena attached under load and at least one detach completed,
+   (e) the pool back to within one arena of its pre-spike footprint, and
+   (f) at least one recovery. *)
+let elastic_round scheme_mod ~scheme ~properties ~seed =
+  let module Service = Mp_service.Service in
+  let module Recovery = Mp_service.Recovery in
+  let module Loadgen = Mp_service.Loadgen in
+  let (module SET : Dstruct.Set_intf.SET) =
+    Mp_harness.Instances.make Mp_harness.Instances.Hash_ds scheme_mod
+  in
+  let shards = 2 and spare_tids = 1 in
+  let threads = shards + spare_tids in
+  let capacity = 4096 and max_arenas = 4 in
+  (* 1.5 arenas of keys: the spike must outgrow arena 0, and two spare
+     arenas of headroom keep even EBR's crash-window waste clear of a
+     hard exhaustion. *)
+  let range = capacity * 3 / 2 in
+  let config =
+    Smr_core.Config.with_max_arenas (Smr_core.Config.default ~threads) max_arenas
+  in
+  let t = SET.create ~threads ~capacity ~check_access:true config in
+  let pool = SET.pool t in
+  let wd =
+    Watchdog.create
+      (Watchdog.spec_for ~scheme ~properties ~config ~threads ~elastic_slack:capacity
+         ~size_at_arm:(2 * range) ())
+  in
+  let peak_arenas = ref (Mempool.Core.attached_arenas pool) in
+  let tick () =
+    let w =
+      (SET.smr_stats t).Smr_core.Smr_intf.wasted + Mempool.Core.detaching_slots pool
+    in
+    Watchdog.observe wd ~wasted:w;
+    let n = Mempool.Core.attached_arenas pool in
+    if n > !peak_arenas then peak_arenas := n
+  in
+  let s0 = SET.session t ~tid:0 in
+  for k = 0 to 255 do
+    ignore (SET.insert s0 ~key:(k * 2) ~value:k : bool)
+  done;
+  SET.flush s0;
+  Fault.arm ~threads
+    (Fault.plan
+       ~label:(Printf.sprintf "elastic-%s-%d" scheme seed)
+       [
+         Fault.crash_event ~tid:1 ~point:Fault.Protect_validate
+           ~after_hits:(300 + (seed mod 200));
+       ]);
+  let recovery = { Recovery.default with spare_tids } in
+  let svc =
+    Service.create ~recovery ~autoscale:Service.default_autoscale
+      (module SET)
+      t ~shards ~batch:8 ~ring_capacity:128
+  in
+  Service.start svc;
+  let phase ~duration_s ~rate ~read_pct ~insert_pct ~seed =
+    Loadgen.run ~tick svc
+      {
+        Loadgen.clients = 2;
+        duration_s;
+        warmup_s = 0.0;
+        read_pct;
+        insert_pct;
+        mget = 1;
+        key_range = range;
+        zipf_alpha = None;
+        seed;
+        mode = Loadgen.Open { rate; window = 32 };
+        deadline_s = 0.05;
+        max_retries = 3;
+        chain = 1;
+      }
+  in
+  let spike = phase ~duration_s:0.8 ~rate:60_000.0 ~read_pct:5 ~insert_pct:90 ~seed in
+  let decay =
+    phase ~duration_s:1.2 ~rate:40_000.0 ~read_pct:20 ~insert_pct:0 ~seed:(seed + 1)
+  in
+  Service.stop svc;
+  Fault.disarm ();
+  (* Settle: drain what the decay left behind until every pending drain
+     completes. Single-threaded over tid 0 — remove sweeps free the
+     stragglers still living in high arenas, the flush forces a scan
+     (and with it the detach poll), and the explicit shrink request
+     keeps asking for the next arena once the current one detaches. *)
+  let t_settle = Unix.gettimeofday () in
+  let deadline = t_settle +. 10.0 in
+  let k = ref 0 in
+  while Mempool.Core.attached_arenas pool > 1 && Unix.gettimeofday () < deadline do
+    ignore (Mempool.Core.request_shrink pool : int option);
+    for _ = 1 to 512 do
+      ignore (SET.remove s0 !k : bool);
+      k := (!k + 1) mod range
+    done;
+    SET.flush s0;
+    Mempool.Core.release_local pool ~tid:0;
+    tick ()
+  done;
+  let settle_s = Unix.gettimeofday () -. t_settle in
+  let stats = Service.stats svc in
+  let rstats = Option.get (Service.recovery_stats svc) in
+  SET.check t;
+  if SET.violations t <> 0 then
+    failwith (Printf.sprintf "elastic(%s): use-after-free (seed %d)" scheme seed);
+  let v = Watchdog.verdict wd in
+  if not (Watchdog.ok v) then
+    failwith
+      (Printf.sprintf "elastic(%s): waste bound broken: %s" scheme (Watchdog.to_string v));
+  let conservation_of (lg : Loadgen.result) =
+    lg.Loadgen.submitted
+    = lg.Loadgen.completed_reqs + lg.Loadgen.rejected + lg.Loadgen.busy + lg.Loadgen.oom
+      + lg.Loadgen.deadline_exceeded
+  in
+  let conservation_ok = conservation_of spike && conservation_of decay in
+  if not conservation_ok then
+    failwith (Printf.sprintf "elastic(%s): lost or duplicated replies (seed %d)" scheme seed);
+  let grown = Mempool.Core.arenas_attached pool in
+  let detached = Mempool.Core.arenas_detached pool in
+  let resident = Mempool.Core.resident_slots pool in
+  if grown < 1 then
+    failwith
+      (Printf.sprintf "elastic(%s): spike never grew the pool (peak %d arenas, seed %d)"
+         scheme !peak_arenas seed);
+  if detached < 1 then
+    failwith
+      (Printf.sprintf "elastic(%s): no drain completed (still %d arenas, seed %d)" scheme
+         (Mempool.Core.attached_arenas pool) seed);
+  if resident > 2 * capacity then
+    failwith
+      (Printf.sprintf
+         "elastic(%s): footprint did not return: %d resident slots vs %d pre-spike (seed %d)"
+         scheme resident capacity seed);
+  if stats.Service.oom > 0 && !peak_arenas < max_arenas then
+    failwith
+      (Printf.sprintf "elastic(%s): replied OOM below max_arenas (%d replies, seed %d)"
+         scheme stats.Service.oom seed);
+  if rstats.Recovery.recoveries < 1 then
+    failwith (Printf.sprintf "elastic(%s): no crash recovered (seed %d)" scheme seed);
+  {
+    e_scheme = scheme;
+    e_seed = seed;
+    e_capacity = capacity;
+    e_max_arenas = max_arenas;
+    e_grown = grown;
+    e_detached = detached;
+    e_peak_arenas = !peak_arenas;
+    e_resident_final = resident;
+    e_live_peak = stats.Service.live_peak;
+    e_stalls = stats.Service.alloc_stalls;
+    e_oom = stats.Service.oom;
+    e_crashes = stats.Service.crash_events;
+    e_recoveries = rstats.Recovery.recoveries;
+    e_settle_s = settle_s;
+    e_conservation_ok = conservation_ok;
+    e_watchdog = v;
+  }
+
+let elastic_cell_json c =
+  Printf.sprintf
+    "{\"ds\":\"service-hash\",\"scheme\":\"%s\",\"seed\":%d,\"capacity\":%d,\"max_arenas\":%d,\"arenas_attached\":%d,\"arenas_detached\":%d,\"peak_arenas\":%d,\"resident_final\":%d,\"live_peak\":%d,\"alloc_stalls\":%d,\"oom\":%d,\"crashes\":%d,\"recoveries\":%d,\"settle_s\":%.3f,\"conservation_ok\":%b,%s}"
+    c.e_scheme c.e_seed c.e_capacity c.e_max_arenas c.e_grown c.e_detached c.e_peak_arenas
+    c.e_resident_final c.e_live_peak c.e_stalls c.e_oom c.e_crashes c.e_recoveries
+    c.e_settle_s c.e_conservation_ok
+    (Watchdog.json_fields (Some c.e_watchdog))
+
 let fmt_tids tids = "[" ^ String.concat "," (List.map string_of_int tids) ^ "]"
 
 let () =
   let minutes = ref 5.0 in
   let fault_seed = ref None in
   let chaos_seed = ref None in
+  let elastic_seed = ref None in
   let rounds = ref 10 in
   let json_file = ref None in
   let rec parse = function
@@ -407,6 +621,9 @@ let () =
       parse rest
     | "--chaos" :: s :: rest ->
       chaos_seed := Some (int_of_string s);
+      parse rest
+    | "--elastic" :: s :: rest ->
+      elastic_seed := Some (int_of_string s);
       parse rest
     | "--rounds" :: n :: rest ->
       rounds := int_of_string n;
@@ -420,8 +637,40 @@ let () =
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match (!chaos_seed, !fault_seed) with
-  | Some base_seed, _ ->
+  match (!elastic_seed, !chaos_seed, !fault_seed) with
+  | Some base_seed, _, _ ->
+    (* Elastic rounds: the five reclaiming schemes (leaky never frees,
+       so an arena drain can never complete under it — growth alone is
+       covered by the unit tests). *)
+    let rounds = max 1 (min !rounds 10) in
+    let json = ref [] in
+    for r = 1 to rounds do
+      List.iter
+        (fun (s_name, scheme) ->
+          let (module S : Smr_core.Smr_intf.S) = scheme in
+          let seed = (base_seed * 1_000_003) + (r * 7919) + Hashtbl.hash ("elastic", s_name) in
+          let c = elastic_round scheme ~scheme:s_name ~properties:S.properties ~seed in
+          Printf.printf
+            "elastic(%s) round %d  arenas peak=%d attached=%d detached=%d resident=%d  \
+             stalls=%d oom=%d crashes=%d recoveries=%d settle=%.2fs  %s\n%!"
+            s_name r c.e_peak_arenas c.e_grown c.e_detached c.e_resident_final c.e_stalls
+            c.e_oom c.e_crashes c.e_recoveries c.e_settle_s
+            (Watchdog.to_string c.e_watchdog);
+          json := elastic_cell_json c :: !json)
+        schemes
+    done;
+    (match !json_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Printf.sprintf "{\"schema_version\":%d,\"results\":[\n  %s\n]}\n"
+           Mp_harness.Runner.schema_version
+           (String.concat ",\n  " (List.rev !json)));
+      close_out oc;
+      Printf.printf "[wrote %d elastic verdicts to %s]\n%!" (List.length !json) path);
+    print_endline "ELASTIC SOAK CLEAN"
+  | None, Some base_seed, _ ->
     let rounds = max 1 (min !rounds 10) in
     let json = ref [] in
     for r = 1 to rounds do
@@ -449,7 +698,7 @@ let () =
       close_out oc;
       Printf.printf "[wrote %d chaos verdicts to %s]\n%!" (List.length !json) path);
     print_endline "CHAOS SOAK CLEAN"
-  | None, None ->
+  | None, None, None ->
     let t_end = Unix.gettimeofday () +. (!minutes *. 60.0) in
     let seed = ref 0 in
     while Unix.gettimeofday () < t_end do
@@ -464,7 +713,7 @@ let () =
         structures
     done;
     print_endline "SOAK CLEAN"
-  | None, Some base_seed ->
+  | None, None, Some base_seed ->
     let json = ref [] in
     for r = 1 to !rounds do
       List.iter

@@ -37,7 +37,7 @@ let run_crashed_churn ~scheme ~properties (module SET : Dstruct.Set_intf.SET) =
   done;
   SET.flush s0;
   (* live ceiling: 64 prefill keys + the 400-key churn window *)
-  let bound = Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:600 in
+  let bound = Watchdog.spec_for ~scheme ~properties ~config ~threads ~size_at_arm:600 () in
   Fault.arm ~threads
     (Fault.plan ~label:"crash-mid-protect"
        [ Fault.crash_event ~tid:1 ~point:Fault.Protect_validate ~after_hits:5 ]);

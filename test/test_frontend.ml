@@ -27,10 +27,15 @@ let drain p =
   let rec go acc = match Parser.next p with Some c -> go (show p c :: acc) | None -> List.rev acc in
   go []
 
+(* Feed that fails the test instead of asserting: -noassert builds
+   (release profile) would drop an [assert (Parser.feed ...)] call
+   entirely, side effect included. *)
+let feed_ok p s = if not (Parser.feed p s) then Alcotest.fail "Parser.feed rejected input"
+
 (* Parse a whole input in one feed. *)
 let parse_all s =
   let p = Parser.create () in
-  assert (Parser.feed p s);
+  feed_ok p s;
   drain p
 
 let check_cmds name expect s =
@@ -86,16 +91,16 @@ let parser_torn_feeds () =
   let got = ref [] in
   String.iter
     (fun c ->
-      assert (Parser.feed p (String.make 1 c));
+      feed_ok p (String.make 1 c);
       got := !got @ drain p)
     input;
   Alcotest.(check (list string)) "byte-at-a-time" expect !got;
   (* split at every position *)
   for cut = 1 to String.length input - 1 do
     let p = Parser.create () in
-    assert (Parser.feed p (String.sub input 0 cut));
+    feed_ok p (String.sub input 0 cut);
     let a = drain p in
-    assert (Parser.feed p (String.sub input cut (String.length input - cut)));
+    feed_ok p (String.sub input cut (String.length input - cut));
     Alcotest.(check (list string))
       (Printf.sprintf "split at %d" cut)
       expect
@@ -154,7 +159,7 @@ let fuzz_fragmentation =
       let prev = ref 0 in
       List.iter
         (fun cut ->
-          assert (Parser.feed p (String.sub s !prev (cut - !prev)));
+          feed_ok p (String.sub s !prev (cut - !prev));
           got := !got @ drain p;
           prev := cut)
         (cuts @ [ String.length s ]);
@@ -183,7 +188,7 @@ let fuzz_resync =
       let ok = ref false in
       for _ = 1 to 3 do
         if not !ok then begin
-          assert (Parser.feed p "\r\nget 77\r\n");
+          feed_ok p "\r\nget 77\r\n";
           let cmds = drain p in
           if List.exists (fun c -> c = "get(77)") cmds then ok := true
         end
@@ -205,7 +210,7 @@ let conn_round () =
   let conn = Conn.create svc in
   let p = Conn.parser conn in
   let pump input =
-    assert (Parser.feed p input);
+    feed_ok p input;
     ignore (Conn.pump conn : int);
     Buffer.contents (Conn.out conn)
   in
@@ -252,7 +257,7 @@ let conn_large_burst () =
   for k = 0 to n - 1 do
     Buffer.add_string b (Printf.sprintf "set %d 0 0 %d\r\n%d\r\n" k (String.length (string_of_int k)) k)
   done;
-  assert (Parser.feed p (Buffer.contents b));
+  feed_ok p (Buffer.contents b);
   let ncmds = Conn.pump conn in
   Alcotest.(check int) "every command processed in one pump" n ncmds;
   let expect = String.concat "" (List.init n (fun _ -> "STORED\r\n")) in
@@ -262,7 +267,7 @@ let conn_large_burst () =
   for k = 0 to n - 1 do
     Buffer.add_string b (Printf.sprintf "get %d\r\n" k)
   done;
-  assert (Parser.feed p (Buffer.contents b));
+  feed_ok p (Buffer.contents b);
   ignore (Conn.pump conn : int);
   let expect =
     String.concat ""
