@@ -27,9 +27,10 @@
     Elasticity is online. When allocation finds every reachable free list
     empty and the pool is below [max_arenas], one thread attaches a fresh
     arena (payload hook first, then its slots are published as chains) and
-    allocation continues — no locks on the hot path, the attach itself is
-    serialized by a single CAS flag. Shrinking is a two-phase drain:
-    {!Core.request_shrink} marks the highest arena as draining, after which
+    allocation continues — no locks on the hot path, the attach and the
+    drain {e election} are serialized by a single CAS flag. Shrinking is a
+    two-phase drain: {!Core.request_shrink} publishes a generation-tagged
+    drain {e token} naming the highest arena, after which
     its slots are routed out of circulation ("parked") as they surface —
     the arena's own chain stack is scrubbed, and the alloc/free fast paths
     lazily capture strays for the cost of one predictable branch. Once
@@ -77,6 +78,25 @@ module Core = struct
      a mixed spill partitions the chain per arena (the rare path). *)
   let tag_none = -1
   let tag_mixed = -2
+
+  (* The [draining] word: [drain_idle] when no drain is in flight;
+     [drain_sealed] while a cancel or a detach completion owns the word
+     (clearing the stamp, rescuing or unmapping — growers and new
+     elections must back off until the owner publishes [drain_idle]);
+     otherwise a {e token} [(gen lsl drain_arena_bits) lor arena]. The
+     generation makes every elected drain unique, so a stale poller that
+     judged quiescence against an earlier drain of the same arena fails
+     its completion CAS instead of unmapping the re-drained arena (ABA
+     across cancel + re-drain). *)
+  let drain_idle = -1
+  let drain_sealed = -2
+  let drain_arena_bits = 16
+  let drain_arena_mask = (1 lsl drain_arena_bits) - 1
+  let[@inline] drain_token ~gen k = (gen lsl drain_arena_bits) lor k
+
+  (* Arena index of a drain token; -1 for [drain_idle]/[drain_sealed],
+     so hot-path "is my arena draining" compares stay one branch. *)
+  let[@inline] drain_arena d = if d < 0 then -1 else d land drain_arena_mask
 
   (* Per-thread free lists: an active magazine ([head]) that alloc pops
      and free pushes, plus a full spare magazine that delays the global
@@ -151,9 +171,16 @@ module Core = struct
     off_mask : int;
     arenas : arena array; (* length max_arenas; a shared dummy until attached *)
     attached : int Atomic.t; (* arenas [0, attached) are attached *)
-    growing : bool Atomic.t; (* serializes arena attach *)
-    draining : int Atomic.t; (* arena being drained; -1 none, -2 detach completing *)
-    detach_stamp : int Atomic.t; (* SMR epoch stamped at full park; -1 unset *)
+    growing : bool Atomic.t; (* election lock: arena attach AND drain election *)
+    draining : int Atomic.t; (* drain token, or drain_idle / drain_sealed *)
+    drain_gen : int Atomic.t; (* monotonic; a fresh generation per elected drain *)
+    detach_stamp : (int * int) option Atomic.t;
+        (* [(token, epoch)] stamped at full park, [None] unset. Tagging
+           the stamp with its drain token keeps a stamp from ever gating
+           a different drain: a poller that stalls across a cancel and
+           re-drain of the same arena either reads a stamp whose token
+           mismatches (and restamps fresh) or completes with a stale
+           token (and fails the completion CAS). *)
     mutable grow_hook : int -> unit; (* payload attach, before slots publish *)
     mutable detach_hook : int -> unit; (* payload drop, at detach *)
     grows : int Atomic.t; (* arenas attached beyond the initial one *)
@@ -255,7 +282,7 @@ module Core = struct
     a.stack_next.(off_of t id) <- top - 1;
     if Atomic.compare_and_set a.parked_top top (id + 1) then begin
       Atomic.incr a.parked;
-      if Atomic.get t.draining <> id lsr t.off_bits then rescue_parked t a
+      if drain_arena (Atomic.get t.draining) <> id lsr t.off_bits then rescue_parked t a
     end
     else park t a id
 
@@ -281,7 +308,7 @@ module Core = struct
      draining arena leaves circulation instead. *)
   let spill_chain t ~head ~tail ~len =
     let a = arena_of t head in
-    if t.elastic && Atomic.get t.draining = head lsr t.off_bits then begin
+    if t.elastic && drain_arena (Atomic.get t.draining) = head lsr t.off_bits then begin
       let id = ref head in
       while !id >= 0 do
         let next = a.stack_next.(off_of t !id) in
@@ -383,6 +410,8 @@ module Core = struct
     in
     if max_arenas > Handle.max_arenas_for ~off_bits ~arena_slots:capacity then
       invalid_arg "Mempool.create: max_arenas * capacity exceeds the handle id space";
+    if max_arenas > 1 lsl drain_arena_bits then
+      invalid_arg "Mempool.create: max_arenas exceeds the drain-token arena field";
     let fair_share =
       match fair_share with
       | Some f when f >= 1 -> f
@@ -403,8 +432,9 @@ module Core = struct
         arenas = Array.init max_arenas (fun k -> if k = 0 then arena0 else dummy);
         attached = Atomic.make 1;
         growing = Atomic.make false;
-        draining = Atomic.make (-1);
-        detach_stamp = Atomic.make (-1);
+        draining = Atomic.make drain_idle;
+        drain_gen = Atomic.make 0;
+        detach_stamp = Atomic.make None;
         grow_hook = ignore;
         detach_hook = ignore;
         grows = Atomic.make 0;
@@ -487,7 +517,7 @@ module Core = struct
 
   let detaching_slots t =
     let d = Atomic.get t.draining in
-    if d < 0 then 0 else Atomic.get t.arenas.(d).parked
+    if d < 0 then 0 else Atomic.get t.arenas.(drain_arena d).parked
 
   let set_grow_hook t f = t.grow_hook <- f
   let set_detach_hook t f = t.detach_hook <- f
@@ -544,15 +574,21 @@ module Core = struct
     Atomic.incr t.attached
 
   (* One thread attaches; contenders see a transient exhaustion and back
-     off into their retry schedule. Growing is mutually exclusive with
-     draining (Dekker on the two flags): allocation pressure first cancels
-     an in-flight drain, then grows on retry. *)
+     off into their retry schedule. [growing] is the election lock shared
+     with {!request_shrink}, so no drain can be elected while an attach is
+     in flight; an already-elected drain (token) — or a cancel/detach
+     mid-completion ([drain_sealed]) — excludes the attach instead:
+     allocation pressure first cancels the drain, then grows on retry.
+     Requiring strictly [drain_idle] (not merely negative) is what keeps
+     an attach from running concurrently with [complete_detach]'s unmap:
+     the completion publishes [drain_idle] only after [attached] and the
+     arena arrays are consistent. *)
   let try_grow t =
     if t.max_arenas = 1 then false
     else if Atomic.get t.attached >= t.max_arenas then false
     else if not (Atomic.compare_and_set t.growing false true) then false
     else begin
-      let ok = Atomic.get t.draining < 0 && Atomic.get t.attached < t.max_arenas in
+      let ok = Atomic.get t.draining = drain_idle && Atomic.get t.attached < t.max_arenas in
       if ok then attach_arena t (Atomic.get t.attached);
       Atomic.set t.growing false;
       ok
@@ -566,22 +602,31 @@ module Core = struct
       now. The drain completes asynchronously through the SMR detach
       barrier ({!detach_ready}/{!complete_detach}). *)
   let request_shrink t =
-    let n = Atomic.get t.attached in
-    if n <= 1 then None
+    if Atomic.get t.attached <= 1 then None
+    else if not (Atomic.compare_and_set t.growing false true) then None
     else begin
-      let k = n - 1 in
-      if not (Atomic.compare_and_set t.draining (-1) k) then None
-      else if Atomic.get t.growing || Atomic.get t.attached - 1 <> k then begin
-        (* Lost the Dekker race with a concurrent grow: k may no longer
-           be the topmost arena. Undo. *)
-        Atomic.set t.draining (-1);
-        None
-      end
-      else begin
-        Atomic.set t.detach_stamp (-1);
-        scrub_stack t t.arenas.(k);
-        Some k
-      end
+      (* Election runs under the [growing] lock, so no attach is in
+         flight and none can start before the token is published. Read
+         [draining] before [attached]: once the word reads idle no detach
+         completion is in flight either (completions publish [drain_idle]
+         only after decrementing [attached]), and no new drain can be
+         elected while we hold the lock — so the topmost arena we elect
+         is stable and the undo dance of racing a concurrent grow is
+         gone. From [drain_idle] the only possible writer of [draining]
+         is this election, hence the plain set. *)
+      let idle = Atomic.get t.draining = drain_idle in
+      let n = Atomic.get t.attached in
+      let r =
+        if (not idle) || n <= 1 then None
+        else begin
+          let k = n - 1 in
+          Atomic.set t.draining (drain_token ~gen:(Atomic.fetch_and_add t.drain_gen 1) k);
+          Some k
+        end
+      in
+      Atomic.set t.growing false;
+      (match r with Some k -> scrub_stack t t.arenas.(k) | None -> ());
+      r
     end
 
   (** Abort an in-flight drain, returning every parked slot to
@@ -589,44 +634,75 @@ module Core = struct
       win) and available to policy code. False if no drain was in flight
       or the detach already entered completion. *)
   let cancel_shrink t =
-    let k = Atomic.get t.draining in
-    if k < 0 then false
-    else if not (Atomic.compare_and_set t.draining k (-1)) then false
+    let d = Atomic.get t.draining in
+    if d < 0 then false
+    else if not (Atomic.compare_and_set t.draining d drain_sealed) then false
     else begin
-      Atomic.set t.detach_stamp (-1);
-      rescue_parked t t.arenas.(k);
+      (* Owning the sealed word excludes a concurrent completion (its
+         token CAS fails) and any new election (the word is not idle).
+         Clear the stamp and return the parked slots before publishing
+         idle, so the next elected drain starts from a clean slate. *)
+      Atomic.set t.detach_stamp None;
+      rescue_parked t t.arenas.(drain_arena d);
+      Atomic.set t.draining drain_idle;
       true
     end
 
   (** The draining arena once every one of its slots is parked:
-      [(arena, base, size)]. Re-scrubs the arena's stack first, so chains
-      that raced the drain request are captured by whoever polls. This is
-      the condition under which the SMR layer may start its quiescence
-      protocol; [None] while slots are still in circulation (live,
-      retired, or hiding in magazines). *)
+      [(token, base, size)], the token naming this particular drain (its
+      arena is {!drain_arena}[ token]). Re-scrubs the arena's stack
+      first, so chains that raced the drain request are captured by
+      whoever polls. This is the condition under which the SMR layer may
+      start its quiescence protocol; [None] while slots are still in
+      circulation (live, retired, or hiding in magazines). *)
   let detach_ready t =
-    let k = Atomic.get t.draining in
-    if k < 0 then None
+    let d = Atomic.get t.draining in
+    if d < 0 then None
     else begin
-      let a = t.arenas.(k) in
+      let a = t.arenas.(drain_arena d) in
       scrub_stack t a;
-      if Atomic.get a.parked = a.size then Some (k, a.base, a.size) else None
+      if Atomic.get a.parked = a.size then Some (d, a.base, a.size) else None
     end
 
-  (** Epoch stamp for the detach grace period: -1 until an SMR scheme
-      stamps it (once per drain) after observing {!detach_ready}. *)
-  let detach_stamp t = Atomic.get t.detach_stamp
+  (** Epoch stamp for [token]'s detach grace period: -1 until an SMR
+      scheme stamps it (once per drain) after observing {!detach_ready}.
+      A stamp recorded for a different token reads as unset — a stamp
+      never gates a drain it was not taken under. *)
+  let detach_stamp t ~token =
+    match Atomic.get t.detach_stamp with
+    | Some (tok, s) when tok = token -> s
+    | _ -> -1
 
-  let set_detach_stamp t v = ignore (Atomic.compare_and_set t.detach_stamp (-1) v : bool)
+  (* First writer wins per token. A stale poller (its token no longer
+     current) may clobber the record with its own tag; the current
+     drain's pollers then see a token mismatch and restamp with a later
+     epoch — a conservative delay, never an early completion, since
+     completing still requires the matching token below. *)
+  let set_detach_stamp t ~token v =
+    let cur = Atomic.get t.detach_stamp in
+    match cur with
+    | Some (tok, _) when tok = token -> ()
+    | _ -> ignore (Atomic.compare_and_set t.detach_stamp cur (Some (token, v)) : bool)
 
-  (** Finish the detach: unmap the arena (payload hook + free-list arrays
-      dropped; the metadata shim persists) and retire its index from the
-      attached range. Caller is the SMR layer, after its quiescence check
-      passed. False if the drain was cancelled concurrently. *)
-  let complete_detach t k =
-    if not (Atomic.compare_and_set t.draining k (-2)) then false
+  (** Finish the detach of the drain named by [token]: unmap the arena
+      (payload hook + free-list arrays dropped; the metadata shim
+      persists) and retire its index from the attached range. Caller is
+      the SMR layer, after its quiescence check passed against [token]'s
+      stamp. False if the drain was cancelled concurrently — or if
+      [token] is stale (the drain it names was cancelled and the arena
+      re-drained): the CAS below fails for every token but the current
+      one, so a quiescence verdict computed under an earlier drain can
+      never unmap the arena of a later one. *)
+  let complete_detach t token =
+    if token < 0 || not (Atomic.compare_and_set t.draining token drain_sealed) then false
     else begin
+      let k = drain_arena token in
       let a = t.arenas.(k) in
+      (* Structural invariants, not races: while a token is in flight no
+         attach can start ([try_grow] requires idle) and the electing
+         [request_shrink] saw no attach in flight (election holds the
+         [growing] lock), so [attached] is pinned at [k + 1]; full park
+         ([detach_ready]) is what let the caller stamp. *)
       assert (Atomic.get t.attached = k + 1);
       assert (Atomic.get a.parked = a.size);
       (* Retire the index first: refills stop visiting the arena, and the
@@ -642,8 +718,8 @@ module Core = struct
       t.detach_hook k;
       ignore (Atomic.fetch_and_add t.resident (-a.size) : int);
       Atomic.incr t.shrinks;
-      Atomic.set t.detach_stamp (-1);
-      Atomic.set t.draining (-1);
+      Atomic.set t.detach_stamp None;
+      Atomic.set t.draining drain_idle;
       true
     end
 
@@ -667,7 +743,7 @@ module Core = struct
     end
     else begin
       let n = if t.elastic then Atomic.get t.attached else 1 in
-      let d = if t.elastic then Atomic.get t.draining else -1 in
+      let d = if t.elastic then drain_arena (Atomic.get t.draining) else -1 in
       let rec go k =
         if k >= n then false
         else if k = d then go (k + 1)
@@ -698,7 +774,7 @@ module Core = struct
     l.head <- a.stack_next.(off);
     l.count <- l.count - 1;
     if l.head < 0 then l.tail <- -1;
-    if t.elastic && Atomic.get t.draining = id lsr t.off_bits then begin
+    if t.elastic && drain_arena (Atomic.get t.draining) = id lsr t.off_bits then begin
       (* Stray slot of a draining arena surfacing from a magazine: it
          leaves circulation here instead of being handed out. *)
       park t a id;
@@ -742,11 +818,14 @@ module Core = struct
       in
       if progressed then alloc_slow t ~tid l
       else begin
+        (* Strictly [drain_idle]: a detach mid-completion ([drain_sealed])
+           is about to lower [attached], after which a grow can satisfy
+           the retry — still a transient exhaustion. *)
         l.last_hard <-
           t.max_arenas > 1
           && Atomic.get t.attached >= t.max_arenas
           && (not (Atomic.get t.growing))
-          && Atomic.get t.draining < 0;
+          && Atomic.get t.draining = drain_idle;
         raise Exhausted
       end
     end
@@ -795,7 +874,7 @@ module Core = struct
     Mp_util.Striped_counter.incr t.frees ~tid;
     let l = t.locals.(tid) in
     l.live <- l.live - 1;
-    if t.elastic && Atomic.get t.draining = id lsr t.off_bits then park t a id
+    if t.elastic && drain_arena (Atomic.get t.draining) = id lsr t.off_bits then park t a id
     else begin
       if l.count >= t.fair_share then begin
         if l.spare_head >= 0 then begin

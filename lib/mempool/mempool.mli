@@ -89,9 +89,9 @@ module Core : sig
   (** Start draining the highest attached arena: its free slots leave
       circulation as they surface, and once all of them have, the SMR
       layer may complete the detach ({!detach_ready} →
-      {!complete_detach}). Arena 0 never detaches. [None] if the pool
-      cannot shrink now (single arena, a drain already in flight, or a
-      concurrent grow won the race). *)
+      {!complete_detach}). Arena 0 never detaches. Returns the elected
+      arena's index; [None] if the pool cannot shrink now (single arena,
+      a drain already in flight, or a grow holds the election lock). *)
   val request_shrink : t -> int option
 
   (** Abort an in-flight drain, returning parked slots to circulation.
@@ -100,22 +100,30 @@ module Core : sig
       entered completion. *)
   val cancel_shrink : t -> bool
 
-  (** [(arena, base, size)] of the draining arena once every one of its
+  (** [(token, base, size)] of the draining arena once every one of its
       slots is parked — the point at which the SMR quiescence protocol
-      may start; [None] before that. *)
+      may start; [None] before that. The token names this particular
+      drain (generation + arena, see {!drain_arena}); stamping and
+      completion take it back, so evidence gathered under one drain can
+      never complete a later drain of the same arena. *)
   val detach_ready : t -> (int * int * int) option
 
-  (** Epoch stamp for the detach grace period; -1 until a scheme stamps
-      it via {!set_detach_stamp} (first writer wins, once per drain). *)
-  val detach_stamp : t -> int
+  (** Arena index carried by a drain token; -1 for the non-drain words. *)
+  val drain_arena : int -> int
 
-  val set_detach_stamp : t -> int -> unit
+  (** Epoch stamp recorded for [token]'s grace period; -1 until a scheme
+      stamps it via {!set_detach_stamp} (first writer wins, once per
+      drain). A stamp recorded under a different token reads as unset. *)
+  val detach_stamp : t -> token:int -> int
 
-  (** Unmap the draining arena (payloads and free-list arrays dropped;
-      the metadata shim persists so stale handles keep failing
-      validation). To be called by the SMR layer only, after its
-      quiescence check passed. False if the drain was cancelled
-      concurrently. *)
+  val set_detach_stamp : t -> token:int -> int -> unit
+
+  (** Unmap the drained arena named by [token] (payloads and free-list
+      arrays dropped; the metadata shim persists so stale handles keep
+      failing validation). To be called by the SMR layer only, after its
+      quiescence check passed against [token]'s stamp. False if the drain
+      was cancelled concurrently or [token] no longer names the current
+      drain. *)
   val complete_detach : t -> int -> bool
 
   (** Payload attach/drop callbacks, installed by the ['a t] layer.

@@ -129,13 +129,23 @@ let empty th =
   let s = th.shared in
   let min_active = Epoch.min_announced s.epoch in
   Reclaimer.scan th.rsv ~keep:(fun id -> Mempool.Core.death s.pool id >= min_active);
-  (* Arena detach barrier. Stamp the epoch current at full park; the
+  (* Arena detach barrier. Stamp-and-advance the epoch at full park; the
      arena is unmappable once every active thread has announced a newer
      epoch (idle = +inf passes): such readers started after every arena
      node was unlinked and parked slots are never re-allocated, so no
-     path into the arena can exist for them. *)
+     path into the arena can exist for them. The advance is what lets
+     the grace period close in a read-mostly steady state — without it,
+     readers keep re-announcing the stamped epoch (the clock only moves
+     on retire traffic) and [min_announced > stamp] may never hold.
+     Advancing without Fraser's all-observed check is safe here:
+     reclamation compares death epochs against announced epochs
+     directly, so a reader holding an older announcement stays counted
+     in the minimum however far the clock runs ahead. *)
   Detach.poll s.pool
-    ~stamp:(fun () -> Epoch.current s.epoch)
+    ~stamp:(fun () ->
+      let e = Epoch.current s.epoch in
+      Epoch.advance s.epoch;
+      e)
     ~quiescent:(fun ~base:_ ~size:_ ~stamp -> Epoch.min_announced s.epoch > stamp)
 
 let retire th id =

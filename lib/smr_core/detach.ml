@@ -37,8 +37,13 @@ let poll pool ~(stamp : unit -> int) ~(quiescent : base:int -> size:int -> stamp
     =
   match Mempool.Core.detach_ready pool with
   | None -> ()
-  | Some (k, base, size) ->
-    let s = Mempool.Core.detach_stamp pool in
-    if s < 0 then Mempool.Core.set_detach_stamp pool (stamp ())
+  | Some (token, base, size) ->
+    (* The token captured with the full-park observation flows through
+       the stamp and the completion CAS, so a poller that stalls across
+       a cancel + re-drain of the same arena cannot pair its verdict
+       with the wrong drain: the stamp read here belongs to this token
+       or reads unset, and a stale token fails [complete_detach]. *)
+    let s = Mempool.Core.detach_stamp pool ~token in
+    if s < 0 then Mempool.Core.set_detach_stamp pool ~token (stamp ())
     else if quiescent ~base ~size ~stamp:s then
-      ignore (Mempool.Core.complete_detach pool k : bool)
+      ignore (Mempool.Core.complete_detach pool token : bool)

@@ -98,17 +98,20 @@ let shrink_lifecycle () =
   (* only the topmost arena is drainable *)
   Alcotest.(check (option int)) "drain arena 2" (Some 2) (Core.request_shrink p);
   Alcotest.(check (option int)) "no second drain" None (Core.request_shrink p);
-  (match Core.detach_ready p with
-  | None -> Alcotest.fail "all slots parked: detach must be ready"
-  | Some (k, base, size) ->
-    Alcotest.(check int) "draining arena" 2 k;
-    Alcotest.(check int) "base" (2 lsl off_bits) base;
-    Alcotest.(check int) "size" capacity size);
+  let token =
+    match Core.detach_ready p with
+    | None -> Alcotest.fail "all slots parked: detach must be ready"
+    | Some (token, base, size) ->
+      Alcotest.(check int) "draining arena" 2 (Core.drain_arena token);
+      Alcotest.(check int) "base" (2 lsl off_bits) base;
+      Alcotest.(check int) "size" capacity size;
+      token
+  in
   Alcotest.(check int) "parked slots are the drain cost" capacity (Core.detaching_slots p);
-  Alcotest.(check int) "stamp unset" (-1) (Core.detach_stamp p);
-  Core.set_detach_stamp p 42;
-  Alcotest.(check int) "stamp set once" 42 (Core.detach_stamp p);
-  Alcotest.(check bool) "detach completes" true (Core.complete_detach p 2);
+  Alcotest.(check int) "stamp unset" (-1) (Core.detach_stamp p ~token);
+  Core.set_detach_stamp p ~token 42;
+  Alcotest.(check int) "stamp set once" 42 (Core.detach_stamp p ~token);
+  Alcotest.(check bool) "detach completes" true (Core.complete_detach p token);
   Alcotest.(check int) "two arenas left" 2 (Core.attached_arenas p);
   Alcotest.(check int) "resident shrank" (2 * capacity) (Core.resident_slots p);
   Alcotest.(check int) "one detach event" 1 (Core.arenas_detached p);
@@ -150,15 +153,57 @@ let detached_payload_raises () =
   Array.iter (fun id -> Mempool.free p ~tid:0 id) ids;
   Core.release_local c ~tid:0;
   Alcotest.(check (option int)) "drain" (Some 1) (Core.request_shrink c);
-  Alcotest.(check bool) "ready" true (Core.detach_ready c <> None);
-  Core.set_detach_stamp c 0;
-  Alcotest.(check bool) "detached" true (Core.complete_detach c 1);
+  let token =
+    match Core.detach_ready c with
+    | None -> Alcotest.fail "detach must be ready"
+    | Some (token, _, _) -> token
+  in
+  Core.set_detach_stamp c ~token 0;
+  Alcotest.(check bool) "detached" true (Core.complete_detach c token);
   (match Mempool.get p high with
   | (_ : int) -> Alcotest.fail "access into a detached arena must raise"
   | exception Invalid_argument _ -> ());
   (* arena 0 payloads are untouched *)
   let low = Mempool.alloc p ~tid:0 in
   Alcotest.(check int) "arena 0 payload intact" low (Mempool.get p low)
+
+(* Regression for the drain-identity ABA: quiescence evidence gathered
+   under one drain must never complete a later drain of the same arena.
+   Before drain tokens carried a generation, a poller that stalled
+   across cancel + re-drain could CAS the bare arena index and unmap the
+   arena against the first drain's older stamp. *)
+let stale_drain_token_refused () =
+  let capacity = 16 in
+  let p = Core.create ~capacity ~threads:1 ~max_arenas:2 () in
+  let ids = Array.init 24 (fun _ -> Core.alloc p ~tid:0) in
+  Array.iter (fun id -> Core.free p ~tid:0 id) ids;
+  Core.release_local p ~tid:0;
+  Alcotest.(check (option int)) "drain arena 1" (Some 1) (Core.request_shrink p);
+  let token1 =
+    match Core.detach_ready p with
+    | Some (token, _, _) -> token
+    | None -> Alcotest.fail "first drain must reach full park"
+  in
+  Core.set_detach_stamp p ~token:token1 7;
+  Alcotest.(check bool) "cancel" true (Core.cancel_shrink p);
+  (* a fresh drain of the same arena gets a fresh identity *)
+  Alcotest.(check (option int)) "re-drain arena 1" (Some 1) (Core.request_shrink p);
+  let token2 =
+    match Core.detach_ready p with
+    | Some (token, _, _) -> token
+    | None -> Alcotest.fail "second drain must reach full park"
+  in
+  Alcotest.(check bool) "tokens name distinct drains" true (token1 <> token2);
+  Alcotest.(check int) "same arena under both tokens" (Core.drain_arena token1)
+    (Core.drain_arena token2);
+  Alcotest.(check int) "drain #1 stamp invisible to drain #2" (-1)
+    (Core.detach_stamp p ~token:token2);
+  Alcotest.(check bool) "stale completion refused" false (Core.complete_detach p token1);
+  Alcotest.(check int) "arena survives the stale poller" 2 (Core.attached_arenas p);
+  Core.set_detach_stamp p ~token:token2 9;
+  Alcotest.(check bool) "current completion succeeds" true (Core.complete_detach p token2);
+  Alcotest.(check int) "detached" 1 (Core.attached_arenas p);
+  Alcotest.(check int) "one detach event" 1 (Core.arenas_detached p)
 
 (* Detach.poll's state machine: stamps exactly once at full park,
    completes only when the quiescence gate passes. *)
@@ -180,7 +225,12 @@ let detach_poll_state_machine () =
   Alcotest.(check (option int)) "request" (Some 1) (Core.request_shrink p);
   poll ();
   Alcotest.(check int) "stamped at full park" 1 !stamps;
-  Alcotest.(check int) "stamp recorded" 7 (Core.detach_stamp p);
+  let token =
+    match Core.detach_ready p with
+    | Some (token, _, _) -> token
+    | None -> Alcotest.fail "full park must persist"
+  in
+  Alcotest.(check int) "stamp recorded" 7 (Core.detach_stamp p ~token);
   poll ();
   poll ();
   Alcotest.(check int) "stamped once" 1 !stamps;
@@ -415,6 +465,7 @@ let () =
             fixed_pool_exhaustion_is_soft;
           Alcotest.test_case "shrink lifecycle" `Quick shrink_lifecycle;
           Alcotest.test_case "detached payload raises" `Quick detached_payload_raises;
+          Alcotest.test_case "stale drain token refused" `Quick stale_drain_token_refused;
           Alcotest.test_case "detach poll state machine" `Quick detach_poll_state_machine;
         ] );
       ("pinned readers", pinned_cases);
